@@ -1,0 +1,246 @@
+// Benchmarks regenerating the paper's tables and figures: one testing.B
+// target per figure, plus ablation benches for the design choices DESIGN.md
+// calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each per-figure bench executes the corresponding experiment harness at a
+// reduced-but-faithful scale; cmd/experiments regenerates the full-scale
+// outputs.
+package smiless_test
+
+import (
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/autoscaler"
+	"smiless/internal/core"
+	"smiless/internal/experiments"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+func BenchmarkFig2HardwareLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2()
+		if len(r.Functions) != 3 {
+			b.Fatal("unexpected Fig2 shape")
+		}
+	}
+}
+
+func BenchmarkFig3MotivatingExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3()
+		if r.OptimalCost >= r.OrionCost {
+			b.Fatal("optimal plan not cheaper than Orion")
+		}
+	}
+}
+
+func BenchmarkFig8E2EComparison(b *testing.B) {
+	p := experiments.Fig8Params{
+		Horizon: 600, SLA: 2.0, Seed: 3, UseLSTM: false,
+		Apps:    []string{"WL2"},
+		Systems: []experiments.SystemName{experiments.SysSMIless, experiments.SysGrandSLAm, experiments.SysOPT},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(p)
+		if len(r.Cells) != 3 {
+			b.Fatal("unexpected Fig8 shape")
+		}
+	}
+}
+
+func BenchmarkFig9HardwareUsage(b *testing.B) {
+	p := experiments.Fig8Params{
+		Horizon: 400, SLA: 2.0, Seed: 4, UseLSTM: false,
+		Apps:    []string{"WL2"},
+		Systems: []experiments.SystemName{experiments.SysSMIless, experiments.SysIceBreakr},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(p)
+		if r.Fig9Table() == nil {
+			b.Fatal("missing Fig9 table")
+		}
+	}
+}
+
+func BenchmarkFig10SLASweep(b *testing.B) {
+	p := experiments.Fig10Params{
+		Horizon: 300, Seed: 5, UseLSTM: false,
+		SLAs:    []float64{2, 4},
+		Systems: []experiments.SystemName{experiments.SysSMIless},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig10(p); len(r.Rows) != 2 {
+			b.Fatal("unexpected Fig10 shape")
+		}
+	}
+}
+
+func BenchmarkFig11Profiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(experiments.Fig11Params{Horizon: 300, Seed: 6})
+		if r.OverallAverageSMAPE > 8 {
+			b.Fatalf("SMAPE %v above the paper's 8%% bound", r.OverallAverageSMAPE)
+		}
+	}
+}
+
+func BenchmarkFig12Predictors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(experiments.Fig12Params{TrainWindows: 300, TestWindows: 300, Seed: 7})
+		if len(r.CountNames) != 4 {
+			b.Fatal("unexpected Fig12 shape")
+		}
+	}
+}
+
+func BenchmarkFig13Ablations(b *testing.B) {
+	p := experiments.Fig13Params{Horizon: 300, SLA: 2.0, Seed: 8, UseLSTM: false, Apps: []string{"WL2"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig13(p); len(r.Rows) != 4 {
+			b.Fatal("unexpected Fig13 shape")
+		}
+	}
+}
+
+func BenchmarkFig14BurstAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(experiments.Fig14Params{SLA: 2.0, Seed: 9, UseLSTM: false})
+		if r.Stats.Completed == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+func BenchmarkFig15BurstComparison(b *testing.B) {
+	p := experiments.Fig15Params{
+		SLA: 2.0, Seed: 10, UseLSTM: false,
+		Systems: []experiments.SystemName{experiments.SysSMIless, experiments.SysGrandSLAm},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig15(p); len(r.Rows) != 2 {
+			b.Fatal("unexpected Fig15 shape")
+		}
+	}
+}
+
+// BenchmarkFig16SearchOverhead measures the Strategy Optimizer itself at
+// the paper's largest chain length — the direct Fig. 16(a) quantity.
+func BenchmarkFig16SearchOverhead(b *testing.B) {
+	app := apps.Pipeline(12)
+	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	opt := core.New(hardware.DefaultCatalog())
+	req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 10, Batch: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16AutoscalerDecision measures one Eq. (7)/(8) solve — the
+// Fig. 16(b) quantity (paper: < 0.1 ms).
+func BenchmarkFig16AutoscalerDecision(b *testing.B) {
+	scaler := autoscaler.New(hardware.DefaultCatalog())
+	prof := apps.Functions["TRS"].TrueProfile(perfmodel.DefaultUncertainty)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scaler.DecideOrFallback(prof, 16+i%16, 1.0, 0.8)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ------------------------------------
+
+// BenchmarkAblationPrewarmPolicies compares the closed-form per-invocation
+// cost of adaptive pre-warming vs always-keep-alive vs no mitigation.
+func BenchmarkAblationPrewarmPolicies(b *testing.B) {
+	prof := apps.Functions["IR"].TrueProfile(perfmodel.DefaultUncertainty)
+	cfg := hardware.Config{Kind: hardware.CPU, Cores: 4}
+	t := prof.InitTime(cfg)
+	inf := prof.InferenceTime(cfg, 1)
+	unit := hardware.DefaultPricing.UnitCost(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := 5 + float64(i%100)
+		best, costs := costTriple(t, inf, it, unit)
+		if best < 0 || len(costs) != 3 {
+			b.Fatal("bad cost triple")
+		}
+	}
+}
+
+func costTriple(t, inf, it, unit float64) (int, [3]float64) {
+	var costs [3]float64
+	// prewarm, keep-alive, cold each invocation
+	costs[0] = (t + inf) * unit
+	if it > inf {
+		costs[1] = it * unit
+	} else {
+		costs[1] = inf * unit
+	}
+	costs[2] = (t + inf) * unit
+	best := 0
+	for i, c := range costs {
+		if c < costs[best] {
+			best = i
+		}
+	}
+	return best, costs
+}
+
+// BenchmarkAblationDecompose compares whole-DAG search via decomposition
+// against per-path sequential optimization.
+func BenchmarkAblationDecompose(b *testing.B) {
+	app := apps.VoiceAssistant()
+	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	opt := core.New(hardware.DefaultCatalog())
+	req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := opt.Optimize(req)
+		if err != nil || !res.Feasible {
+			b.Fatal("optimize failed")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw discrete-event throughput: one
+// hour of moderate traffic through the full DAG machinery.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := experiments.SmoothTrace(int64(i), 600)
+		st := experiments.RunSystem(experiments.SysGrandSLAm, experiments.RunParams{
+			App: apps.ImageQuery(), SLA: 2.0, Seed: int64(i),
+		}, tr)
+		if st.Completed != tr.Len() {
+			b.Fatal("requests lost")
+		}
+	}
+}
+
+// BenchmarkOptimizerTopK contrasts top-1 with a wider beam.
+func BenchmarkOptimizerTopK(b *testing.B) {
+	app := apps.Pipeline(8)
+	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	for _, k := range []int{1, 3} {
+		b.Run(map[int]string{1: "top1", 3: "top3"}[k], func(b *testing.B) {
+			opt := core.New(hardware.DefaultCatalog())
+			opt.TopK = k
+			req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 10, Batch: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Optimize(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

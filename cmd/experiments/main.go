@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all            # every figure, default scale
+//	experiments -fig 8 -horizon 7200 -lstm  # full-scale Fig. 8
+//	experiments -fig 16             # overhead study only
+//
+// Each figure prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smiless/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16 or 'all'")
+	horizon := flag.Float64("horizon", 0, "trace horizon in seconds (0 = per-figure default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	sla := flag.Float64("sla", 2.0, "SLA in seconds")
+	lstm := flag.Bool("lstm", false, "enable the LSTM predictors in SMIless (slower, more faithful)")
+	seeds := flag.Int("seeds", 1, "for -fig 8: run this many trace seeds and print medians")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	show := func(name string) bool { return all || want[name] }
+
+	if show("2") {
+		fmt.Println(experiments.Fig2().Table())
+	}
+	if show("3") {
+		fmt.Println(experiments.Fig3().Table())
+	}
+	var fig8 *experiments.Fig8Result
+	if show("8") || show("9") {
+		p := experiments.DefaultFig8Params(*seed)
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *horizon > 0 {
+			p.Horizon = *horizon
+		}
+		if *seeds > 1 {
+			multi := experiments.Fig8Multi(p, *seeds)
+			fmt.Println(multi.Table())
+			fig8 = multi.Runs[0]
+		} else {
+			fig8 = experiments.Fig8(p)
+		}
+	}
+	if show("8") && *seeds <= 1 {
+		fmt.Println(fig8.Table())
+	}
+	if show("9") {
+		fmt.Println(fig8.Fig9Table())
+	}
+	if show("10") {
+		p := experiments.Fig10Params{Horizon: *horizon, Seed: *seed, UseLSTM: *lstm}
+		fmt.Println(experiments.Fig10(p).Table())
+	}
+	if show("11") {
+		fmt.Println(experiments.Fig11(experiments.Fig11Params{Horizon: *horizon, Seed: *seed}).Table())
+	}
+	if show("12") {
+		fmt.Println(experiments.Fig12(experiments.Fig12Params{Seed: *seed}).Table())
+	}
+	if show("13") {
+		p := experiments.Fig13Params{Horizon: *horizon, SLA: *sla, Seed: *seed, UseLSTM: *lstm}
+		fmt.Println(experiments.Fig13(p).Table())
+	}
+	if show("14") {
+		fmt.Println(experiments.Fig14(experiments.Fig14Params{SLA: *sla, Seed: *seed, UseLSTM: *lstm}).Table())
+	}
+	if show("15") {
+		fmt.Println(experiments.Fig15(experiments.Fig15Params{SLA: *sla, Seed: *seed, UseLSTM: *lstm}).Table())
+	}
+	if show("16") {
+		fmt.Println(experiments.Fig16(experiments.Fig16Params{}).Table())
+	}
+	if !all && len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "no figure selected; use -fig")
+		os.Exit(2)
+	}
+}

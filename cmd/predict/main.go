@@ -1,0 +1,29 @@
+// Command predict trains the Online Predictor components on a synthetic
+// Azure-like trace and reports the Fig. 12 accuracy metrics.
+//
+// Usage:
+//
+//	predict                       # default train/test split
+//	predict -train 3600 -test 7200
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"smiless/internal/experiments"
+)
+
+func main() {
+	train := flag.Int("train", 1200, "training windows (1 s each); paper uses 3600 (1 h)")
+	test := flag.Int("test", 2400, "test windows; paper uses 75600 (21 h)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	flag.Parse()
+
+	res := experiments.Fig12(experiments.Fig12Params{
+		TrainWindows: *train,
+		TestWindows:  *test,
+		Seed:         *seed,
+	})
+	fmt.Println(res.Table())
+}

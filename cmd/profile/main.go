@@ -1,0 +1,81 @@
+// Command profile runs the Offline Profiler over the Table I functions and
+// prints the fitted latency and initialization models with their accuracy
+// against the ground truth.
+//
+// Usage:
+//
+//	profile                # all functions
+//	profile -fn TRS -n 3   # one function, mu+3sigma init estimates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/metrics"
+	"smiless/internal/profiler"
+)
+
+func main() {
+	fn := flag.String("fn", "", "profile a single function (short name, e.g. TRS); empty = all")
+	n := flag.Float64("n", 3, "uncertainty multiplier in mu + n*sigma init estimates")
+	seed := flag.Int64("seed", 1, "measurement noise seed")
+	expo := flag.String("metrics", "", "write the raw timing samples in Prometheus text format to this file")
+	flag.Parse()
+
+	opts := profiler.DefaultOptions(*seed)
+	opts.Uncertainty = *n
+	store := metrics.NewStore()
+	p := profiler.New(store, opts)
+	r := mathx.NewRand(*seed)
+
+	names := []string{*fn}
+	if *fn == "" {
+		names = names[:0]
+		for name := range apps.Functions {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+
+	cpu16 := hardware.Config{Kind: hardware.CPU, Cores: 16}
+	gpu100 := hardware.Config{Kind: hardware.GPU, GPUShare: 100}
+	fmt.Printf("%-5s %-14s %-12s %-12s %-12s %-12s %-10s %-10s\n",
+		"fn", "model", "I(cpu16,b1)", "I(gpu,b1)", "T(cpu)", "T(gpu)", "SMAPE cpu", "SMAPE gpu")
+	for _, name := range names {
+		spec, ok := apps.Functions[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown function %q\n", name)
+			os.Exit(2)
+		}
+		prof, err := p.ProfileFunction(name, spec, r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		cs, gs := profiler.Accuracy(prof, spec, opts)
+		fmt.Printf("%-5s %-14s %-12.3f %-12.3f %-12.2f %-12.2f %-10.1f %-10.1f\n",
+			name, spec.Model,
+			prof.InferenceTime(cpu16, 1), prof.InferenceTime(gpu100, 1),
+			prof.InitTime(cpu16), prof.InitTime(gpu100),
+			cs, gs)
+	}
+	if *expo != "" {
+		f, err := os.Create(*expo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *expo, err)
+			os.Exit(1)
+		}
+		if err := store.WriteText(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("samples written to %s\n", *expo)
+	}
+}

@@ -1,0 +1,88 @@
+// Command smiless-sim runs one (application, system, workload) evaluation
+// on the simulated serverless cluster and prints the run statistics.
+//
+// Usage:
+//
+//	smiless-sim -app WL2 -system SMIless -horizon 1800 -sla 2
+//	smiless-sim -app WL3 -system IceBreaker -trace bursty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smiless/internal/apps"
+	"smiless/internal/experiments"
+	"smiless/internal/mathx"
+	"smiless/internal/simulator"
+	"smiless/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "WL2", "application: WL1 (AMBER Alert), WL2 (Image Query), WL3 (Voice Assistant)")
+	system := flag.String("system", "SMIless", "system: SMIless, Orion, IceBreaker, GrandSLAm, Aquatope, OPT, SMIless-No-DAG, SMIless-Homo")
+	horizon := flag.Float64("horizon", 1800, "trace horizon in seconds")
+	sla := flag.Float64("sla", 2.0, "SLA in seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	lstm := flag.Bool("lstm", false, "enable LSTM predictors in SMIless variants")
+	traceKind := flag.String("trace", "azure", "workload: azure, diurnal, poisson, bursty")
+	rate := flag.Float64("rate", 0.2, "mean rate for poisson/diurnal traces (req/s)")
+	jsonOut := flag.String("json", "", "also write a JSON run report to this file")
+	flag.Parse()
+
+	var tr *trace.Trace
+	r := mathx.NewRand(*seed)
+	switch *traceKind {
+	case "azure":
+		tr = trace.AzureLike(r, trace.DefaultAzureLike(*horizon))
+	case "diurnal":
+		tr = trace.Diurnal(r, *rate, 0.8, 300, *horizon)
+	case "poisson":
+		tr = trace.Poisson(r, *rate, *horizon)
+	case "bursty":
+		tr = experiments.BurstTrace(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown trace kind %q\n", *traceKind)
+		os.Exit(2)
+	}
+
+	params := experiments.RunParams{
+		App:     mustApp(*app),
+		SLA:     *sla,
+		Seed:    *seed,
+		UseLSTM: *lstm,
+	}
+	st := experiments.RunSystem(experiments.SystemName(*system), params, tr)
+
+	fmt.Printf("system=%s app=%s trace=%s requests=%d\n", *system, *app, *traceKind, tr.Len())
+	fmt.Println(st.Summary())
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		report := simulator.BuildReport(*system, *app, st)
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write report: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+	fmt.Println("cost by function (descending):")
+	for _, fn := range st.TopCostFunctions() {
+		fmt.Printf("  %-8s $%.4f\n", fn, st.CostPerFn[fn])
+	}
+}
+
+func mustApp(name string) (out *apps.Application) {
+	defer func() {
+		if recover() != nil {
+			fmt.Fprintf(os.Stderr, "unknown application %q\n", name)
+			os.Exit(2)
+		}
+	}()
+	return experiments.AppByName(name)
+}

@@ -1,0 +1,76 @@
+// Command trace-gen generates synthetic invocation traces and exports them
+// in the Azure Functions dataset CSV format (one row per series, one column
+// per minute), so external tooling — or a later smiless run — can replay
+// them.
+//
+// Usage:
+//
+//	trace-gen -kind azure -horizon 3600 > trace.csv
+//	trace-gen -kind poisson -rate 0.5 -horizon 1800 -name steady > t.csv
+//	trace-gen -stats -kind azure -horizon 3600   # print stats instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smiless/internal/mathx"
+	"smiless/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "azure", "generator: azure, poisson, diurnal, bursty")
+	horizon := flag.Float64("horizon", 3600, "trace horizon in seconds")
+	rate := flag.Float64("rate", 0.3, "rate for poisson/diurnal/bursty (req/s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	name := flag.String("name", "", "function name in the CSV (default: the kind)")
+	stats := flag.Bool("stats", false, "print trace statistics instead of CSV")
+	flag.Parse()
+
+	r := mathx.NewRand(*seed)
+	var tr *trace.Trace
+	switch *kind {
+	case "azure":
+		tr = trace.AzureLike(r, trace.DefaultAzureLike(*horizon))
+	case "poisson":
+		tr = trace.Poisson(r, *rate, *horizon)
+	case "diurnal":
+		tr = trace.Diurnal(r, *rate, 0.8, 300, *horizon)
+	case "bursty":
+		tr = trace.Bursty(r, 120, 10, *rate*10, *horizon)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if *stats {
+		counts := tr.Counts(1)
+		xs := make([]float64, len(counts))
+		peak := 0
+		for i, c := range counts {
+			xs[i] = float64(c)
+			if c > peak {
+				peak = c
+			}
+		}
+		ias := tr.InterArrivals()
+		fmt.Printf("kind=%s horizon=%.0fs requests=%d rate=%.3f/s\n", *kind, tr.Horizon, tr.Len(), tr.Rate())
+		fmt.Printf("per-window counts: peak=%d vmr=%.2f\n", peak, mathx.VarianceToMeanRatio(xs))
+		if len(ias) > 0 {
+			fmt.Printf("inter-arrivals: p10=%.2fs p50=%.2fs p99=%.2fs\n",
+				mathx.Percentile(ias, 10), mathx.Percentile(ias, 50), mathx.Percentile(ias, 99))
+		}
+		return
+	}
+
+	rowName := *name
+	if rowName == "" {
+		rowName = *kind
+	}
+	row := trace.ToAzureRow(tr, trace.PaperScale, rowName)
+	if err := trace.WriteAzureCSV(os.Stdout, []trace.AzureRow{row}); err != nil {
+		fmt.Fprintf(os.Stderr, "write: %v\n", err)
+		os.Exit(1)
+	}
+}

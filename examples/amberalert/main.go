@@ -1,0 +1,50 @@
+// AMBER Alert (WL1) end-to-end: run the emergency-alert DAG under SMIless
+// and every baseline system on the same Azure-like workload, and compare
+// cost, SLA compliance and cold-start behaviour — a miniature Fig. 8.
+//
+//	go run ./examples/amberalert
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smiless"
+)
+
+func main() {
+	app := smiless.AmberAlert()
+	fmt.Printf("%s: object detection fans out to vehicle/person/pose recognition,\n", app.Name)
+	fmt.Printf("then alert generation and translation (%d functions).\n\n", app.Graph.Len())
+
+	// One hour of Azure-like traffic: idle stretches, busy phases, spikes.
+	r := rand.New(rand.NewSource(7))
+	tr := smiless.AzureLikeTrace(r, smiless.DefaultAzureLike(1800))
+	fmt.Printf("workload: %d requests over %.0fs (mean rate %.2f/s)\n\n", tr.Len(), tr.Horizon, tr.Rate())
+
+	const sla = 2.0
+	systems := []smiless.SystemName{
+		smiless.SystemSMIless,
+		smiless.SystemGrandSLAm,
+		smiless.SystemIceBreaker,
+		smiless.SystemOrion,
+		smiless.SystemAquatope,
+		smiless.SystemOPT,
+	}
+	fmt.Printf("%-12s %-10s %-8s %-8s %-8s %-10s\n", "system", "cost ($)", "viol %", "p50 (s)", "p99 (s)", "reinit/req")
+	var smilessCost float64
+	for _, sys := range systems {
+		st := smiless.Evaluate(sys, smiless.AmberAlert(), tr, sla, 7, false)
+		if sys == smiless.SystemSMIless {
+			smilessCost = st.TotalCost
+		}
+		rel := ""
+		if smilessCost > 0 && sys != smiless.SystemSMIless {
+			rel = fmt.Sprintf(" (%.2fx SMIless)", st.TotalCost/smilessCost)
+		}
+		fmt.Printf("%-12s %-10.4f %-8.1f %-8.2f %-8.2f %-10.2f%s\n",
+			sys, st.TotalCost, st.ViolationRate()*100,
+			st.LatencyPercentile(50), st.LatencyPercentile(99),
+			st.ReinitFraction(), rel)
+	}
+}

@@ -1,0 +1,64 @@
+// Custom DAG: build your own serving workflow from Table I functions
+// through the public API, co-optimize it for several SLA targets, and see
+// how the plan shifts from cheap CPUs toward GPU shares as the deadline
+// tightens (the paper's Fig. 10 effect).
+//
+//	go run ./examples/customdag
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smiless"
+)
+
+func main() {
+	// A video-moderation pipeline: object detection fans out to face
+	// recognition and image recognition, both feed text generation.
+	app, err := smiless.NewApplication("video-moderation",
+		map[smiless.NodeID]string{
+			"detect":    "OD",
+			"faces":     "FR",
+			"objects":   "IR",
+			"report":    "TG",
+			"translate": "TRS",
+		},
+		[][2]smiless.NodeID{
+			{"detect", "faces"},
+			{"detect", "objects"},
+			{"faces", "report"},
+			{"objects", "report"},
+			{"report", "translate"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d functions, %d parallel substructures\n\n",
+		app.Name, app.Graph.Len(), len(app.Graph.ParallelSubstructures()))
+
+	profiles, err := smiless.ProfileApplication(app, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cat := smiless.DefaultCatalog()
+	for _, sla := range []float64{0.6, 1.0, 2.0, 5.0} {
+		res, err := smiless.Optimize(cat, smiless.OptimizeRequest{
+			Graph:    app.Graph,
+			Profiles: profiles,
+			SLA:      sla,
+			IT:       20,
+			Batch:    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SLA %.1fs: feasible=%v E2E=%.2fs cost=$%.6f/inv\n",
+			sla, res.Feasible, res.Eval.E2ELatency, res.Eval.CostPerInvocation)
+		for _, id := range app.Graph.TopoSort() {
+			fmt.Printf("    %-10s %-9s %s\n", id, res.Plan.Configs[id], res.Plan.Decisions[id].Policy)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: profile the Image Query application, co-optimize its
+// configuration and cold-start policy for a target SLA, and print the plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smiless"
+)
+
+func main() {
+	// 1. Pick an application: Image Query is a 5-function DAG
+	//    (IR -> {DB, TM} -> QA -> TG).
+	app := smiless.ImageQuery()
+	fmt.Printf("application %s: %d functions, longest path %d\n",
+		app.Name, app.Graph.Len(), app.Graph.LongestPathLen())
+
+	// 2. Profile every function offline: cold-start measurements plus the
+	//    batch x resource inference grid, fitted to the paper's latency laws.
+	profiles, err := smiless.ProfileApplication(app, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Co-optimize hardware configuration and cold-start management for a
+	//    2-second SLA, expecting one invocation every ~15 seconds.
+	res, err := smiless.Optimize(smiless.DefaultCatalog(), smiless.OptimizeRequest{
+		Graph:    app.Graph,
+		Profiles: profiles,
+		SLA:      2.0,
+		IT:       15,
+		Batch:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nplan (feasible=%v, predicted E2E %.2fs, cost $%.6f/invocation):\n",
+		res.Feasible, res.Eval.E2ELatency, res.Eval.CostPerInvocation)
+	for _, id := range app.Graph.TopoSort() {
+		d := res.Plan.Decisions[id]
+		fmt.Printf("  %-4s -> %-9s policy=%-10s prewarm-window=%.1fs cost=$%.6f\n",
+			id, res.Plan.Configs[id], d.Policy, d.Window, res.Eval.PerFunction[id])
+	}
+}

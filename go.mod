@@ -1,0 +1,3 @@
+module smiless
+
+go 1.22

@@ -1,0 +1,375 @@
+// Package apps encodes the paper's evaluation workloads: the twelve
+// inference functions of Table I and the three DAG applications of Fig. 7
+// (WL1 AMBER Alert, WL2 Image Query, WL3 Voice Assistant).
+//
+// The paper runs real models (ResNet50, BERT, GPT-2, ...) on a physical
+// GPU cluster. This reproduction substitutes a synthetic ground-truth
+// performance model per function, calibrated to the paper's published
+// anchors:
+//
+//   - warm GPU inference is ~10x faster than a 4-core CPU for the heavy
+//     models (§I cites 10x for ResNet50; §II-B cites ~10x for TRS on a
+//     16-core comparison);
+//   - GPU cold starts are several times longer than CPU cold starts (CUDA
+//     context setup + host-to-device weight copies, §IV-A1), so a cold GPU
+//     can lose to a cold CPU;
+//   - the full-GPU unit price is ~8x the 16-core CPU price (§II-B).
+//
+// Because the optimizer and all baselines only ever observe profiled
+// latencies and costs, any model set with these qualitative ratios exercises
+// the same decision logic as the physical testbed.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+// FunctionSpec is the synthetic ground truth for one Table I function. The
+// latency law matches the paper's Eq. (1)/(2) reduced form
+// I = A·batch/resource + B·batch + G, with resource = cores (CPU) or GPU
+// share in percent (GPU).
+type FunctionSpec struct {
+	Name  string // short name used in the paper, e.g. "TRS"
+	Model string // underlying model from Table I, e.g. "T5"
+	Field string // task family from Table I, e.g. "Language Modeling"
+
+	CPUA, CPUB, CPUG float64 // CPU inference law parameters (seconds)
+	GPUA, GPUB, GPUG float64 // GPU inference law parameters (seconds)
+
+	CPUInitMu, CPUInitSigma float64 // CPU cold-start duration distribution
+	GPUInitMu, GPUInitSigma float64 // GPU cold-start duration distribution
+
+	CPUNoise float64 // multiplicative latency noise std on CPU (interference)
+	GPUNoise float64 // multiplicative latency noise std on GPU
+}
+
+// trueCPUModel returns the exact (noise-free) CPU inference model.
+func (f *FunctionSpec) trueCPUModel() perfmodel.InferenceModel {
+	return perfmodel.InferenceModel{Kind: hardware.CPU, A: f.CPUA, B: f.CPUB, G: f.CPUG}
+}
+
+// trueGPUModel returns the exact (noise-free) GPU inference model.
+func (f *FunctionSpec) trueGPUModel() perfmodel.InferenceModel {
+	return perfmodel.InferenceModel{Kind: hardware.GPU, A: f.GPUA, B: f.GPUB, G: f.GPUG}
+}
+
+// MeanInference returns the noise-free inference latency for a batch on cfg.
+func (f *FunctionSpec) MeanInference(cfg hardware.Config, batch int) float64 {
+	if cfg.Kind == hardware.CPU {
+		return f.trueCPUModel().Predict(batch, cfg)
+	}
+	return f.trueGPUModel().Predict(batch, cfg)
+}
+
+// SampleInference draws one noisy inference latency, as the simulator's
+// containers experience it. CPU execution carries more interference noise
+// than GPU execution (the paper observes the same asymmetry in Fig. 11b).
+func (f *FunctionSpec) SampleInference(r *rand.Rand, cfg hardware.Config, batch int) float64 {
+	mean := f.MeanInference(cfg, batch)
+	noise := f.CPUNoise
+	if cfg.Kind == hardware.GPU {
+		noise = f.GPUNoise
+	}
+	v := mean * (1 + noise*r.NormFloat64())
+	if v < mean*0.2 {
+		v = mean * 0.2
+	}
+	return v
+}
+
+// MeanInit returns the noise-free cold-start duration on cfg.
+func (f *FunctionSpec) MeanInit(cfg hardware.Config) float64 {
+	if cfg.Kind == hardware.CPU {
+		return f.CPUInitMu
+	}
+	return f.GPUInitMu
+}
+
+// ContentionProb is the probability a cold start hits a contention episode
+// (image-registry, PCIe or network bandwidth sharing, §IV-A1) and lands in
+// the slow mode of the initialization distribution. Cold-start times in
+// production are heavy-tailed — the reason the paper replaces the plain
+// mean with the robust μ + n·σ estimate (Fig. 11a).
+const ContentionProb = 0.12
+
+// SampleInit draws one noisy cold-start duration (image pull + model load,
+// plus CUDA context and weight transfer on GPU). The distribution is a
+// two-mode mixture: a Gaussian main mode and, with ContentionProb, a slow
+// mode shifted by ~2σ modelling shared-resource contention.
+func (f *FunctionSpec) SampleInit(r *rand.Rand, cfg hardware.Config) float64 {
+	mu, sigma := f.CPUInitMu, f.CPUInitSigma
+	if cfg.Kind == hardware.GPU {
+		mu, sigma = f.GPUInitMu, f.GPUInitSigma
+	}
+	v := mu + sigma*r.NormFloat64()
+	if r.Float64() < ContentionProb {
+		v += 2*sigma + sigma*absNorm(r)
+	}
+	if v < mu*0.3 {
+		v = mu * 0.3
+	}
+	return v
+}
+
+func absNorm(r *rand.Rand) float64 {
+	v := r.NormFloat64()
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// InitMoments returns the true mean and standard deviation of the
+// cold-start mixture on cfg (main mode plus the contention mode).
+func (f *FunctionSpec) InitMoments(cfg hardware.Config) (mean, std float64) {
+	mu, sigma := f.CPUInitMu, f.CPUInitSigma
+	if cfg.Kind == hardware.GPU {
+		mu, sigma = f.GPUInitMu, f.GPUInitSigma
+	}
+	// X = N(mu, sigma^2) + B·(2σ + |Z|σ), B ~ Bern(p), Z ~ N(0,1):
+	// E[extra] = p·(2+√(2/π))σ, E[extra²] = p·(5+4√(2/π))σ².
+	const e1 = 0.7978845608 // E|Z| = √(2/π)
+	p := ContentionProb
+	mean = mu + p*(2+e1)*sigma
+	ex2 := p * (5 + 4*e1) * sigma * sigma
+	variance := sigma*sigma + ex2 - (p*(2+e1)*sigma)*(p*(2+e1)*sigma)
+	return mean, math.Sqrt(variance)
+}
+
+// TrueProfile returns a perfmodel.Profile built from the exact ground
+// truth, with init estimates at μ + n·σ over the true mixture moments.
+// Experiments that are not about profiling accuracy use this to isolate
+// optimizer behaviour from fitting error.
+func (f *FunctionSpec) TrueProfile(uncertainty float64) *perfmodel.Profile {
+	cMean, cStd := f.InitMoments(hardware.Config{Kind: hardware.CPU, Cores: 4})
+	gMean, gStd := f.InitMoments(hardware.Config{Kind: hardware.GPU, GPUShare: 100})
+	return &perfmodel.Profile{
+		Function: f.Name,
+		CPUInf:   f.trueCPUModel(),
+		GPUInf:   f.trueGPUModel(),
+		CPUInit:  perfmodel.InitModel{Kind: hardware.CPU, Mu: cMean, Sigma: cStd, N: uncertainty},
+		GPUInit:  perfmodel.InitModel{Kind: hardware.GPU, Mu: gMean, Sigma: gStd, N: uncertainty},
+	}
+}
+
+// Functions is the Table I inventory keyed by short name.
+//
+// The heavy models (TRS, TG, SR, OD) are calibrated so that a full GPU
+// beats a 4-core CPU by roughly 10-20x warm (≈10x against 16 cores, the
+// paper's §II-B anchor), GPU batch throughput per dollar exceeds the CPU's
+// (the paper's "GPUs are more efficient in processing batched invocation
+// requests"), while light models gain less — reproducing the paper's "GPU
+// is not always cost-effective" tension.
+var Functions = map[string]*FunctionSpec{
+	"IR": {
+		Name: "IR", Model: "ResNet50", Field: "Image Classification",
+		CPUA: 1.60, CPUB: 0.020, CPUG: 0.010,
+		GPUA: 1.250, GPUB: 0.0020, GPUG: 0.010,
+		CPUInitMu: 1.6, CPUInitSigma: 0.16, GPUInitMu: 5.5, GPUInitSigma: 0.55,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"FR": {
+		Name: "FR", Model: "FaceNet", Field: "Image Classification",
+		CPUA: 1.20, CPUB: 0.018, CPUG: 0.010,
+		GPUA: 1.000, GPUB: 0.0020, GPUG: 0.010,
+		CPUInitMu: 1.4, CPUInitSigma: 0.14, GPUInitMu: 5.0, GPUInitSigma: 0.50,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"HAP": {
+		Name: "HAP", Model: "ResNet50-Pose", Field: "Image Classification",
+		CPUA: 1.80, CPUB: 0.022, CPUG: 0.010,
+		GPUA: 1.400, GPUB: 0.0025, GPUG: 0.010,
+		CPUInitMu: 1.7, CPUInitSigma: 0.17, GPUInitMu: 5.8, GPUInitSigma: 0.58,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"DB": {
+		Name: "DB", Model: "DistilBERT", Field: "Language Modeling",
+		CPUA: 0.90, CPUB: 0.015, CPUG: 0.010,
+		GPUA: 0.900, GPUB: 0.0020, GPUG: 0.010,
+		CPUInitMu: 1.2, CPUInitSigma: 0.12, GPUInitMu: 4.5, GPUInitSigma: 0.45,
+		CPUNoise: 0.05, GPUNoise: 0.02,
+	},
+	"NER": {
+		Name: "NER", Model: "Flair", Field: "Language Modeling",
+		CPUA: 1.40, CPUB: 0.018, CPUG: 0.010,
+		GPUA: 1.150, GPUB: 0.0020, GPUG: 0.010,
+		CPUInitMu: 1.5, CPUInitSigma: 0.15, GPUInitMu: 5.2, GPUInitSigma: 0.52,
+		CPUNoise: 0.05, GPUNoise: 0.02,
+	},
+	"TM": {
+		Name: "TM", Model: "TweetEval", Field: "Language Modeling",
+		CPUA: 0.80, CPUB: 0.012, CPUG: 0.010,
+		GPUA: 0.800, GPUB: 0.0015, GPUG: 0.010,
+		CPUInitMu: 1.1, CPUInitSigma: 0.11, GPUInitMu: 4.2, GPUInitSigma: 0.42,
+		CPUNoise: 0.05, GPUNoise: 0.02,
+	},
+	"TRS": {
+		Name: "TRS", Model: "T5", Field: "Language Modeling",
+		CPUA: 3.20, CPUB: 0.030, CPUG: 0.010,
+		GPUA: 2.250, GPUB: 0.0040, GPUG: 0.015,
+		CPUInitMu: 2.2, CPUInitSigma: 0.22, GPUInitMu: 7.5, GPUInitSigma: 0.75,
+		CPUNoise: 0.07, GPUNoise: 0.02,
+	},
+	"TG": {
+		Name: "TG", Model: "GPT2", Field: "Text Generation",
+		CPUA: 2.80, CPUB: 0.028, CPUG: 0.010,
+		GPUA: 2.000, GPUB: 0.0035, GPUG: 0.015,
+		CPUInitMu: 2.0, CPUInitSigma: 0.20, GPUInitMu: 7.0, GPUInitSigma: 0.70,
+		CPUNoise: 0.07, GPUNoise: 0.02,
+	},
+	"SR": {
+		Name: "SR", Model: "Wav2Vec", Field: "Audio Processing",
+		CPUA: 2.40, CPUB: 0.025, CPUG: 0.010,
+		GPUA: 1.800, GPUB: 0.0030, GPUG: 0.012,
+		CPUInitMu: 1.9, CPUInitSigma: 0.19, GPUInitMu: 6.5, GPUInitSigma: 0.65,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"TTS": {
+		Name: "TTS", Model: "FastSpeech", Field: "Audio Processing",
+		CPUA: 1.60, CPUB: 0.020, CPUG: 0.010,
+		GPUA: 1.300, GPUB: 0.0025, GPUG: 0.012,
+		CPUInitMu: 1.6, CPUInitSigma: 0.16, GPUInitMu: 5.6, GPUInitSigma: 0.56,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"OD": {
+		Name: "OD", Model: "YOLOv5", Field: "Object Detection",
+		CPUA: 2.00, CPUB: 0.024, CPUG: 0.010,
+		GPUA: 1.500, GPUB: 0.0025, GPUG: 0.012,
+		CPUInitMu: 1.8, CPUInitSigma: 0.18, GPUInitMu: 6.0, GPUInitSigma: 0.60,
+		CPUNoise: 0.06, GPUNoise: 0.02,
+	},
+	"QA": {
+		Name: "QA", Model: "Roberta", Field: "Question Answering",
+		CPUA: 1.00, CPUB: 0.016, CPUG: 0.010,
+		GPUA: 0.950, GPUB: 0.0020, GPUG: 0.010,
+		CPUInitMu: 1.3, CPUInitSigma: 0.13, GPUInitMu: 4.8, GPUInitSigma: 0.48,
+		CPUNoise: 0.05, GPUNoise: 0.02,
+	},
+}
+
+// Application is one DAG workload: a validated graph whose nodes map to
+// Table I functions.
+type Application struct {
+	Name  string
+	Graph *dag.Graph
+	// Specs maps each graph node to its ground-truth function spec.
+	Specs map[dag.NodeID]*FunctionSpec
+}
+
+// Spec returns the FunctionSpec for a node, panicking on unknown IDs (all
+// application topologies are static).
+func (a *Application) Spec(id dag.NodeID) *FunctionSpec {
+	s, ok := a.Specs[id]
+	if !ok {
+		panic(fmt.Sprintf("apps: no spec for node %q in %s", id, a.Name))
+	}
+	return s
+}
+
+// TrueProfiles returns exact profiles for every node, keyed by node ID.
+func (a *Application) TrueProfiles(uncertainty float64) map[dag.NodeID]*perfmodel.Profile {
+	out := make(map[dag.NodeID]*perfmodel.Profile, len(a.Specs))
+	for id, spec := range a.Specs {
+		p := spec.TrueProfile(uncertainty)
+		p.Function = string(id)
+		out[id] = p
+	}
+	return out
+}
+
+// build constructs an application from an edge list, panicking on structural
+// errors (topologies are compile-time constants).
+func build(name string, nodes []string, edges [][2]string) *Application {
+	g := dag.New()
+	specs := make(map[dag.NodeID]*FunctionSpec, len(nodes))
+	for _, n := range nodes {
+		spec, ok := Functions[n]
+		if !ok {
+			panic(fmt.Sprintf("apps: unknown function %q", n))
+		}
+		id := dag.NodeID(n)
+		g.MustAddNode(id, spec.Model)
+		specs[id] = spec
+	}
+	for _, e := range edges {
+		g.MustAddEdge(dag.NodeID(e[0]), dag.NodeID(e[1]))
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("apps: %s: %v", name, err))
+	}
+	return &Application{Name: name, Graph: g, Specs: specs}
+}
+
+// AmberAlert returns WL1: object detection fans out to vehicle/person/pose
+// recognition, whose labels feed alert text generation and translation.
+// Topology synthesized from the paper's prose (§VII-A); Fig. 7 is an image.
+func AmberAlert() *Application {
+	return build("AMBER-Alert",
+		[]string{"OD", "IR", "FR", "HAP", "TG", "TRS"},
+		[][2]string{
+			{"OD", "IR"}, {"OD", "FR"}, {"OD", "HAP"},
+			{"IR", "TG"}, {"FR", "TG"}, {"HAP", "TG"},
+			{"TG", "TRS"},
+		})
+}
+
+// ImageQuery returns WL2: image recognition feeds language understanding and
+// topic modeling in parallel, then question answering and description
+// generation.
+func ImageQuery() *Application {
+	return build("Image-Query",
+		[]string{"IR", "DB", "TM", "QA", "TG"},
+		[][2]string{
+			{"IR", "DB"}, {"IR", "TM"},
+			{"DB", "QA"}, {"TM", "QA"},
+			{"QA", "TG"},
+		})
+}
+
+// VoiceAssistant returns WL3: speech recognition fans out to three NLU
+// functions, then question answering, response generation and speech
+// synthesis — the deepest of the three DAGs.
+func VoiceAssistant() *Application {
+	return build("Voice-Assistant",
+		[]string{"SR", "DB", "NER", "TM", "QA", "TG", "TTS"},
+		[][2]string{
+			{"SR", "DB"}, {"SR", "NER"}, {"SR", "TM"},
+			{"DB", "QA"}, {"NER", "QA"}, {"TM", "QA"},
+			{"QA", "TG"}, {"TG", "TTS"},
+		})
+}
+
+// All returns the three evaluation applications in the paper's order.
+func All() []*Application {
+	return []*Application{AmberAlert(), ImageQuery(), VoiceAssistant()}
+}
+
+// Pipeline returns a synthetic linear application of n functions drawn
+// round-robin from the heavy Table I models. Fig. 3 uses a 3-function
+// pipeline; Fig. 16 sweeps chain lengths up to 12.
+func Pipeline(n int) *Application {
+	if n < 1 {
+		panic("apps: pipeline needs at least one function")
+	}
+	pool := []string{"IR", "TRS", "TG", "SR", "OD", "DB", "QA", "TTS", "NER", "HAP", "FR", "TM"}
+	g := dag.New()
+	specs := make(map[dag.NodeID]*FunctionSpec, n)
+	var prev dag.NodeID
+	for i := 0; i < n; i++ {
+		name := pool[i%len(pool)]
+		id := dag.NodeID(fmt.Sprintf("F%d-%s", i+1, name))
+		g.MustAddNode(id, Functions[name].Model)
+		specs[id] = Functions[name]
+		if i > 0 {
+			g.MustAddEdge(prev, id)
+		}
+		prev = id
+	}
+	return &Application{Name: fmt.Sprintf("Pipeline-%d", n), Graph: g, Specs: specs}
+}

@@ -1,0 +1,226 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+)
+
+func cpu(cores int) hardware.Config { return hardware.Config{Kind: hardware.CPU, Cores: cores} }
+func gpu(share int) hardware.Config { return hardware.Config{Kind: hardware.GPU, GPUShare: share} }
+
+func TestTableIComplete(t *testing.T) {
+	want := []string{"IR", "FR", "HAP", "DB", "NER", "TM", "TRS", "TG", "SR", "TTS", "OD", "QA"}
+	if len(Functions) != len(want) {
+		t.Fatalf("function inventory = %d entries, want %d", len(Functions), len(want))
+	}
+	for _, name := range want {
+		f, ok := Functions[name]
+		if !ok {
+			t.Errorf("missing Table I function %s", name)
+			continue
+		}
+		if f.Name != name {
+			t.Errorf("function %s has Name %q", name, f.Name)
+		}
+		if f.Model == "" || f.Field == "" {
+			t.Errorf("function %s missing model/field metadata", name)
+		}
+	}
+}
+
+// The paper's central hardware anchors must hold for every function.
+func TestGroundTruthAnchors(t *testing.T) {
+	for name, f := range Functions {
+		warmCPU4 := f.MeanInference(cpu(4), 1)
+		warmGPU := f.MeanInference(gpu(100), 1)
+		if warmGPU >= warmCPU4 {
+			t.Errorf("%s: full GPU (%.3fs) should beat 4-core CPU (%.3fs) warm", name, warmGPU, warmCPU4)
+		}
+		// GPU cold start must exceed CPU cold start (§IV-A1).
+		if f.GPUInitMu <= f.CPUInitMu {
+			t.Errorf("%s: GPU init (%v) should exceed CPU init (%v)", name, f.GPUInitMu, f.CPUInitMu)
+		}
+		// Cold GPU must lose to cold CPU for at least first-token latency:
+		// init+inference on GPU vs 4-core CPU (the Fig. 2 observation for TRS).
+		coldGPU := f.GPUInitMu + warmGPU
+		coldCPU := f.CPUInitMu + warmCPU4
+		if coldGPU <= coldCPU {
+			t.Errorf("%s: cold GPU (%.2fs) should lose to cold CPU (%.2fs)", name, coldGPU, coldCPU)
+		}
+	}
+}
+
+func TestTRSSpeedupAnchor(t *testing.T) {
+	// §II-B: TRS warm inference improves ~10x on GPU against a 16-core
+	// server. We check the heavy models land in a 4x-12x band vs 16 cores.
+	for _, name := range []string{"TRS", "TG", "SR", "OD", "IR"} {
+		f := Functions[name]
+		ratio := f.MeanInference(cpu(16), 1) / f.MeanInference(gpu(100), 1)
+		if ratio < 4 || ratio > 12 {
+			t.Errorf("%s warm speedup vs 16-core = %.1fx, want 4x-12x", name, ratio)
+		}
+	}
+	// Batched throughput per dollar: the full GPU must beat the 16-core
+	// CPU for heavy models (the paper's burst-batching premise).
+	for _, name := range []string{"TRS", "TG", "IR", "OD"} {
+		f := Functions[name]
+		b := 16
+		gpuTP := float64(b) / f.MeanInference(gpu(100), b) / hardware.DefaultPricing.UnitCost(gpu(100))
+		cpuTP := float64(b) / f.MeanInference(cpu(16), b) / hardware.DefaultPricing.UnitCost(cpu(16))
+		if gpuTP <= cpuTP {
+			t.Errorf("%s: GPU batch throughput/$ (%.0f) should beat CPU (%.0f)", name, gpuTP, cpuTP)
+		}
+	}
+}
+
+func TestSampleInferencePositive(t *testing.T) {
+	r := mathx.NewRand(1)
+	f := Functions["TRS"]
+	for i := 0; i < 1000; i++ {
+		if v := f.SampleInference(r, cpu(1), 4); v <= 0 {
+			t.Fatalf("non-positive latency sample %v", v)
+		}
+		if v := f.SampleInit(r, gpu(50)); v <= 0 {
+			t.Fatalf("non-positive init sample %v", v)
+		}
+	}
+}
+
+func TestSampleInferenceMean(t *testing.T) {
+	r := mathx.NewRand(2)
+	f := Functions["IR"]
+	want := f.MeanInference(cpu(2), 2)
+	n := 5000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += f.SampleInference(r, cpu(2), 2)
+	}
+	got := s / float64(n)
+	if got < want*0.97 || got > want*1.03 {
+		t.Errorf("sample mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestApplications(t *testing.T) {
+	cases := []struct {
+		app      *Application
+		n        int
+		longest  int
+		branches int
+	}{
+		{AmberAlert(), 6, 4, 1},
+		{ImageQuery(), 5, 4, 1},
+		{VoiceAssistant(), 7, 5, 1},
+	}
+	for _, c := range cases {
+		if err := c.app.Graph.Validate(); err != nil {
+			t.Errorf("%s: validate: %v", c.app.Name, err)
+		}
+		if got := c.app.Graph.Len(); got != c.n {
+			t.Errorf("%s: %d functions, want %d", c.app.Name, got, c.n)
+		}
+		if got := c.app.Graph.LongestPathLen(); got != c.longest {
+			t.Errorf("%s: longest path %d, want %d", c.app.Name, got, c.longest)
+		}
+		if got := len(c.app.Graph.ParallelSubstructures()); got != c.branches {
+			t.Errorf("%s: %d parallel substructures, want %d", c.app.Name, got, c.branches)
+		}
+		for _, id := range c.app.Graph.Nodes() {
+			if c.app.Spec(id) == nil {
+				t.Errorf("%s: node %s has no spec", c.app.Name, id)
+			}
+		}
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// WL1 -> WL3 should be non-decreasing in size and depth, consistent with
+	// the paper's "as DAG complexity increases..." claim.
+	apps := All()
+	if len(apps) != 3 {
+		t.Fatalf("All() = %d apps, want 3", len(apps))
+	}
+	if apps[2].Graph.LongestPathLen() <= apps[0].Graph.LongestPathLen()-1 {
+		t.Error("WL3 should be at least as deep as WL1")
+	}
+}
+
+func TestTrueProfiles(t *testing.T) {
+	app := ImageQuery()
+	profiles := app.TrueProfiles(3)
+	if len(profiles) != app.Graph.Len() {
+		t.Fatalf("profiles = %d, want %d", len(profiles), app.Graph.Len())
+	}
+	for id, p := range profiles {
+		spec := app.Spec(id)
+		got := p.InferenceTime(cpu(4), 1)
+		want := spec.MeanInference(cpu(4), 1)
+		if got != want {
+			t.Errorf("%s: true profile inference %v != ground truth %v", id, got, want)
+		}
+		if p.InitTime(gpu(100)) <= spec.GPUInitMu {
+			t.Errorf("%s: mu+3sigma init should exceed mu", id)
+		}
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	p := Pipeline(12)
+	if p.Graph.Len() != 12 || p.Graph.LongestPathLen() != 12 {
+		t.Errorf("pipeline size/depth = %d/%d, want 12/12", p.Graph.Len(), p.Graph.LongestPathLen())
+	}
+	if err := p.Graph.Validate(); err != nil {
+		t.Errorf("pipeline validate: %v", err)
+	}
+	if len(p.Graph.ParallelSubstructures()) != 0 {
+		t.Error("pipeline should have no parallel substructures")
+	}
+}
+
+func TestPipelinePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pipeline(0) should panic")
+		}
+	}()
+	Pipeline(0)
+}
+
+func TestSpecPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Spec on unknown node should panic")
+		}
+	}()
+	AmberAlert().Spec("nope")
+}
+
+// Property: inference latency decreases (weakly) with more resource and
+// increases with batch size, for every function on both backends.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	names := make([]string, 0, len(Functions))
+	for n := range Functions {
+		names = append(names, n)
+	}
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		spec := Functions[names[r.Intn(len(names))]]
+		b := 1 + r.Intn(31)
+		cores := []int{1, 2, 4, 8, 16}
+		ci := r.Intn(len(cores) - 1)
+		if spec.MeanInference(cpu(cores[ci]), b) < spec.MeanInference(cpu(cores[ci+1]), b) {
+			return false
+		}
+		s := (1 + r.Intn(9)) * 10
+		if spec.MeanInference(gpu(s), b) < spec.MeanInference(gpu(s+10), b) {
+			return false
+		}
+		return spec.MeanInference(cpu(4), b+1) > spec.MeanInference(cpu(4), b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

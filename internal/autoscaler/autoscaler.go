@@ -1,0 +1,179 @@
+// Package autoscaler implements the paper's Auto-scaler (§V-D): when the
+// predicted number of invocations G in the next window cannot be served
+// sequentially within the required inference time Iₛ, it batches B
+// invocations per instance and launches ⌈G/B⌉ instances, choosing the
+// configuration ⋆ and batch size B that minimize
+//
+//	(G/B) · IT · U(⋆)   subject to   I(B, ⋆) ≤ Iₛ      (Eq. 7/8)
+//
+// The constraint is the fitted latency law of Eq. (1) (CPU) or Eq. (2)
+// (GPU). Because I(B, ⋆) is strictly increasing in B, the largest feasible
+// batch per configuration is found by bisection (the paper's method); the
+// outer minimization scans the configuration catalog.
+package autoscaler
+
+import (
+	"fmt"
+	"math"
+
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/perfmodel"
+)
+
+// DefaultMaxBatch caps the batch size; the paper profiles batch sizes up to
+// 2^5 (§VII-C1), beyond which the latency models are extrapolating.
+const DefaultMaxBatch = 32
+
+// Plan is the Auto-scaler's decision for one function over one window.
+type Plan struct {
+	// Config is the per-instance hardware configuration.
+	Config hardware.Config
+	// Batch is the number of invocations batched per instance.
+	Batch int
+	// Instances is the number of parallel instances, ⌈G/B⌉.
+	Instances int
+	// Latency is the modelled per-batch inference time I(B, ⋆).
+	Latency float64
+	// CostRate is Instances·IT·U(⋆): the billed dollars attributable to
+	// this window.
+	CostRate float64
+}
+
+// Scaler solves the Eq. (7)/(8) problems over a hardware catalog.
+type Scaler struct {
+	Catalog *hardware.Catalog
+	// MaxBatch bounds the batch size (DefaultMaxBatch when zero).
+	MaxBatch int
+}
+
+// New returns a Scaler over the catalog.
+func New(cat *hardware.Catalog) *Scaler {
+	return &Scaler{Catalog: cat, MaxBatch: DefaultMaxBatch}
+}
+
+// Decide chooses the cost-minimal (config, batch) pair that serves g
+// invocations with per-batch latency at most is, given it as the window
+// length used for billing. It returns an error when no configuration can
+// meet is even at batch size 1 — the caller should then fall back to the
+// fastest configuration via Fallback.
+func (s *Scaler) Decide(prof *perfmodel.Profile, g int, it, is float64) (Plan, error) {
+	if g <= 0 {
+		return Plan{}, fmt.Errorf("autoscaler: non-positive invocation count %d", g)
+	}
+	if is <= 0 {
+		return Plan{}, fmt.Errorf("autoscaler: non-positive latency budget %v", is)
+	}
+	maxB := s.MaxBatch
+	if maxB <= 0 {
+		maxB = DefaultMaxBatch
+	}
+	if maxB > g {
+		maxB = g
+	}
+	best := Plan{}
+	found := false
+	for _, cfg := range s.Catalog.Configs {
+		// Largest batch whose modelled latency fits the budget; the
+		// latency law is monotone in B, so integer bisection applies.
+		b := mathx.MaxIntWhere(1, maxB, func(b int) bool {
+			return prof.InferenceTime(cfg, b) <= is
+		})
+		if b < 1 {
+			continue // this config misses the budget even unbatched
+		}
+		inst := (g + b - 1) / b
+		cost := float64(inst) * it * s.Catalog.UnitCost(cfg)
+		cand := Plan{
+			Config:    cfg,
+			Batch:     b,
+			Instances: inst,
+			Latency:   prof.InferenceTime(cfg, b),
+			CostRate:  cost,
+		}
+		if !found || cand.CostRate < best.CostRate-1e-15 ||
+			(math.Abs(cand.CostRate-best.CostRate) <= 1e-15 && cand.Instances < best.Instances) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("autoscaler: no configuration meets latency budget %.3fs", is)
+	}
+	return best, nil
+}
+
+// Fallback returns the latency-minimal plan (fastest configuration, batch
+// 1, one instance per invocation) used when Decide finds the budget
+// unreachable: scale out instead of up (§V-B2).
+func (s *Scaler) Fallback(prof *perfmodel.Profile, g int, it float64) Plan {
+	best := Plan{}
+	for i, cfg := range s.Catalog.Configs {
+		lat := prof.InferenceTime(cfg, 1)
+		if i == 0 || lat < best.Latency {
+			best = Plan{Config: cfg, Batch: 1, Instances: g, Latency: lat}
+		}
+	}
+	best.CostRate = float64(best.Instances) * it * s.Catalog.UnitCost(best.Config)
+	return best
+}
+
+// DecideOrFallback runs Decide and falls back to scale-out when the budget
+// is unreachable; the boolean reports whether the budget was met.
+func (s *Scaler) DecideOrFallback(prof *perfmodel.Profile, g int, it, is float64) (Plan, bool) {
+	p, err := s.Decide(prof, g, it, is)
+	if err != nil {
+		return s.Fallback(prof, g, it), false
+	}
+	return p, true
+}
+
+// DecideReactive is Decide for the case where instances must be launched
+// cold right now (a backlog already exists): the constraint becomes
+// T_init(⋆) + I(B, ⋆) ≤ budget, so configurations with long initialization
+// (typically GPUs, §IV-A1) are ruled out unless their speed compensates.
+// This is why scale-out under sudden bursts leans on CPUs (Fig. 14b).
+func (s *Scaler) DecideReactive(prof *perfmodel.Profile, g int, it, budget float64) (Plan, error) {
+	if g <= 0 {
+		return Plan{}, fmt.Errorf("autoscaler: non-positive invocation count %d", g)
+	}
+	if budget <= 0 {
+		return Plan{}, fmt.Errorf("autoscaler: non-positive budget %v", budget)
+	}
+	maxB := s.MaxBatch
+	if maxB <= 0 {
+		maxB = DefaultMaxBatch
+	}
+	if maxB > g {
+		maxB = g
+	}
+	best := Plan{}
+	found := false
+	for _, cfg := range s.Catalog.Configs {
+		init := prof.InitTime(cfg)
+		if init >= budget {
+			continue
+		}
+		b := mathx.MaxIntWhere(1, maxB, func(b int) bool {
+			return init+prof.InferenceTime(cfg, b) <= budget
+		})
+		if b < 1 {
+			continue
+		}
+		inst := (g + b - 1) / b
+		cand := Plan{
+			Config: cfg, Batch: b, Instances: inst,
+			Latency:  prof.InferenceTime(cfg, b),
+			CostRate: float64(inst) * it * s.Catalog.UnitCost(cfg),
+		}
+		if !found || cand.CostRate < best.CostRate-1e-15 ||
+			(math.Abs(cand.CostRate-best.CostRate) <= 1e-15 && cand.Instances < best.Instances) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return Plan{}, fmt.Errorf("autoscaler: no configuration meets reactive budget %.3fs", budget)
+	}
+	return best, nil
+}

@@ -1,0 +1,173 @@
+package autoscaler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/perfmodel"
+)
+
+func trsProfile() *perfmodel.Profile {
+	return apps.Functions["TRS"].TrueProfile(perfmodel.DefaultUncertainty)
+}
+
+func TestDecideMeetsBudget(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	plan, err := s.Decide(trsProfile(), 16, 1.0, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Latency > 0.8 {
+		t.Errorf("latency %v exceeds budget 0.8", plan.Latency)
+	}
+	if plan.Batch < 1 || plan.Instances < 1 {
+		t.Errorf("degenerate plan %+v", plan)
+	}
+	if plan.Instances*plan.Batch < 16 {
+		t.Errorf("plan capacity %d < 16 invocations", plan.Instances*plan.Batch)
+	}
+}
+
+func TestDecideBatchMaximal(t *testing.T) {
+	// The chosen batch must be the largest feasible one for the chosen
+	// config: B+1 (within cap) must violate the budget or exceed G.
+	s := New(hardware.DefaultCatalog())
+	prof := trsProfile()
+	g, is := 32, 1.0
+	plan, err := s.Decide(prof, g, 1.0, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Batch < s.MaxBatch && plan.Batch < g {
+		if prof.InferenceTime(plan.Config, plan.Batch+1) <= is {
+			t.Errorf("batch %d not maximal for %v: B+1 still fits budget", plan.Batch, plan.Config)
+		}
+	}
+}
+
+func TestDecideInfeasible(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	if _, err := s.Decide(trsProfile(), 4, 1.0, 0.01); err == nil {
+		t.Error("10 ms budget should be infeasible for TRS")
+	}
+}
+
+func TestDecideArgErrors(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	if _, err := s.Decide(trsProfile(), 0, 1, 1); err == nil {
+		t.Error("zero invocations should error")
+	}
+	if _, err := s.Decide(trsProfile(), 1, 1, 0); err == nil {
+		t.Error("zero budget should error")
+	}
+}
+
+func TestFallbackFastest(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	prof := trsProfile()
+	p := s.Fallback(prof, 5, 1.0)
+	if p.Instances != 5 || p.Batch != 1 {
+		t.Errorf("fallback plan %+v, want 5 instances batch 1", p)
+	}
+	// Must be the latency-minimal config.
+	for _, cfg := range s.Catalog.Configs {
+		if prof.InferenceTime(cfg, 1) < p.Latency {
+			t.Errorf("config %v is faster than fallback %v", cfg, p.Config)
+		}
+	}
+}
+
+func TestDecideOrFallback(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	if _, ok := s.DecideOrFallback(trsProfile(), 4, 1, 0.01); ok {
+		t.Error("infeasible budget should report fallback")
+	}
+	if _, ok := s.DecideOrFallback(trsProfile(), 4, 1, 2.0); !ok {
+		t.Error("generous budget should not fall back")
+	}
+}
+
+func TestBatchingBeatsScaleOut(t *testing.T) {
+	// GPUs process batches efficiently: for a burst of 32 with a modest
+	// budget, batching must be cheaper than 32 unbatched instances of the
+	// same config.
+	s := New(hardware.DefaultCatalog())
+	prof := trsProfile()
+	g, it, is := 32, 1.0, 1.0
+	plan, err := s.Decide(prof, g, it, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched := float64(g) * it * s.Catalog.UnitCost(plan.Config)
+	if plan.CostRate >= unbatched {
+		t.Errorf("batched cost %v >= unbatched cost %v", plan.CostRate, unbatched)
+	}
+	if plan.Batch < 2 {
+		t.Errorf("expected batching for a 32-invocation burst, got B=%d", plan.Batch)
+	}
+}
+
+func TestLargerBurstNeverCheaper(t *testing.T) {
+	// Property: window cost is non-decreasing in the invocation count.
+	s := New(hardware.DefaultCatalog())
+	prof := apps.Functions["IR"].TrueProfile(perfmodel.DefaultUncertainty)
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		g := 1 + r.Intn(60)
+		is := 0.3 + r.Float64()*2
+		p1, ok1 := s.DecideOrFallback(prof, g, 1.0, is)
+		p2, ok2 := s.DecideOrFallback(prof, g+8, 1.0, is)
+		if ok1 != ok2 {
+			return true // feasibility flip; costs not comparable
+		}
+		return p2.CostRate >= p1.CostRate-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityCoversAllInvocations(t *testing.T) {
+	// Property: Instances × Batch >= G always.
+	s := New(hardware.DefaultCatalog())
+	prof := apps.Functions["QA"].TrueProfile(perfmodel.DefaultUncertainty)
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		g := 1 + r.Intn(100)
+		is := 0.2 + r.Float64()*3
+		p, _ := s.DecideOrFallback(prof, g, 1.0, is)
+		return p.Instances*p.Batch >= g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxBatchRespected(t *testing.T) {
+	s := New(hardware.DefaultCatalog())
+	s.MaxBatch = 4
+	plan, err := s.Decide(trsProfile(), 64, 1.0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Batch > 4 {
+		t.Errorf("batch %d exceeds cap 4", plan.Batch)
+	}
+}
+
+func TestGPUWinsForBursts(t *testing.T) {
+	// Fig. 14b: under bursts the share of GPU rises because GPUs batch
+	// efficiently. For a heavy model and a large burst with a tight budget,
+	// the scaler should pick a GPU config.
+	s := New(hardware.DefaultCatalog())
+	plan, err := s.Decide(trsProfile(), 32, 1.0, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Config.Kind != hardware.GPU {
+		t.Errorf("burst plan uses %v, want GPU", plan.Config)
+	}
+}

@@ -1,0 +1,307 @@
+package coldstart
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smiless/internal/apps"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/perfmodel"
+)
+
+func cpu(cores int) hardware.Config { return hardware.Config{Kind: hardware.CPU, Cores: cores} }
+func gpu(share int) hardware.Config { return hardware.Config{Kind: hardware.GPU, GPUShare: share} }
+
+func TestDecideCaseI(t *testing.T) {
+	// T+I = 3 < IT = 10: pre-warm with window IT-T-I = 7 and lead T = 2.
+	d := Decide(2, 1, 10)
+	if d.Policy != Prewarm {
+		t.Fatalf("policy = %v, want prewarm", d.Policy)
+	}
+	if d.Window != 7 || d.Lead != 2 {
+		t.Errorf("window/lead = %v/%v, want 7/2", d.Window, d.Lead)
+	}
+}
+
+func TestDecideCaseII(t *testing.T) {
+	// T+I = 3 >= IT = 2: keep alive with zero window.
+	d := Decide(2, 1, 2)
+	if d.Policy != KeepAlive || d.Window != 0 {
+		t.Errorf("decision = %+v, want keep-alive window 0", d)
+	}
+}
+
+func TestDecideBoundary(t *testing.T) {
+	// Exactly T+I == IT falls into Case II.
+	if d := Decide(1, 1, 2); d.Policy != KeepAlive {
+		t.Errorf("boundary decision = %v, want keep-alive", d.Policy)
+	}
+	// Unknown/zero IT: keep alive (no safe window to compute).
+	if d := Decide(1, 1, 0); d.Policy != KeepAlive {
+		t.Errorf("zero-IT decision = %v, want keep-alive", d.Policy)
+	}
+}
+
+func TestDecidePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative timing should panic")
+		}
+	}()
+	Decide(-1, 1, 10)
+}
+
+func TestCostPerInvocation(t *testing.T) {
+	unit := 2.0
+	// Prewarm bills T+I.
+	if c := CostPerInvocation(Decision{Policy: Prewarm}, 3, 1, 10, unit); c != 8 {
+		t.Errorf("prewarm cost = %v, want 8", c)
+	}
+	// KeepAlive bills IT.
+	if c := CostPerInvocation(Decision{Policy: KeepAlive}, 3, 1, 10, unit); c != 20 {
+		t.Errorf("keep-alive cost = %v, want 20", c)
+	}
+	// KeepAlive with back-to-back arrivals bills busy time.
+	if c := CostPerInvocation(Decision{Policy: KeepAlive}, 3, 1, 0.5, unit); c != 2 {
+		t.Errorf("keep-alive saturated cost = %v, want 2", c)
+	}
+	// NoMitigation bills T+I too (the init is just on the critical path).
+	if c := CostPerInvocation(Decision{Policy: NoMitigation}, 3, 1, 10, unit); c != 8 {
+		t.Errorf("no-mitigation cost = %v, want 8", c)
+	}
+}
+
+// Theorem 5.1: under Case I premises, pre-warming is cost-minimal.
+func TestTheorem51(t *testing.T) {
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		t2 := r.Float64() * 5
+		i2 := r.Float64() * 2
+		it := t2 + i2 + 0.1 + r.Float64()*20 // guarantee Case I premise
+		best, costs := TheoremCaseI(t2, i2, it, 1)
+		return best == Prewarm && costs[Prewarm] <= costs[KeepAlive] && costs[Prewarm] <= costs[NoMitigation]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Under Case II (T+I >= IT) keep-alive dominates terminate-and-restart, the
+// comparison in §V-B1 Case II.
+func TestCaseIIKeepAliveDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		t2 := 0.5 + r.Float64()*5
+		i2 := 0.1 + r.Float64()*2
+		it := (t2 + i2) * (0.1 + 0.9*r.Float64()) // IT <= T+I
+		keep := CostPerInvocation(Decision{Policy: KeepAlive}, t2, i2, it, 1)
+		restart := CostPerInvocation(Decision{Policy: NoMitigation}, t2, i2, it, 1)
+		return keep <= restart
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// twoFnProfiles builds a two-function chain with simple constant profiles.
+func twoFnChain(t1, i1, t2, i2 float64) (*dag.Graph, map[dag.NodeID]*perfmodel.Profile) {
+	g := dag.New()
+	g.MustAddNode("F1", "m")
+	g.MustAddNode("F2", "m")
+	g.MustAddEdge("F1", "F2")
+	mk := func(ti, ii float64) *perfmodel.Profile {
+		return &perfmodel.Profile{
+			CPUInf:  perfmodel.InferenceModel{Kind: hardware.CPU, A: 0, B: 0, G: ii},
+			GPUInf:  perfmodel.InferenceModel{Kind: hardware.GPU, A: 0, B: 0, G: ii / 5},
+			CPUInit: perfmodel.InitModel{Kind: hardware.CPU, Mu: ti, N: 0},
+			GPUInit: perfmodel.InitModel{Kind: hardware.GPU, Mu: ti * 3, N: 0},
+		}
+	}
+	return g, map[dag.NodeID]*perfmodel.Profile{"F1": mk(t1, i1), "F2": mk(t2, i2)}
+}
+
+func TestEvaluateChainEq5(t *testing.T) {
+	// Case I for both functions: L = I1 + I2, C2 = (T2+I2)·U (Eq. 5).
+	g, profiles := twoFnChain(1, 0.5, 0.8, 0.3)
+	plan := NewPlan()
+	plan.Configs["F1"] = cpu(4)
+	plan.Configs["F2"] = cpu(4)
+	it := 10.0
+	if err := ApplyAdaptive(g, profiles, plan, it, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, it, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.E2ELatency-0.8) > 1e-9 {
+		t.Errorf("E2E = %v, want 0.8 (= I1+I2)", ev.E2ELatency)
+	}
+	unit := hardware.DefaultPricing.UnitCost(cpu(4))
+	wantC2 := (0.8 + 0.3) * unit
+	if math.Abs(ev.PerFunction["F2"]-wantC2) > 1e-12 {
+		t.Errorf("C2 = %v, want %v", ev.PerFunction["F2"], wantC2)
+	}
+}
+
+func TestEvaluateKeepAliveCost(t *testing.T) {
+	g, profiles := twoFnChain(1, 0.5, 2, 0.3)
+	plan := NewPlan()
+	plan.Configs["F1"] = cpu(4)
+	plan.Configs["F2"] = cpu(4)
+	it := 1.0 // high rate: T+I >= IT for both
+	if err := ApplyAdaptive(g, profiles, plan, it, 1); err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range plan.Decisions {
+		if d.Policy != KeepAlive {
+			t.Errorf("%s policy = %v, want keep-alive", id, d.Policy)
+		}
+	}
+	ev, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, it, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := hardware.DefaultPricing.UnitCost(cpu(4))
+	want := 2 * it * unit // both functions billed IT each
+	if math.Abs(ev.CostPerInvocation-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", ev.CostPerInvocation, want)
+	}
+}
+
+func TestEvaluateNoMitigationLatency(t *testing.T) {
+	// Unmanaged cold starts land on the critical path.
+	g, profiles := twoFnChain(1, 0.5, 0.8, 0.3)
+	plan := NewPlan()
+	plan.Configs["F1"] = cpu(4)
+	plan.Configs["F2"] = cpu(4)
+	plan.Decisions["F1"] = Decision{Policy: NoMitigation}
+	plan.Decisions["F2"] = Decision{Policy: NoMitigation}
+	ev, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 0.5) + (0.8 + 0.3)
+	if math.Abs(ev.E2ELatency-want) > 1e-9 {
+		t.Errorf("E2E = %v, want %v", ev.E2ELatency, want)
+	}
+}
+
+func TestEvaluateDAGLongestPath(t *testing.T) {
+	// Diamond: latency is the max branch, not the sum of branches.
+	app := apps.ImageQuery()
+	profiles := app.TrueProfiles(0)
+	plan := NewPlan()
+	for _, id := range app.Graph.Nodes() {
+		plan.Configs[id] = cpu(4)
+	}
+	it := 60.0
+	if err := ApplyAdaptive(app.Graph, profiles, plan, it, 1); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(app.Graph, profiles, plan, hardware.DefaultPricing, it, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manually compute the two path sums (IR->DB->QA->TG vs IR->TM->QA->TG).
+	inf := func(id dag.NodeID) float64 { return profiles[id].InferenceTime(cpu(4), 1) }
+	p1 := inf("IR") + inf("DB") + inf("QA") + inf("TG")
+	p2 := inf("IR") + inf("TM") + inf("QA") + inf("TG")
+	want := math.Max(p1, p2)
+	if math.Abs(ev.E2ELatency-want) > 1e-9 {
+		t.Errorf("E2E = %v, want %v", ev.E2ELatency, want)
+	}
+	if len(ev.PerFunction) != app.Graph.Len() {
+		t.Errorf("per-function costs = %d entries, want %d", len(ev.PerFunction), app.Graph.Len())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g, profiles := twoFnChain(1, 0.5, 0.8, 0.3)
+	plan := NewPlan()
+	plan.Configs["F1"] = cpu(4)
+	// Missing config for F2.
+	plan.Decisions["F1"] = Decision{}
+	plan.Decisions["F2"] = Decision{}
+	if _, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1); err == nil {
+		t.Error("missing config should error")
+	}
+	// Missing profile.
+	plan.Configs["F2"] = cpu(4)
+	delete(profiles, "F2")
+	if _, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1); err == nil {
+		t.Error("missing profile should error")
+	}
+}
+
+func TestPrewarmStart(t *testing.T) {
+	if got := PrewarmStart(0, 10, 3); got != 7 {
+		t.Errorf("PrewarmStart = %v, want 7", got)
+	}
+	// Never before now.
+	if got := PrewarmStart(9, 10, 3); got != 9 {
+		t.Errorf("PrewarmStart = %v, want 9 (floored at now)", got)
+	}
+}
+
+func TestPlanClone(t *testing.T) {
+	p := NewPlan()
+	p.Configs["a"] = cpu(1)
+	p.Decisions["a"] = Decision{Policy: KeepAlive}
+	q := p.Clone()
+	q.Configs["a"] = gpu(10)
+	if p.Configs["a"] != cpu(1) {
+		t.Error("clone aliases configs")
+	}
+}
+
+// Property: Evaluate latency is monotone — upgrading one function's
+// hardware (lower inference time) never increases E2E latency under
+// adaptive decisions with a large IT.
+func TestEvaluateMonotoneProperty(t *testing.T) {
+	app := apps.AmberAlert()
+	profiles := app.TrueProfiles(0)
+	nodes := app.Graph.Nodes()
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		plan := NewPlan()
+		for _, id := range nodes {
+			plan.Configs[id] = cpu([]int{1, 2, 4, 8}[r.Intn(4)])
+		}
+		it := 120.0
+		if err := ApplyAdaptive(app.Graph, profiles, plan, it, 1); err != nil {
+			return false
+		}
+		ev1, err := Evaluate(app.Graph, profiles, plan, hardware.DefaultPricing, it, 1)
+		if err != nil {
+			return false
+		}
+		// Upgrade a random node to a full GPU (fastest warm inference).
+		up := plan.Clone()
+		up.Configs[nodes[r.Intn(len(nodes))]] = gpu(100)
+		if err := ApplyAdaptive(app.Graph, profiles, up, it, 1); err != nil {
+			return false
+		}
+		ev2, err := Evaluate(app.Graph, profiles, up, hardware.DefaultPricing, it, 1)
+		if err != nil {
+			return false
+		}
+		return ev2.E2ELatency <= ev1.E2ELatency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Prewarm: "prewarm", KeepAlive: "keep-alive", NoMitigation: "no-mitigation", AlwaysOn: "always-on",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Package controller wires SMIless together as a simulator.Driver: the
+// Online Predictor (invocation counts + inter-arrival times, §IV-B) feeds
+// the Strategy Optimizer (§V-C), whose plan the Container Manager realizes
+// through per-function directives; the Auto-scaler (§V-D) takes over for
+// burst windows. The ablations of Fig. 13 (SMIless-No-DAG, SMIless-Homo)
+// are switches on the same controller.
+package controller
+
+import (
+	"math"
+
+	"smiless/internal/autoscaler"
+	"smiless/internal/coldstart"
+	"smiless/internal/core"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/perfmodel"
+	"smiless/internal/predictor"
+	"smiless/internal/simulator"
+)
+
+// Options configures the SMIless controller.
+type Options struct {
+	// DisableDAG reproduces SMIless-No-DAG: every function is pre-warmed
+	// simultaneously at the predicted arrival time, ignoring DAG position.
+	DisableDAG bool
+	// UseLSTM enables the LSTM predictors once enough history accumulates;
+	// when false a lightweight moving-window estimator is used throughout
+	// (useful to keep unit tests fast).
+	UseLSTM bool
+	// TrainAfter is the number of observed arrivals before LSTM training.
+	TrainAfter int
+	// RetrainEvery re-fits the LSTMs after this many further arrivals.
+	RetrainEvery int
+	// SLAMargin shrinks the SLA the optimizer plans against so realized
+	// latency noise does not push boundary plans over the real SLA.
+	SLAMargin float64
+	// Seed drives predictor initialization.
+	Seed int64
+}
+
+// DefaultOptions returns the full SMIless configuration.
+func DefaultOptions(seed int64) Options {
+	return Options{UseLSTM: true, TrainAfter: 200, RetrainEvery: 2000, SLAMargin: 0.7, Seed: seed}
+}
+
+// SMIless is the paper's system as a simulator driver.
+type SMIless struct {
+	Catalog  *hardware.Catalog
+	Profiles map[dag.NodeID]*perfmodel.Profile
+	SLA      float64
+	Opts     Options
+
+	opt    *core.Optimizer
+	scaler *autoscaler.Scaler
+
+	// Current plan and the ITs it was computed for.
+	plan       *coldstart.Plan
+	planIT     float64
+	planITMean float64
+	offsets    map[dag.NodeID]float64
+	planInfer  map[dag.NodeID]float64
+
+	// Predictors.
+	itPred     *predictor.InterArrivalPredictor
+	invPred    *predictor.InvocationPredictor
+	trainedAt  int
+	lstmActive bool
+
+	// Burst mode bookkeeping.
+	bursting bool
+	burstCfg map[dag.NodeID]hardware.Config
+	// idleMode is set while the application is in a quiet phase with the
+	// warm floor released.
+	idleMode bool
+	// itMean is the latest point estimate of the inter-arrival time.
+	itMean float64
+	// planPath is the critical-path latency of the current plan.
+	planPath float64
+	// itLow/itHigh are conservative quantiles of recent inter-arrival
+	// times: itLow drives the Case I/II policy split (an early arrival
+	// must still find a warm container), itHigh sizes keep-alives.
+	itLow, itHigh float64
+}
+
+// New builds the SMIless controller.
+func New(cat *hardware.Catalog, profiles map[dag.NodeID]*perfmodel.Profile, sla float64, opts Options) *SMIless {
+	return &SMIless{
+		Catalog:  cat,
+		Profiles: profiles,
+		SLA:      sla,
+		Opts:     opts,
+		opt:      core.New(cat),
+		scaler:   autoscaler.New(cat),
+	}
+}
+
+// Name implements simulator.Driver.
+func (s *SMIless) Name() string {
+	switch {
+	case s.Opts.DisableDAG:
+		return "SMIless-No-DAG"
+	default:
+		return "SMIless"
+	}
+}
+
+// reoptimize recomputes the plan for the given conservative policy IT and
+// expected mean IT, then installs directives.
+func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
+	margin := s.Opts.SLAMargin
+	if margin <= 0 || margin > 1 {
+		margin = 0.7
+	}
+	res, err := s.opt.Optimize(core.Request{
+		Graph:    sim.App().Graph,
+		Profiles: s.Profiles,
+		SLA:      s.SLA * margin,
+		IT:       it,
+		ITMean:   s.itMean,
+		Batch:    1,
+	})
+	if err != nil {
+		return
+	}
+	s.plan = res.Plan
+	s.planIT = it
+	s.planITMean = s.itMean
+	s.offsets = make(map[dag.NodeID]float64)
+	s.planInfer = make(map[dag.NodeID]float64)
+	g := sim.App().Graph
+	// Critical-path offsets under the plan.
+	for _, id := range g.TopoSort() {
+		best := 0.0
+		for _, p := range g.Predecessors(id) {
+			end := s.offsets[p] + s.planInfer[p]
+			if end > best {
+				best = end
+			}
+		}
+		s.offsets[id] = best
+		s.planInfer[id] = s.Profiles[id].InferenceTime(s.plan.Configs[id], 1)
+	}
+	if s.Opts.DisableDAG {
+		for id := range s.offsets {
+			s.offsets[id] = 0
+		}
+	}
+	// Plan path latency: how much SLA slack remains for batching overlaps.
+	s.planPath = 0
+	for id, off := range s.offsets {
+		if end := off + s.planInfer[id]; end > s.planPath {
+			s.planPath = end
+		}
+	}
+	s.installPlan(sim, it)
+}
+
+// installPlan writes the optimizer plan into simulator directives. When a
+// function's flavor changed, a replacement instance starts warming in the
+// background immediately (the previous generation keeps serving until the
+// retire pass removes it), so re-plans are hitless.
+func (s *SMIless) installPlan(sim *simulator.Simulator, it float64) {
+	for _, id := range sim.App().Graph.Nodes() {
+		cfg := s.plan.Configs[id]
+		changed := sim.GetDirective(id).Config != cfg
+		d := s.plan.Decisions[id]
+		// Keep-alive horizon: cover the observed gap distribution so warm
+		// instances survive ordinary lulls; genuinely long idle phases are
+		// handled by idle-mode below, which releases the fleet wholesale.
+		ka := s.itHigh
+		if ka <= 0 || math.IsInf(ka, 1) {
+			ka = math.Max(30, it*1.2)
+		}
+		if ka < 2*sim.Window() {
+			ka = 2 * sim.Window()
+		}
+		sim.SetDirective(id, simulator.Directive{
+			Config:      cfg,
+			Policy:      d.Policy,
+			KeepAlive:   ka,
+			PrewarmLead: s.Profiles[id].InitTime(cfg),
+			PathOffset:  s.offsets[id],
+			// Reactive fallback: if a prediction is missed and the DAG is
+			// cold, the request itself triggers right-pre-warming down the
+			// DAG so downstream initializations overlap upstream work.
+			PrewarmOnArrival: true,
+			// Overlapping requests may join the busy instance's next batch
+			// instead of forcing a cold scale-out — but only up to the batch
+			// size whose inflated inference still fits the plan's remaining
+			// SLA slack. Sustained overlap is the Auto-scaler's job.
+			Batch:     s.slackBatch(id, sim),
+			Instances: 1,
+			// While traffic is dense enough that instances rarely idle
+			// out anyway, pin one instance resident: the marginal cost is
+			// tiny and it removes the rare gap-beyond-keep-alive cold DAG.
+			MinWarm: minWarmFor(d.Policy, it, ka),
+		})
+		if changed && !s.idleMode && d.Policy == coldstart.KeepAlive {
+			sim.EnsureConfigInstance(id)
+		}
+	}
+}
+
+// minWarmFor returns 1 when the mean inter-arrival time is within the
+// keep-alive horizon (the instance would rarely expire anyway), else 0.
+func minWarmFor(p coldstart.Policy, it, ka float64) int {
+	if p == coldstart.KeepAlive && it <= ka {
+		return 1
+	}
+	return 0
+}
+
+// slackBatch returns the largest batch size for a function whose inflated
+// inference time still keeps the plan's critical path within the SLA.
+func (s *SMIless) slackBatch(id dag.NodeID, sim *simulator.Simulator) int {
+	margin := s.Opts.SLAMargin
+	if margin <= 0 || margin > 1 {
+		margin = 0.7
+	}
+	slack := s.SLA*margin - s.planPath
+	if slack < 0 {
+		slack = 0
+	}
+	prof := s.Profiles[id]
+	cfg := s.plan.Configs[id]
+	base := prof.InferenceTime(cfg, 1)
+	b := 1
+	for b < 4 && prof.InferenceTime(cfg, b+1) <= base+slack {
+		b++
+	}
+	return b
+}
+
+// Setup implements simulator.Driver.
+func (s *SMIless) Setup(sim *simulator.Simulator) {
+	s.reoptimize(sim, 10) // neutral prior until arrivals are observed
+	// Deployment warm-up: have the whole DAG warm for the first request.
+	for _, id := range sim.App().Graph.Nodes() {
+		sim.SchedulePrewarm(id, sim.Now())
+	}
+}
+
+// eventTimes reduces raw arrivals to window-level events: the first
+// arrival time in each non-empty window. The paper defines inter-arrival
+// time at this granularity (§IV-B2: "the time interval between two
+// consecutive non-zero predictions of invocation numbers"), which keeps a
+// burst of many requests inside one window from reading as a rate change.
+func eventTimes(sim *simulator.Simulator) []float64 {
+	arr := sim.ArrivalTimes()
+	w := sim.Window()
+	var out []float64
+	lastWin := -1
+	for _, a := range arr {
+		wi := int(a / w)
+		if wi != lastWin {
+			out = append(out, a)
+			lastWin = wi
+		}
+	}
+	return out
+}
+
+// predictIT returns the predicted inter-arrival time.
+func (s *SMIless) predictIT(sim *simulator.Simulator) float64 {
+	arr := eventTimes(sim)
+	if len(arr) < 2 {
+		return 10
+	}
+	// Moving-window estimate as baseline/fallback.
+	tail := arr
+	if len(tail) > 30 {
+		tail = tail[len(tail)-30:]
+	}
+	mw := (tail[len(tail)-1] - tail[0]) / float64(len(tail)-1)
+	if !s.lstmActive {
+		return mw
+	}
+	iats, counts := alignedSeries(sim)
+	if len(iats) <= s.itPred.SeqLen {
+		return mw
+	}
+	v := s.itPred.PredictIAT(iats, counts)
+	if v <= 0 {
+		return mw
+	}
+	return v
+}
+
+// predictCount returns the predicted invocation count for the next window:
+// the upper-bound LSTM bucket forecast joined (max) with a recent-window
+// heuristic, so neither a model miss nor a cold model underestimates.
+func (s *SMIless) predictCount(sim *simulator.Simulator) int {
+	counts := sim.CountsHistory()
+	if len(counts) == 0 {
+		return 0
+	}
+	lstm := 0
+	if s.lstmActive {
+		hist := make([]float64, len(counts))
+		for i, c := range counts {
+			hist[i] = float64(c)
+		}
+		lstm = int(s.invPred.Predict(hist))
+	}
+	// Recent-window maximum plus linear ramp extrapolation: a conservative
+	// upper bound in the spirit of the bucket classifier's upper-bound rule.
+	best := lstm
+	start := len(counts) - 8
+	if start < 0 {
+		start = 0
+	}
+	for _, c := range counts[start:] {
+		if c > best {
+			best = c
+		}
+	}
+	if n := len(counts); n >= 2 {
+		last, prev := counts[n-1], counts[n-2]
+		// Only extrapolate genuine ramps: a single isolated arrival
+		// (0 -> 1) is steady sparse traffic, not a burst front.
+		if last >= 2 && last > prev {
+			if extrap := last + (last - prev); extrap > best {
+				best = extrap
+			}
+		}
+	}
+	return best
+}
+
+// alignedSeries builds the dual-input series for the IAT predictor.
+func alignedSeries(sim *simulator.Simulator) (iats, cnts []float64) {
+	arr := eventTimes(sim)
+	counts := sim.CountsHistory()
+	w := sim.Window()
+	for i := 1; i < len(arr); i++ {
+		iats = append(iats, arr[i]-arr[i-1])
+		wi := int(arr[i] / w)
+		if wi >= len(counts) {
+			wi = len(counts) - 1
+		}
+		if wi >= 0 {
+			cnts = append(cnts, float64(counts[wi]))
+		} else {
+			cnts = append(cnts, 0)
+		}
+	}
+	return iats, cnts
+}
+
+// maybeTrain trains or refreshes the LSTM predictors.
+func (s *SMIless) maybeTrain(sim *simulator.Simulator) {
+	if !s.Opts.UseLSTM {
+		return
+	}
+	n := len(sim.ArrivalTimes())
+	if n < s.Opts.TrainAfter {
+		return
+	}
+	if s.lstmActive && n-s.trainedAt < s.Opts.RetrainEvery {
+		return
+	}
+	iats, cnts := alignedSeries(sim)
+	if len(iats) < 64 {
+		return
+	}
+	// Bound training cost on long traces.
+	if len(iats) > 1500 {
+		iats = iats[len(iats)-1500:]
+		cnts = cnts[len(cnts)-1500:]
+	}
+	s.itPred = predictor.NewInterArrivalPredictor(s.Opts.Seed)
+	s.itPred.Epochs = 3
+	s.itPred.FitIAT(iats, cnts)
+
+	counts := sim.CountsHistory()
+	hist := make([]float64, len(counts))
+	for i, c := range counts {
+		hist[i] = float64(c)
+	}
+	if len(hist) > 3000 {
+		hist = hist[len(hist)-3000:]
+	}
+	s.invPred = predictor.NewInvocationPredictor(1, s.Opts.Seed)
+	s.invPred.Epochs = 2
+	if len(hist) > s.invPred.SeqLen+10 {
+		s.invPred.Fit(hist)
+		s.lstmActive = true
+		s.trainedAt = n
+	}
+}
+
+// updateQuantiles refreshes the conservative inter-arrival quantiles from
+// the recent gap history, falling back to fractions of the point estimate
+// when history is thin.
+func (s *SMIless) updateQuantiles(sim *simulator.Simulator, it float64) {
+	arr := eventTimes(sim)
+	var gaps []float64
+	start := len(arr) - 60
+	if start < 1 {
+		start = 1
+	}
+	for i := start; i < len(arr); i++ {
+		gaps = append(gaps, arr[i]-arr[i-1])
+	}
+	if len(gaps) < 8 {
+		s.itLow = it * 0.3
+		s.itHigh = it * 3
+	} else {
+		s.itLow = mathx.Percentile(gaps, 10)
+		s.itHigh = mathx.Percentile(gaps, 99) * 1.3
+	}
+	if s.itHigh < 2*sim.Window() {
+		s.itHigh = 2 * sim.Window()
+	}
+	if s.itHigh > 180 {
+		s.itHigh = 180
+	}
+}
+
+// OnWindow implements simulator.Driver.
+func (s *SMIless) OnWindow(sim *simulator.Simulator, now float64) {
+	s.maybeTrain(sim)
+
+	it := s.predictIT(sim)
+	s.itMean = it
+	s.updateQuantiles(sim, it)
+
+	// Idle-period detection: when no request has arrived for well beyond
+	// the predicted inter-arrival horizon, the application has gone quiet
+	// (the Azure traces spend much of their life idle). Release the warm
+	// floor and let instances expire; the first request of the next busy
+	// phase pays one reactive right-pre-warmed start.
+	if all := sim.ArrivalTimes(); len(all) > 0 {
+		idleFor := now - all[len(all)-1]
+		threshold := math.Max(30*it, 120)
+		if idleFor > threshold && !s.idleMode {
+			s.idleMode = true
+			for _, id := range sim.App().Graph.Nodes() {
+				d := sim.GetDirective(id)
+				d.MinWarm = 0
+				// Grace for valley-crossing pre-warms: the predicted
+				// busy-phase onset carries uncertainty proportional to the
+				// gap itself.
+				d.KeepAlive = math.Max(2*sim.Window(), 0.25*it)
+				sim.SetDirective(id, d)
+			}
+		} else if idleFor <= threshold && s.idleMode {
+			s.idleMode = false
+			s.installPlan(sim, it)
+		}
+	}
+	// Re-optimize when the predicted regime moved materially. The
+	// optimizer receives half the conservative low quantile: a function
+	// only earns the unload-and-pre-warm policy with 2x headroom over even
+	// an early-side arrival (robust Case I/II split).
+	target := s.itLow / 2
+	if s.plan == nil || target < s.planIT/3 || target > s.planIT*3 ||
+		s.itMean < s.planITMean/3 || s.itMean > s.planITMean*3 {
+		s.reoptimize(sim, target)
+	}
+
+	g := predictCountWithBacklog(s, sim)
+	backlog := 0
+	for _, id := range sim.App().Graph.Nodes() {
+		backlog += sim.QueueLen(id)
+	}
+	if g >= 2 {
+		// Burst: raise capacity. Small bursts batch/scale the already-warm
+		// plan configuration — switching flavors mid-burst costs a cold
+		// start that outlives the burst. Only large bursts (g >= 8) engage
+		// the Eq. (7)/(8) solver, which may pick a batching backend.
+		s.bursting = true
+		for _, id := range sim.App().Graph.Nodes() {
+			prof := s.Profiles[id]
+			is := s.planInfer[id]
+			if is <= 0 {
+				is = s.SLA / float64(sim.App().Graph.Len())
+			}
+			gFn := g + sim.QueueLen(id)
+			d := sim.GetDirective(id)
+			if gFn >= 8 {
+				var plan autoscaler.Plan
+				if backlog > 0 {
+					budget := s.SLA * 0.8 / float64(sim.App().Graph.LongestPathLen())
+					var err error
+					plan, err = s.scaler.DecideReactive(prof, gFn, sim.Window(), budget+prof.InitTime(s.plan.Configs[id]))
+					if err != nil {
+						plan, _ = s.scaler.DecideOrFallback(prof, gFn, sim.Window(), is)
+					}
+				} else {
+					plan, _ = s.scaler.DecideOrFallback(prof, gFn, sim.Window(), is)
+				}
+				d.Config = plan.Config
+				d.Batch = plan.Batch
+				d.Instances = plan.Instances + 1
+			} else {
+				d.Config = s.plan.Configs[id]
+				// A plan config with a long initialization (GPU shares)
+				// cannot be scaled out in time: spares of such flavors
+				// would arrive after the burst. Pick an init-aware spare
+				// flavor instead; warm plan-config instances keep serving.
+				if prof.InitTime(d.Config) > s.SLA {
+					if p, err := s.scaler.DecideReactive(prof, gFn, sim.Window(), s.SLA); err == nil {
+						d.Config = p.Config
+					}
+				}
+				b := s.slackBatch(id, sim)
+				if b > gFn {
+					b = gFn
+				}
+				d.Batch = b
+				d.Instances = (gFn + b - 1) / b
+			}
+			if d.Instances < 2 {
+				d.Instances = 2
+			}
+			sim.SetDirective(id, d)
+			if backlog > 0 {
+				sim.EnsureInstances(id, d.Instances)
+				sim.SchedulePrewarm(id, now)
+			}
+		}
+	} else if s.bursting {
+		// Burst over: shrink capacity targets back to the plan's without
+		// touching configs, policies or keep-alives (no lifecycle churn —
+		// surplus instances simply idle out).
+		s.bursting = false
+		for _, id := range sim.App().Graph.Nodes() {
+			d := sim.GetDirective(id)
+			d.Config = s.plan.Configs[id]
+			d.Batch = s.slackBatch(id, sim)
+			d.Instances = 1
+			sim.SetDirective(id, d)
+		}
+	}
+
+	// Retire previous-generation fleets: once a warm instance of the
+	// current plan configuration exists, idle instances of older configs
+	// are pure cost.
+	if !s.bursting {
+		for _, id := range sim.App().Graph.Nodes() {
+			if sim.HasWarmMatching(id) {
+				sim.RetireMismatched(id)
+			}
+		}
+	}
+
+	// Proactive pre-warming: when the next predicted arrival falls within
+	// the coming window, make sure each pre-warm function is warm in time.
+	arr := eventTimes(sim)
+	if len(arr) > 0 && !s.bursting {
+		last := arr[len(arr)-1]
+		// Two pre-warm horizons: the early quantile covers busy-phase
+		// arrivals ahead of prediction; the point prediction (LSTM or
+		// moving window) covers the long gap across an idle valley — the
+		// paper's adaptive pre-warming for the next predicted invocation.
+		targets := []float64{last + s.itLow}
+		if it > 2*s.itLow {
+			targets = append(targets, last+0.85*it)
+		}
+		for _, next := range targets {
+			if next < now || next > now+2*sim.Window()+it*0.1 {
+				continue
+			}
+			for _, id := range sim.App().Graph.Nodes() {
+				p := sim.GetDirective(id).Policy
+				if p == coldstart.Prewarm || s.idleMode {
+					sim.SchedulePrewarm(id, next+s.offsets[id])
+				}
+			}
+		}
+	}
+}
+
+// predictCountWithBacklog combines the count prediction with current
+// backlog so queued invocations also trigger scaling.
+func predictCountWithBacklog(s *SMIless, sim *simulator.Simulator) int {
+	g := s.predictCount(sim)
+	for _, id := range sim.App().Graph.Nodes() {
+		if q := sim.QueueLen(id); q > g {
+			g = q
+		}
+	}
+	return g
+}

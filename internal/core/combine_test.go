@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+)
+
+func TestPaperCombineMeetsSLA(t *testing.T) {
+	for _, app := range apps.All() {
+		o := New(hardware.DefaultCatalog())
+		res, err := o.OptimizeWithPaperCombine(Request{
+			Graph: app.Graph, Profiles: profilesFor(app), SLA: 2.0, IT: 15, Batch: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !res.Feasible {
+			t.Errorf("%s: SLA 2s should be feasible", app.Name)
+			continue
+		}
+		if res.Eval.E2ELatency > 2.0+1e-9 {
+			t.Errorf("%s: E2E %v exceeds SLA", app.Name, res.Eval.E2ELatency)
+		}
+		if len(res.Plan.Configs) != app.Graph.Len() {
+			t.Errorf("%s: plan covers %d/%d functions", app.Name, len(res.Plan.Configs), app.Graph.Len())
+		}
+	}
+}
+
+func TestPaperCombineVsRefined(t *testing.T) {
+	// The default Optimize (combine + global refinement) should never be
+	// materially worse than the paper's branch-local combine, and usually
+	// cheaper — that gap is what the refinement buys.
+	for _, app := range apps.All() {
+		profiles := profilesFor(app)
+		o := New(hardware.DefaultCatalog())
+		refined, err := o.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper, err := o.OptimizeWithPaperCombine(Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.Eval.CostPerInvocation > paper.Eval.CostPerInvocation*1.05 {
+			t.Errorf("%s: refined cost %v should not exceed paper-combine cost %v",
+				app.Name, refined.Eval.CostPerInvocation, paper.Eval.CostPerInvocation)
+		}
+	}
+}
+
+func TestPaperCombineInfeasible(t *testing.T) {
+	app := apps.VoiceAssistant()
+	o := New(hardware.DefaultCatalog())
+	res, err := o.OptimizeWithPaperCombine(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 0.01, IT: 15, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("10 ms SLA should be infeasible")
+	}
+}
+
+func TestPaperCombineChainEquivalence(t *testing.T) {
+	// On a simple chain there is nothing to combine: the result must equal
+	// the plain chain search (no parallel substructures to downgrade).
+	app := apps.Pipeline(5)
+	profiles := profilesFor(app)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.OptimizeWithPaperCombine(Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("chain at SLA 2s should be feasible")
+	}
+	if res.Eval.E2ELatency > 2.0 {
+		t.Errorf("E2E %v exceeds SLA", res.Eval.E2ELatency)
+	}
+}

@@ -1,0 +1,471 @@
+// Package core implements the paper's Optimizer Engine: the Strategy
+// Optimizer's top-K path search over the multi-way configuration tree
+// (§V-C1) and the Workflow Manager's DAG decomposition and combining
+// (§V-C2). This is SMIless' primary contribution — the co-optimization of
+// heterogeneous hardware configuration and cold-start management.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+// Request describes one co-optimization problem instance (Eq. 4): choose
+// ⋆_k and △_k for all k minimizing Σ C_k subject to L ≤ SLA.
+type Request struct {
+	Graph    *dag.Graph
+	Profiles map[dag.NodeID]*perfmodel.Profile
+	// SLA is the end-to-end latency bound in seconds.
+	SLA float64
+	// IT is the conservative inter-arrival time driving the Case I/II
+	// cold-start split (a low quantile: an early arrival must still find a
+	// warm container).
+	IT float64
+	// ITMean is the expected inter-arrival time used for billing estimates
+	// and the utilization cap; zero falls back to IT.
+	ITMean float64
+	// Batch is the per-instance batch size (1 unless the Auto-scaler has
+	// engaged adaptive batching).
+	Batch int
+}
+
+// Result is the optimizer's output.
+type Result struct {
+	Plan *coldstart.Plan
+	Eval coldstart.Evaluation
+	// Feasible reports whether the plan meets the SLA. When false the plan
+	// is the best-effort fastest configuration.
+	Feasible bool
+	// NodesExplored counts search-tree nodes visited (Fig. 16a measures
+	// this against the chain length).
+	NodesExplored int
+}
+
+// Optimizer is the Strategy Optimizer. The zero value is not usable;
+// construct with New.
+type Optimizer struct {
+	Catalog *hardware.Catalog
+	// TopK is the beam width of the path search; the paper evaluates K = 1
+	// and notes larger K trades search time for marginal cost gains.
+	TopK int
+}
+
+// New returns an Optimizer over the given hardware catalog with top-1
+// search.
+func New(cat *hardware.Catalog) *Optimizer {
+	return &Optimizer{Catalog: cat, TopK: 1}
+}
+
+// candidate is one per-function configuration option with its adaptive
+// cold-start decision and the resulting per-invocation cost and inference
+// latency, pre-computed once per request.
+type candidate struct {
+	cfg      hardware.Config
+	decision coldstart.Decision
+	cost     float64 // C_k(⋆, △) per invocation
+	infer    float64 // I_k(⋆, batch)
+}
+
+// QueueAwareLatency inflates a function's inference time by the expected
+// queueing delay under sustained arrivals: with utilization ρ = I/ITMean,
+// an M/M/1-style sojourn is I/(1−ρ). The closed-form path model otherwise
+// ignores queueing entirely, which makes near-saturated cheap configs look
+// deceptively attractive — the situation of Fig. 5(c), which the paper
+// resolves by scaling up or batching. Utilization is clamped at 0.9 so
+// saturated candidates stay finite (and hopeless) rather than infinite.
+func QueueAwareLatency(infer, itMean float64) float64 {
+	if itMean <= 0 {
+		return infer
+	}
+	rho := infer / itMean
+	if rho > 0.9 {
+		rho = 0.9
+	}
+	return infer / (1 - rho)
+}
+
+// MaxInitFactor bounds the initialization time of statically planned
+// configurations to this multiple of the SLA: a flavor whose cold start is
+// worth several deadlines parks an unrecoverable violation on the request
+// path whenever a keep-alive lapses or a scale event hits it. Such flavors
+// remain available to the Auto-scaler's predictive burst scaling, where the
+// warm-up is hidden ahead of arrival.
+const MaxInitFactor = 2.0
+
+// nodeCandidates returns a function's candidates sorted ascending by cost
+// (Eq. 6 ordering), plus the latency-minimal candidate. Candidate latency
+// is queue-aware: cheap-but-slow configs carry their expected queueing
+// delay into the SLA feasibility check. Configurations initializing slower
+// than MaxInitFactor SLAs are excluded (falling back to the full catalog
+// only if nothing remains).
+func (o *Optimizer) nodeCandidates(prof *perfmodel.Profile, it, itMean, sla float64, batch int) (byCost []candidate, fastest candidate) {
+	if itMean <= 0 {
+		itMean = it
+	}
+	all := make([]candidate, 0, o.Catalog.Len())
+	byCost = make([]candidate, 0, o.Catalog.Len())
+	for _, cfg := range o.Catalog.Configs {
+		t := prof.InitTime(cfg)
+		i := prof.InferenceTime(cfg, batch)
+		d := coldstart.Decide(t, i, it)
+		c := coldstart.CostPerInvocation(d, t, i, itMean, o.Catalog.UnitCost(cfg))
+		cand := candidate{cfg: cfg, decision: d, cost: c, infer: QueueAwareLatency(i, itMean)}
+		all = append(all, cand)
+		if sla <= 0 || t <= MaxInitFactor*sla {
+			byCost = append(byCost, cand)
+		}
+	}
+	if len(byCost) == 0 {
+		byCost = all
+	}
+	sort.SliceStable(byCost, func(a, b int) bool { return byCost[a].cost < byCost[b].cost })
+	fastest = byCost[0]
+	for _, c := range byCost[1:] {
+		if c.infer < fastest.infer {
+			fastest = c
+		}
+	}
+	return byCost, fastest
+}
+
+// refiner holds the indexed state of the local search: nodes are numbered
+// in topological order, plans are candidate-index vectors, and evaluation
+// is array arithmetic — no maps, no allocations per trial.
+type refiner struct {
+	ids    []dag.NodeID // topological order
+	preds  [][]int      // predecessor indices per node
+	cands  [][]candidate
+	assign []int // current candidate index per node
+	finish []float64
+	sla    float64
+}
+
+func newRefiner(g *dag.Graph, cands map[dag.NodeID][]candidate, plan *coldstart.Plan, sla float64) *refiner {
+	ids := g.TopoSort()
+	idx := make(map[dag.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	r := &refiner{
+		ids:    ids,
+		preds:  make([][]int, len(ids)),
+		cands:  make([][]candidate, len(ids)),
+		assign: make([]int, len(ids)),
+		finish: make([]float64, len(ids)),
+		sla:    sla,
+	}
+	for i, id := range ids {
+		for _, p := range g.Predecessors(id) {
+			r.preds[i] = append(r.preds[i], idx[p])
+		}
+		r.cands[i] = cands[id]
+		r.assign[i] = -1
+		for ci, c := range r.cands[i] {
+			if c.cfg == plan.Configs[id] {
+				r.assign[i] = ci
+				break
+			}
+		}
+		if r.assign[i] < 0 {
+			r.assign[i] = 0
+		}
+	}
+	return r
+}
+
+// eval returns E2E latency and total cost of the current assignment.
+func (r *refiner) eval() (lat, cost float64) {
+	for i := range r.ids {
+		c := r.cands[i][r.assign[i]]
+		cost += c.cost
+		start := 0.0
+		for _, p := range r.preds[i] {
+			if f := r.finish[p]; f > start {
+				start = f
+			}
+		}
+		f := start + c.infer
+		r.finish[i] = f
+		if f > lat {
+			lat = f
+		}
+	}
+	return lat, cost
+}
+
+// downgrade greedily moves each unpinned node to a cheaper candidate while
+// the latency stays within the SLA, to a fixpoint.
+func (r *refiner) downgrade(pinned int) {
+	for changed := true; changed; {
+		changed = false
+		for i := range r.ids {
+			if i == pinned {
+				continue
+			}
+			curCost := r.cands[i][r.assign[i]].cost
+			for ci, c := range r.cands[i] {
+				if c.cost >= curCost {
+					break // cost-ascending: nothing cheaper left
+				}
+				prev := r.assign[i]
+				r.assign[i] = ci
+				if lat, _ := r.eval(); lat <= r.sla {
+					changed = true
+					break
+				}
+				r.assign[i] = prev
+			}
+		}
+	}
+}
+
+// improve runs the coupled upgrade-then-downgrade local search until no
+// move reduces total cost.
+func (r *refiner) improve() {
+	r.downgrade(-1)
+	_, curCost := r.eval()
+	const eps = 1e-12
+	saved := make([]int, len(r.assign))
+	for improved := true; improved; {
+		improved = false
+		for i := range r.ids {
+			curInfer := r.cands[i][r.assign[i]].infer
+			for ci, c := range r.cands[i] {
+				if c.infer >= curInfer || ci == r.assign[i] {
+					continue // only strictly faster alternatives free budget
+				}
+				copy(saved, r.assign)
+				r.assign[i] = ci
+				if lat, _ := r.eval(); lat > r.sla {
+					copy(r.assign, saved)
+					continue
+				}
+				// Pin the upgraded node: the freed budget must go to other
+				// functions, not revert this move.
+				r.downgrade(i)
+				lat, cost := r.eval()
+				if lat <= r.sla && cost < curCost-eps {
+					curCost = cost
+					improved = true
+					break
+				}
+				copy(r.assign, saved)
+			}
+			if improved {
+				break
+			}
+		}
+	}
+}
+
+// writeBack applies the assignment to the plan.
+func (r *refiner) writeBack(plan *coldstart.Plan) {
+	for i, id := range r.ids {
+		c := r.cands[i][r.assign[i]]
+		plan.Configs[id] = c.cfg
+		plan.Decisions[id] = c.decision
+	}
+}
+
+// chainResult is the per-path search outcome.
+type chainResult struct {
+	configs  map[dag.NodeID]candidate
+	feasible bool
+	explored int
+}
+
+// optimizeChain runs the top-K path search on one simple path (sequence of
+// functions). Latency along a chain is the sum of inference times (adaptive
+// pre-warming hides initialization, Eq. 5).
+func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult, error) {
+	n := len(chain)
+	cands := make([][]candidate, n)
+	fast := make([]candidate, n)
+	for i, id := range chain {
+		prof, ok := req.Profiles[id]
+		if !ok {
+			return chainResult{}, fmt.Errorf("core: no profile for %q", id)
+		}
+		cands[i], fast[i] = o.nodeCandidates(prof, req.IT, req.ITMean, req.SLA, req.Batch)
+	}
+	// minLatSuffix[i] = minimal achievable latency of functions i..n-1.
+	minLatSuffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		minLatSuffix[i] = minLatSuffix[i+1] + fast[i].infer
+	}
+
+	explored := 0
+	// Root node T⁰: every function on its cost-minimizing candidate.
+	rootLat := 0.0
+	for i := range chain {
+		rootLat += cands[i][0].infer
+	}
+	explored++
+	if rootLat <= req.SLA {
+		out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: true, explored: explored}
+		for i, id := range chain {
+			out.configs[id] = cands[i][0]
+		}
+		return out, nil
+	}
+
+	// Layered beam search: layer i commits a candidate for chain[i]. A beam
+	// entry holds the committed prefix; children extend it with candidates
+	// of the next function that keep the path feasible assuming the fastest
+	// configuration for the remaining suffix.
+	type beamEntry struct {
+		assign []candidate // len == layer
+		cost   float64     // committed prefix cost
+		lat    float64     // committed prefix latency
+	}
+	k := o.TopK
+	if k < 1 {
+		k = 1
+	}
+	beam := []beamEntry{{}}
+	for layer := 0; layer < n; layer++ {
+		var next []beamEntry
+		for _, b := range beam {
+			for _, c := range cands[layer] {
+				explored++
+				lat := b.lat + c.infer
+				if lat+minLatSuffix[layer+1] > req.SLA {
+					continue // infeasible even with fastest suffix
+				}
+				assign := make([]candidate, layer+1)
+				copy(assign, b.assign)
+				assign[layer] = c
+				next = append(next, beamEntry{assign: assign, cost: b.cost + c.cost, lat: lat})
+				// Candidates are cost-ascending; for top-1 the first
+				// feasible child per beam entry is the greedy choice.
+				if k == 1 {
+					break
+				}
+			}
+		}
+		if len(next) == 0 {
+			// SLA unreachable: return best effort (all fastest).
+			out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: false, explored: explored}
+			for i, id := range chain {
+				out.configs[id] = fast[i]
+			}
+			return out, nil
+		}
+		sort.SliceStable(next, func(a, b int) bool { return next[a].cost < next[b].cost })
+		if len(next) > k {
+			next = next[:k]
+		}
+		beam = next
+	}
+	best := beam[0]
+	out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: true, explored: explored}
+	for i, id := range chain {
+		out.configs[id] = best.assign[i]
+	}
+	return out, nil
+}
+
+// Optimize solves the full co-optimization problem for an application DAG:
+// decompose into simple paths, search each in parallel, then combine
+// per-path solutions (fastest-inference wins on shared functions) and run a
+// cost-reduction pass that downgrades functions while the SLA still holds.
+func (o *Optimizer) Optimize(req Request) (Result, error) {
+	if req.Batch < 1 {
+		req.Batch = 1
+	}
+	if req.SLA <= 0 {
+		return Result{}, fmt.Errorf("core: non-positive SLA %v", req.SLA)
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: invalid graph: %w", err)
+	}
+	paths := req.Graph.Decompose()
+
+	// Strategy Optimizer runs per-path searches in parallel (§V-C2).
+	results := make([]chainResult, len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	for pi, p := range paths {
+		wg.Add(1)
+		go func(pi int, p []dag.NodeID) {
+			defer wg.Done()
+			results[pi], errs[pi] = o.optimizeChain(p, req)
+		}(pi, p)
+	}
+	wg.Wait()
+	explored := 0
+	feasible := true
+	for pi := range paths {
+		if errs[pi] != nil {
+			return Result{}, errs[pi]
+		}
+		explored += results[pi].explored
+		feasible = feasible && results[pi].feasible
+	}
+
+	// Combine: a function on several paths may have received different
+	// configs; keep the one with the shortest inference time so every
+	// path's latency stays within its own solution's bound (§V-C2).
+	chosen := make(map[dag.NodeID]candidate, req.Graph.Len())
+	for pi := range paths {
+		for id, c := range results[pi].configs {
+			if cur, ok := chosen[id]; !ok || c.infer < cur.infer {
+				chosen[id] = c
+			}
+		}
+	}
+
+	plan := coldstart.NewPlan()
+	for id, c := range chosen {
+		plan.Configs[id] = c.cfg
+		plan.Decisions[id] = c.decision
+	}
+	if feasible {
+		// Refinement: the greedy walk can over-commit latency budget to a
+		// cheap upstream function, forcing expensive downstream configs.
+		// Local search repairs this while the SLA still holds.
+		o.refine(req, plan)
+	}
+	bill := req.ITMean
+	if bill <= 0 {
+		bill = req.IT
+	}
+	ev, err := coldstart.Evaluate(req.Graph, req.Profiles, plan, o.Catalog.Pricing, bill, req.Batch)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Plan:          plan,
+		Eval:          ev,
+		Feasible:      feasible && ev.E2ELatency <= req.SLA,
+		NodesExplored: explored,
+	}, nil
+}
+
+// refine runs a deterministic local search from the greedy solution: plain
+// downgrade passes interleaved with coupled moves that make one function
+// faster (freeing latency budget) and then re-downgrade the rest, accepted
+// only when the total cost strictly decreases. The SLA holds at every step.
+func (o *Optimizer) refine(req Request, plan *coldstart.Plan) {
+	cands := make(map[dag.NodeID][]candidate, req.Graph.Len())
+	for _, id := range req.Graph.Nodes() {
+		byCost, _ := o.nodeCandidates(req.Profiles[id], req.IT, req.ITMean, req.SLA, req.Batch)
+		cands[id] = byCost
+	}
+	r := newRefiner(req.Graph, cands, plan, req.SLA)
+	r.improve()
+	r.writeBack(plan)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+func profilesFor(app *apps.Application) map[dag.NodeID]*perfmodel.Profile {
+	return app.TrueProfiles(perfmodel.DefaultUncertainty)
+}
+
+func TestLenientSLAPicksCheapest(t *testing.T) {
+	// With a huge SLA and long inter-arrival time, the root node T0 (all
+	// functions on their cost-minimizing config) must win immediately.
+	app := apps.Pipeline(3)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 1000, IT: 600, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("lenient SLA should be feasible")
+	}
+	// With adaptive pre-warming and long IT the per-invocation cost of a
+	// config is (T+I)·U; verify each chosen config is the argmin.
+	for _, id := range app.Graph.Nodes() {
+		prof := profilesFor(app)[id]
+		best := math.Inf(1)
+		var bestCfg hardware.Config
+		for _, cfg := range o.Catalog.Configs {
+			ti := prof.InitTime(cfg)
+			ii := prof.InferenceTime(cfg, 1)
+			d := coldstart.Decide(ti, ii, 600)
+			c := coldstart.CostPerInvocation(d, ti, ii, 600, o.Catalog.UnitCost(cfg))
+			if c < best {
+				best = c
+				bestCfg = cfg
+			}
+		}
+		if res.Plan.Configs[id] != bestCfg {
+			t.Errorf("%s: config %v, want cost-minimizing %v", id, res.Plan.Configs[id], bestCfg)
+		}
+	}
+}
+
+func TestTightSLAMeetsDeadline(t *testing.T) {
+	app := apps.Pipeline(4)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 2.0, IT: 30, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("SLA 2s should be feasible for a 4-function pipeline with GPUs available")
+	}
+	if res.Eval.E2ELatency > 2.0 {
+		t.Errorf("E2E = %v, exceeds SLA 2.0", res.Eval.E2ELatency)
+	}
+}
+
+func TestInfeasibleSLA(t *testing.T) {
+	app := apps.Pipeline(6)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 0.05, IT: 30, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Error("50 ms SLA for 6 functions should be infeasible")
+	}
+	// Best effort: every function on some config, plan complete.
+	if len(res.Plan.Configs) != app.Graph.Len() {
+		t.Errorf("plan covers %d functions, want %d", len(res.Plan.Configs), app.Graph.Len())
+	}
+}
+
+func TestStricterSLACostsMore(t *testing.T) {
+	app := apps.VoiceAssistant()
+	o := New(hardware.DefaultCatalog())
+	profiles := profilesFor(app)
+	var prev float64
+	first := true
+	// Paper Fig. 10a: cost is non-increasing as the SLA loosens.
+	for _, sla := range []float64{1.5, 2, 3, 4, 6} {
+		res, err := o.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 20, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("SLA %v should be feasible", sla)
+		}
+		if !first && res.Eval.CostPerInvocation > prev*1.0001 {
+			t.Errorf("cost at SLA %v (%v) exceeds cost at tighter SLA (%v)", sla, res.Eval.CostPerInvocation, prev)
+		}
+		prev = res.Eval.CostPerInvocation
+		first = false
+	}
+}
+
+// exhaustiveChain finds the true optimum on a chain by brute force.
+func exhaustiveChain(t *testing.T, chain []dag.NodeID, g *dag.Graph, profiles map[dag.NodeID]*perfmodel.Profile, cat *hardware.Catalog, sla, it float64) (float64, bool) {
+	t.Helper()
+	best := math.Inf(1)
+	found := false
+	var rec func(i int, plan *coldstart.Plan)
+	rec = func(i int, plan *coldstart.Plan) {
+		if i == len(chain) {
+			ev, err := coldstart.Evaluate(g, profiles, plan, cat.Pricing, it, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.E2ELatency <= sla && ev.CostPerInvocation < best {
+				best = ev.CostPerInvocation
+				found = true
+			}
+			return
+		}
+		for _, cfg := range cat.Configs {
+			prof := profiles[chain[i]]
+			ti := prof.InitTime(cfg)
+			ii := prof.InferenceTime(cfg, 1)
+			plan.Configs[chain[i]] = cfg
+			plan.Decisions[chain[i]] = coldstart.Decide(ti, ii, it)
+			rec(i+1, plan)
+		}
+	}
+	rec(0, coldstart.NewPlan())
+	return best, found
+}
+
+func TestNearOptimalOnChain(t *testing.T) {
+	// Paper Fig. 8: SMIless lands within ~50% of the exhaustive optimum.
+	app := apps.Pipeline(3)
+	profiles := profilesFor(app)
+	cat := hardware.DefaultCatalog()
+	o := New(cat)
+	chain := app.Graph.TopoSort()
+	for _, sla := range []float64{1.0, 2.0, 4.0} {
+		opt, ok := exhaustiveChain(t, chain, app.Graph, profiles, cat, sla, 20)
+		res, err := o.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 20, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != res.Feasible {
+			t.Errorf("SLA %v: feasible = %v, exhaustive says %v", sla, res.Feasible, ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if res.Eval.CostPerInvocation < opt-1e-12 {
+			t.Errorf("SLA %v: cost %v below exhaustive optimum %v (impossible)", sla, res.Eval.CostPerInvocation, opt)
+		}
+		if res.Eval.CostPerInvocation > opt*1.5+1e-12 {
+			t.Errorf("SLA %v: cost %v more than 1.5x optimum %v", sla, res.Eval.CostPerInvocation, opt)
+		}
+	}
+}
+
+func TestDAGCombineMeetsSLA(t *testing.T) {
+	for _, app := range apps.All() {
+		o := New(hardware.DefaultCatalog())
+		res, err := o.Optimize(Request{
+			Graph: app.Graph, Profiles: profilesFor(app), SLA: 2.0, IT: 15, Batch: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !res.Feasible {
+			t.Errorf("%s: SLA 2s should be feasible", app.Name)
+			continue
+		}
+		if res.Eval.E2ELatency > 2.0+1e-9 {
+			t.Errorf("%s: E2E %v exceeds SLA", app.Name, res.Eval.E2ELatency)
+		}
+		if len(res.Plan.Configs) != app.Graph.Len() {
+			t.Errorf("%s: plan covers %d/%d functions", app.Name, len(res.Plan.Configs), app.Graph.Len())
+		}
+	}
+}
+
+func TestSearchOverheadScalesLinearly(t *testing.T) {
+	// Fig. 16a: explored nodes grow roughly linearly with chain length.
+	o := New(hardware.DefaultCatalog())
+	explored := map[int]int{}
+	for _, n := range []int{4, 8, 12} {
+		app := apps.Pipeline(n)
+		res, err := o.Optimize(Request{
+			Graph: app.Graph, Profiles: profilesFor(app), SLA: 2.0, IT: 10, Batch: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explored[n] = res.NodesExplored
+		// Worst case per the complexity analysis: O(N·M) nodes.
+		maxNodes := n*o.Catalog.Len() + 1
+		if res.NodesExplored > maxNodes {
+			t.Errorf("N=%d explored %d nodes, want <= %d", n, res.NodesExplored, maxNodes)
+		}
+	}
+	if !(explored[4] < explored[8] && explored[8] < explored[12]) {
+		t.Errorf("explored counts not increasing: %v", explored)
+	}
+}
+
+func TestTopKNotWorse(t *testing.T) {
+	app := apps.VoiceAssistant()
+	profiles := profilesFor(app)
+	cat := hardware.DefaultCatalog()
+	top1 := New(cat)
+	top3 := New(cat)
+	top3.TopK = 3
+	for _, sla := range []float64{1.5, 2, 3} {
+		r1, err := top1.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 15, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3, err := top3.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 15, Batch: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The beam and the refinement pass explore different local optima,
+		// so top-3 is not strictly dominant; it must stay in the same band.
+		if r3.Eval.CostPerInvocation > r1.Eval.CostPerInvocation*1.2 {
+			t.Errorf("SLA %v: top-3 cost %v far exceeds top-1 cost %v", sla, r3.Eval.CostPerInvocation, r1.Eval.CostPerInvocation)
+		}
+		if !r3.Feasible || r3.Eval.E2ELatency > sla {
+			t.Errorf("SLA %v: top-3 result violates SLA", sla)
+		}
+	}
+}
+
+func TestCPUOnlyCatalogRestricts(t *testing.T) {
+	// The SMIless-Homo ablation: with only CPUs, tight SLAs become
+	// infeasible where the full catalog succeeds.
+	app := apps.AmberAlert()
+	profiles := profilesFor(app)
+	full := New(hardware.DefaultCatalog())
+	homo := New(hardware.CPUOnlyCatalog())
+	sla := 0.5
+	rf, err := full.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 15, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := homo.Optimize(Request{Graph: app.Graph, Profiles: profiles, SLA: sla, IT: 15, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rf.Feasible {
+		t.Error("heterogeneous catalog should meet SLA 0.5s")
+	}
+	if rh.Feasible {
+		t.Error("CPU-only catalog should fail SLA 0.5s for AMBER Alert")
+	}
+	for _, cfg := range rh.Plan.Configs {
+		if cfg.Kind != hardware.CPU {
+			t.Errorf("homo plan contains %v", cfg)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	app := apps.Pipeline(2)
+	o := New(hardware.DefaultCatalog())
+	if _, err := o.Optimize(Request{Graph: app.Graph, Profiles: profilesFor(app), SLA: 0, IT: 1}); err == nil {
+		t.Error("zero SLA should error")
+	}
+	// Missing profile.
+	p := profilesFor(app)
+	for k := range p {
+		delete(p, k)
+		break
+	}
+	if _, err := o.Optimize(Request{Graph: app.Graph, Profiles: p, SLA: 2, IT: 1}); err == nil {
+		t.Error("missing profile should error")
+	}
+}
+
+func TestHighRateFavorsKeepAlive(t *testing.T) {
+	// With very short IT, no function can pre-warm (T+I >= IT everywhere).
+	app := apps.Pipeline(3)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 3, IT: 0.2, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range res.Plan.Decisions {
+		if d.Policy != coldstart.KeepAlive {
+			t.Errorf("%s: policy %v, want keep-alive at IT=0.2s", id, d.Policy)
+		}
+	}
+}
+
+func TestLowRateFavorsPrewarm(t *testing.T) {
+	app := apps.Pipeline(3)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 10, IT: 300, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, d := range res.Plan.Decisions {
+		if d.Policy != coldstart.Prewarm {
+			t.Errorf("%s: policy %v, want prewarm at IT=300s", id, d.Policy)
+		}
+		if d.Window <= 0 {
+			t.Errorf("%s: non-positive pre-warm window %v", id, d.Window)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per function
+// labeled "id\nmodel", edges in topological order. Optional per-node
+// annotations (e.g. the chosen hardware configuration) are appended to the
+// label when provided.
+func (g *Graph) WriteDOT(w io.Writer, name string, annotations map[NodeID]string) error {
+	if name == "" {
+		name = "workflow"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", name); err != nil {
+		return err
+	}
+	for _, id := range g.TopoSort() {
+		n := g.Node(id)
+		label := string(id)
+		if n.Model != "" {
+			label += "\\n" + n.Model
+		}
+		if a, ok := annotations[id]; ok && a != "" {
+			label += "\\n" + a
+		}
+		if _, err := fmt.Fprintf(w, "  %q [label=%q];\n", id, label); err != nil {
+			return err
+		}
+	}
+	for _, from := range g.TopoSort() {
+		succ := g.Successors(from)
+		sort.Slice(succ, func(i, j int) bool { return succ[i] < succ[j] })
+		for _, to := range succ {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", from, to); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// DOT returns the DOT rendering as a string.
+func (g *Graph) DOT(name string, annotations map[NodeID]string) string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = g.WriteDOT(&b, name, annotations)
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package experiments contains one harness per table/figure of the paper's
+// evaluation (§VII). Each Fig* function builds the workload the paper
+// describes, runs the systems involved, and returns a typed result whose
+// Table method renders the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator with
+// synthetic ground truth); the quantities compared, the systems, and the
+// expected orderings match. EXPERIMENTS.md records paper-vs-measured for
+// every figure.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smiless/internal/apps"
+	"smiless/internal/baselines"
+	"smiless/internal/controller"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+	"smiless/internal/simulator"
+	"smiless/internal/trace"
+)
+
+// Table is a rendered experiment result: a header plus rows of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SystemName identifies one evaluated system.
+type SystemName string
+
+// The systems of Fig. 8.
+const (
+	SysSMIless   SystemName = "SMIless"
+	SysOrion     SystemName = "Orion"
+	SysIceBreakr SystemName = "IceBreaker"
+	SysGrandSLAm SystemName = "GrandSLAm"
+	SysAquatope  SystemName = "Aquatope"
+	SysOPT       SystemName = "OPT"
+	SysNoDAG     SystemName = "SMIless-No-DAG"
+	SysHomo      SystemName = "SMIless-Homo"
+	// SysHistogram is an extension beyond the paper's lineup: the ATC'20
+	// hybrid-histogram keep-alive policy.
+	SysHistogram SystemName = "HybridHistogram"
+)
+
+// AllSystems lists the Fig. 8 lineup in the paper's order.
+var AllSystems = []SystemName{SysSMIless, SysGrandSLAm, SysIceBreakr, SysOrion, SysAquatope, SysOPT}
+
+// RunParams configures one (app, system, trace) evaluation.
+type RunParams struct {
+	App  *apps.Application
+	SLA  float64
+	Seed int64
+	// UseLSTM enables the full LSTM predictors in SMIless variants.
+	UseLSTM bool
+}
+
+// buildDriver constructs the driver for a system name.
+func buildDriver(name SystemName, p RunParams, tr *trace.Trace) simulator.Driver {
+	cat := hardware.DefaultCatalog()
+	profiles := p.App.TrueProfiles(perfmodel.DefaultUncertainty)
+	switch name {
+	case SysSMIless:
+		o := controller.DefaultOptions(p.Seed)
+		o.UseLSTM = p.UseLSTM
+		return controller.New(cat, profiles, p.SLA, o)
+	case SysNoDAG:
+		o := controller.DefaultOptions(p.Seed)
+		o.UseLSTM = p.UseLSTM
+		o.DisableDAG = true
+		return controller.New(cat, profiles, p.SLA, o)
+	case SysHomo:
+		o := controller.DefaultOptions(p.Seed)
+		o.UseLSTM = p.UseLSTM
+		return controller.New(hardware.CPUOnlyCatalog(), profiles, p.SLA, o)
+	case SysOrion:
+		return baselines.NewOrion(cat, profiles, p.SLA)
+	case SysIceBreakr:
+		return baselines.NewIceBreaker(cat, profiles, p.SLA)
+	case SysGrandSLAm:
+		return baselines.NewGrandSLAm(cat, profiles, p.SLA)
+	case SysAquatope:
+		return baselines.NewAquatope(cat, profiles, p.SLA, p.Seed)
+	case SysHistogram:
+		return baselines.NewHybridHistogram(cat, profiles, p.SLA)
+	case SysOPT:
+		return baselines.NewOPT(cat, profiles, p.SLA, tr.Arrivals)
+	default:
+		panic(fmt.Sprintf("experiments: unknown system %q", name))
+	}
+}
+
+// WarmupFor returns the measurement warm-up for a trace: requests in the
+// first sixth of the horizon (capped at five minutes) are excluded from the
+// latency statistics while predictors train and plans converge. Every
+// system gets the same treatment, and cost is always charged for the whole
+// run.
+func WarmupFor(tr *trace.Trace) float64 {
+	w := tr.Horizon / 6
+	if w > 300 {
+		w = 300
+	}
+	return w
+}
+
+// RunSystem evaluates one system on one trace.
+func RunSystem(name SystemName, p RunParams, tr *trace.Trace) *simulator.RunStats {
+	drv := buildDriver(name, p, tr)
+	sim := simulator.New(simulator.Config{
+		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
+	}, drv)
+	return sim.Run(tr)
+}
+
+// EvalTrace builds the default evaluation workload: an Azure-like mixture
+// scaled the way the paper scales its traces (§VII-A). The horizon is in
+// seconds; the paper evaluates two hours (7200).
+func EvalTrace(seed int64, horizon float64) *trace.Trace {
+	r := newRand(seed)
+	p := trace.DefaultAzureLike(horizon)
+	return trace.AzureLike(r, p)
+}
+
+// SmoothTrace is a diurnal-only workload used where the focus is not burst
+// handling.
+func SmoothTrace(seed int64, horizon float64) *trace.Trace {
+	r := newRand(seed)
+	return trace.Diurnal(r, 0.25, 0.6, 300, horizon)
+}
+
+// AppByName resolves the paper's WL names ("WL1".."WL3" or full names).
+// It panics on unknown names.
+func AppByName(name string) *apps.Application { return appByName(name) }
+
+// appByName resolves the paper's WL names.
+func appByName(name string) *apps.Application {
+	switch name {
+	case "WL1", "AMBER-Alert":
+		return apps.AmberAlert()
+	case "WL2", "Image-Query":
+		return apps.ImageQuery()
+	case "WL3", "Voice-Assistant":
+		return apps.VoiceAssistant()
+	default:
+		panic(fmt.Sprintf("experiments: unknown application %q", name))
+	}
+}
+
+var _ = dag.NodeID("") // dag types appear in several harness signatures

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"smiless/internal/apps"
+	"smiless/internal/autoscaler"
+	"smiless/internal/coldstart"
+	"smiless/internal/core"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+// Fig16Params configures the overhead study.
+type Fig16Params struct {
+	// Lengths are the chain lengths to sweep (paper: up to 12).
+	Lengths []int
+	// Repeats per measurement point.
+	Repeats int
+	// SLA used for the searches.
+	SLA float64
+}
+
+// Fig16Row is the overhead at one chain length.
+type Fig16Row struct {
+	N int
+	// SMIless is the Strategy Optimizer's wall time.
+	SMIless time.Duration
+	// Exhaustive is brute force over all M^N combinations (capped; zero
+	// when skipped as intractable).
+	Exhaustive time.Duration
+	// Random is a random-restart search matched to SMIless' node budget.
+	Random time.Duration
+	// RandomCostRatio is random search's cost over SMIless' (quality).
+	RandomCostRatio float64
+}
+
+// Fig16Result reproduces Fig. 16: (a) co-optimization overhead versus the
+// longest-path length, against alternative search methods, and (b) the
+// Auto-scaler's per-decision time.
+type Fig16Result struct {
+	Params Fig16Params
+	Rows   []Fig16Row
+	// AutoscalerPerDecision is the mean Eq. (7)/(8) solve time.
+	AutoscalerPerDecision time.Duration
+}
+
+// Fig16 measures the overheads.
+func Fig16(p Fig16Params) *Fig16Result {
+	if len(p.Lengths) == 0 {
+		p.Lengths = []int{2, 4, 6, 8, 10, 12}
+	}
+	if p.Repeats <= 0 {
+		p.Repeats = 5
+	}
+	if p.SLA <= 0 {
+		p.SLA = 2
+	}
+	out := &Fig16Result{Params: p}
+	cat := hardware.DefaultCatalog()
+	for _, n := range p.Lengths {
+		app := apps.Pipeline(n)
+		profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+		req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: p.SLA, IT: 10, Batch: 1}
+		row := Fig16Row{N: n}
+
+		opt := core.New(cat)
+		start := time.Now()
+		var res core.Result
+		for i := 0; i < p.Repeats; i++ {
+			r, err := opt.Optimize(req)
+			if err != nil {
+				panic(err)
+			}
+			res = r
+		}
+		row.SMIless = time.Since(start) / time.Duration(p.Repeats)
+
+		// Exhaustive: M^N complete enumeration; only tractable for tiny N.
+		if math.Pow(float64(cat.Len()), float64(n)) <= 3e5 {
+			start = time.Now()
+			exhaustiveSearch(app.Graph.TopoSort(), profiles, cat, p.SLA, 10)
+			row.Exhaustive = time.Since(start)
+		}
+
+		// Random restarts with the same number of evaluated nodes.
+		start = time.Now()
+		randCost := randomSearch(app.Graph.TopoSort(), profiles, cat, p.SLA, 10, res.NodesExplored*4, int64(n))
+		row.Random = time.Since(start)
+		if res.Eval.CostPerInvocation > 0 && !math.IsInf(randCost, 1) {
+			row.RandomCostRatio = randCost / res.Eval.CostPerInvocation
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	// Auto-scaler decision time (paper: < 0.1 ms).
+	scaler := autoscaler.New(cat)
+	prof := apps.Functions["TRS"].TrueProfile(perfmodel.DefaultUncertainty)
+	const reps = 2000
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		scaler.DecideOrFallback(prof, 16+i%16, 1.0, 0.8)
+	}
+	out.AutoscalerPerDecision = time.Since(start) / reps
+	return out
+}
+
+// exhaustiveSearch enumerates every configuration vector.
+func exhaustiveSearch(chain []dag.NodeID, profiles map[dag.NodeID]*perfmodel.Profile, cat *hardware.Catalog, sla, it float64) float64 {
+	best := math.Inf(1)
+	var rec func(i int, lat, cost float64)
+	rec = func(i int, lat, cost float64) {
+		if lat > sla || cost >= best {
+			return
+		}
+		if i == len(chain) {
+			best = cost
+			return
+		}
+		prof := profiles[chain[i]]
+		for _, cfg := range cat.Configs {
+			t := prof.InitTime(cfg)
+			inf := prof.InferenceTime(cfg, 1)
+			d := coldstart.Decide(t, inf, it)
+			c := coldstart.CostPerInvocation(d, t, inf, it, cat.UnitCost(cfg))
+			rec(i+1, lat+inf, cost+c)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// randomSearch samples random configuration vectors within a node budget.
+func randomSearch(chain []dag.NodeID, profiles map[dag.NodeID]*perfmodel.Profile, cat *hardware.Catalog, sla, it float64, budget int, seed int64) float64 {
+	r := newRand(seed)
+	best := math.Inf(1)
+	samples := budget / len(chain)
+	if samples < 1 {
+		samples = 1
+	}
+	for s := 0; s < samples; s++ {
+		lat, cost := 0.0, 0.0
+		for _, id := range chain {
+			cfg := cat.Configs[r.Intn(cat.Len())]
+			prof := profiles[id]
+			t := prof.InitTime(cfg)
+			inf := prof.InferenceTime(cfg, 1)
+			d := coldstart.Decide(t, inf, it)
+			cost += coldstart.CostPerInvocation(d, t, inf, it, cat.UnitCost(cfg))
+			lat += inf
+		}
+		if lat <= sla && cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// Table renders the overhead measurements.
+func (r *Fig16Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 16 — system overhead",
+		Header: []string{"longest path N", "SMIless search", "exhaustive", "random (same budget)", "random cost ratio"},
+	}
+	for _, row := range r.Rows {
+		ex := "skipped (intractable)"
+		if row.Exhaustive > 0 {
+			ex = row.Exhaustive.String()
+		}
+		ratio := "-"
+		if row.RandomCostRatio > 0 {
+			ratio = fmt.Sprintf("%.2fx", row.RandomCostRatio)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.N), row.SMIless.String(), ex, row.Random.String(), ratio,
+		})
+	}
+	t.Rows = append(t.Rows, []string{"autoscaler/decision", r.AutoscalerPerDecision.String(), "", "", ""})
+	return t
+}

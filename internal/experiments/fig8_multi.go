@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smiless/internal/mathx"
+)
+
+// Fig8MultiResult aggregates Fig. 8 across several trace seeds: the median
+// cost and violation rate per (app, system). Medians absorb the
+// trace-realization variance a single synthetic seed carries.
+type Fig8MultiResult struct {
+	Params Fig8Params
+	Seeds  []int64
+	// Runs holds the per-seed results in seed order.
+	Runs []*Fig8Result
+}
+
+// Fig8Multi runs Fig. 8 over n seeds (1+params.Seed, 2+params.Seed, ...).
+func Fig8Multi(p Fig8Params, n int) *Fig8MultiResult {
+	if n < 1 {
+		n = 1
+	}
+	out := &Fig8MultiResult{Params: p}
+	for i := 0; i < n; i++ {
+		ps := p
+		ps.Seed = p.Seed + int64(i)*7
+		out.Seeds = append(out.Seeds, ps.Seed)
+		out.Runs = append(out.Runs, Fig8(ps))
+	}
+	return out
+}
+
+// MedianCost returns the median total cost for (app, system).
+func (r *Fig8MultiResult) MedianCost(app string, sys SystemName) float64 {
+	var xs []float64
+	for _, run := range r.Runs {
+		if c := run.Get(app, sys); c != nil {
+			xs = append(xs, c.Stats.TotalCost)
+		}
+	}
+	return mathx.Percentile(xs, 50)
+}
+
+// MedianViolation returns the median violation rate for (app, system).
+func (r *Fig8MultiResult) MedianViolation(app string, sys SystemName) float64 {
+	var xs []float64
+	for _, run := range r.Runs {
+		if c := run.Get(app, sys); c != nil {
+			xs = append(xs, c.Stats.ViolationRate())
+		}
+	}
+	return mathx.Percentile(xs, 50)
+}
+
+// Table renders the medians.
+func (r *Fig8MultiResult) Table() *Table {
+	apps := map[string]bool{}
+	systems := map[SystemName]bool{}
+	var appOrder []string
+	var sysOrder []SystemName
+	for _, run := range r.Runs {
+		for _, c := range run.Cells {
+			if !apps[c.App] {
+				apps[c.App] = true
+				appOrder = append(appOrder, c.App)
+			}
+			if !systems[c.System] {
+				systems[c.System] = true
+				sysOrder = append(sysOrder, c.System)
+			}
+		}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 8 — medians over %d seeds (SLA %.1fs, horizon %.0fs)", len(r.Runs), r.Params.SLA, r.Params.Horizon),
+		Header: []string{"app", "system", "median cost ($)", "cost/SMIless", "median viol %"},
+	}
+	for _, app := range appOrder {
+		base := r.MedianCost(app, SysSMIless)
+		for _, sys := range sysOrder {
+			rel := "-"
+			if base > 0 {
+				rel = fmt.Sprintf("%.2fx", r.MedianCost(app, sys)/base)
+			}
+			t.Rows = append(t.Rows, []string{
+				app, string(sys),
+				fmt.Sprintf("%.4f", r.MedianCost(app, sys)),
+				rel,
+				fmt.Sprintf("%.1f", r.MedianViolation(app, sys)*100),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitCostCPU(t *testing.T) {
+	p := DefaultPricing
+	got := p.UnitCost(Config{Kind: CPU, Cores: 4})
+	want := 0.034 * 4 / 3600
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("4-core unit cost = %v, want %v", got, want)
+	}
+}
+
+func TestUnitCostGPU(t *testing.T) {
+	p := DefaultPricing
+	got := p.UnitCost(Config{Kind: GPU, GPUShare: 10})
+	want := 3.06 * 0.10 / 3600
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("10%% GPU unit cost = %v, want %v", got, want)
+	}
+}
+
+func TestGPUtoCPURatio(t *testing.T) {
+	// The paper cites the GPU unit price as ~8x the 16-core CPU price
+	// (Fig. 2 caption compares a V100 with a 16-core server).
+	p := DefaultPricing
+	gpu := p.UnitCost(Config{Kind: GPU, GPUShare: 100})
+	cpu16 := p.UnitCost(Config{Kind: CPU, Cores: 16})
+	ratio := gpu / cpu16
+	if ratio < 4 || ratio > 16 {
+		t.Errorf("GPU:CPU16 cost ratio = %v, want within [4,16]", ratio)
+	}
+}
+
+func TestDefaultCatalog(t *testing.T) {
+	cat := DefaultCatalog()
+	if cat.Len() != 15 {
+		t.Fatalf("catalog size = %d, want 15 (5 CPU + 10 GPU)", cat.Len())
+	}
+	// Sorted ascending by unit cost.
+	for i := 1; i < cat.Len(); i++ {
+		if cat.UnitCost(cat.Configs[i-1]) > cat.UnitCost(cat.Configs[i]) {
+			t.Errorf("catalog not sorted at %d: %v > %v", i, cat.Configs[i-1], cat.Configs[i])
+		}
+	}
+	// Cheapest overall must be the 1-core CPU.
+	if c := cat.Configs[0]; c.Kind != CPU || c.Cores != 1 {
+		t.Errorf("cheapest config = %v, want CPU-1c", c)
+	}
+}
+
+func TestCPUOnlyCatalog(t *testing.T) {
+	cat := CPUOnlyCatalog()
+	if cat.Len() != 5 {
+		t.Fatalf("CPU-only catalog size = %d, want 5", cat.Len())
+	}
+	for _, c := range cat.Configs {
+		if c.Kind != CPU {
+			t.Errorf("CPU-only catalog contains %v", c)
+		}
+	}
+}
+
+func TestCatalogContains(t *testing.T) {
+	cat := DefaultCatalog()
+	if !cat.Contains(Config{Kind: GPU, GPUShare: 50}) {
+		t.Error("catalog should contain GPU-50%")
+	}
+	if cat.Contains(Config{Kind: CPU, Cores: 3}) {
+		t.Error("catalog should not contain CPU-3c")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{Kind: CPU, Cores: 8}).String(); s != "CPU-8c" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Config{Kind: GPU, GPUShare: 30}).String(); s != "GPU-30%" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestClusterSpec(t *testing.T) {
+	c := DefaultCluster()
+	if len(c.Nodes) != 8 {
+		t.Fatalf("nodes = %d, want 8", len(c.Nodes))
+	}
+	if c.TotalCores() != 8*104 {
+		t.Errorf("total cores = %d, want %d", c.TotalCores(), 8*104)
+	}
+	if c.TotalGPUShares() != 80 {
+		t.Errorf("total GPU shares = %d, want 80", c.TotalGPUShares())
+	}
+}
+
+// Property: unit cost is strictly monotone in capacity within a kind.
+func TestUnitCostMonotone(t *testing.T) {
+	p := DefaultPricing
+	f := func(a, b uint8) bool {
+		ca := int(a%16) + 1
+		cb := int(b%16) + 1
+		if ca == cb {
+			return true
+		}
+		lo, hi := ca, cb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.UnitCost(Config{Kind: CPU, Cores: lo}) < p.UnitCost(Config{Kind: CPU, Cores: hi})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b uint8) bool {
+		sa := (int(a%10) + 1) * 10
+		sb := (int(b%10) + 1) * 10
+		if sa == sb {
+			return true
+		}
+		lo, hi := sa, sb
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.UnitCost(Config{Kind: GPU, GPUShare: lo}) < p.UnitCost(Config{Kind: GPU, GPUShare: hi})
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestConfigIsZero(t *testing.T) {
+	if !(Config{}).IsZero() {
+		t.Error("zero Config should report IsZero")
+	}
+	if (Config{Kind: CPU, Cores: 1}).IsZero() {
+		t.Error("CPU-1c should not be zero")
+	}
+}

@@ -1,0 +1,160 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 3x2", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %+v", at)
+	}
+}
+
+func TestCholeskySPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	// Known factor: [[2,0,0],[6,1,0],[-8,5,3]].
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(l.At(i, j), want[i][j], 1e-9) {
+				t.Errorf("L[%d][%d] = %v, want %v", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Error("Cholesky of indefinite matrix should fail")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	x := CholeskySolve(l, []float64{10, 9})
+	// A*x should be b.
+	b := a.MulVec(x)
+	if !almostEqual(b[0], 10, 1e-9) || !almostEqual(b[1], 9, 1e-9) {
+		t.Errorf("A*x = %v, want [10 9]", b)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// y = 2x + 1, exactly determined by >2 consistent points.
+	a := MatrixFromRows([][]float64{{1, 1}, {2, 1}, {3, 1}})
+	x, err := LeastSquares(a, []float64{3, 5, 7})
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(x[0], 2, 1e-6) || !almostEqual(x[1], 1, 1e-6) {
+		t.Errorf("coef = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy line; fit should land near the true slope/intercept.
+	r := NewRand(7)
+	n := 200
+	a := NewMatrix(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) / 10
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 3*x - 2 + r.NormFloat64()*0.01
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !almostEqual(coef[0], 3, 0.01) || !almostEqual(coef[1], -2, 0.05) {
+		t.Errorf("coef = %v, want ~[3 -2]", coef)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMatrix(1, 2)
+	if _, err := LeastSquares(a, []float64{1}); err == nil {
+		t.Error("underdetermined system should fail")
+	}
+}
+
+// Property: for any SPD matrix built as MᵀM + I, CholeskySolve inverts
+// multiplication by the matrix.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seedRaw int64) bool {
+		r := NewRand(seedRaw)
+		n := 2 + r.Intn(5)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = r.NormFloat64()
+		}
+		spd := m.T().Mul(m)
+		for i := 0; i < n; i++ {
+			spd.Set(i, i, spd.At(i, i)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		l, err := Cholesky(spd)
+		if err != nil {
+			return false
+		}
+		x := CholeskySolve(l, b)
+		back := spd.MulVec(x)
+		for i := range b {
+			if !almostEqual(back[i], b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

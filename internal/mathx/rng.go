@@ -1,0 +1,57 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic *rand.Rand for the given seed. All SMIless
+// components take explicit RNGs so simulations and experiments are
+// reproducible run to run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TruncNorm draws from a normal distribution with the given mean and standard
+// deviation, truncated below at floor. Used for noisy-but-positive timing
+// samples (initialization and inference times are never negative).
+func TruncNorm(r *rand.Rand, mean, std, floor float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := mean + std*r.NormFloat64()
+		if v >= floor {
+			return v
+		}
+	}
+	return floor
+}
+
+// Exponential draws an exponentially distributed value with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.ExpFloat64() * mean
+}
+
+// Poisson draws a Poisson-distributed count with the given rate lambda using
+// Knuth's algorithm (adequate for the per-window arrival counts we model).
+func Poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		// Normal approximation for large rates to avoid underflow.
+		v := TruncNorm(r, lambda, math.Sqrt(lambda), 0)
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= r.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}

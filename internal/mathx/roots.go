@@ -1,0 +1,62 @@
+package mathx
+
+import "errors"
+
+// ErrNoRoot indicates the bisection bracket does not contain a sign change.
+var ErrNoRoot = errors.New("mathx: bisection bracket has no sign change")
+
+// Bisect finds x in [lo, hi] with f(x) ~= 0 by bisection; f must be
+// continuous and f(lo), f(hi) must have opposite signs. The search stops when
+// the bracket is narrower than tol or after maxIter iterations.
+//
+// The auto-scaler (paper §V-D) uses bisection to find the largest batch size
+// whose modelled inference time still meets the latency budget.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, ErrNoRoot
+	}
+	for i := 0; i < maxIter && hi-lo > tol; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if flo*fm < 0 {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	_ = fhi
+	return (lo + hi) / 2, nil
+}
+
+// MaxIntWhere returns the largest integer b in [lo, hi] satisfying pred, or
+// lo-1 when none does. pred must be monotone: once false it stays false as b
+// grows. This is the integer form of bisection the auto-scaler applies to
+// batch sizes.
+func MaxIntWhere(lo, hi int, pred func(int) bool) int {
+	if lo > hi {
+		return lo - 1
+	}
+	if !pred(lo) {
+		return lo - 1
+	}
+	// Invariant: pred(lo) is true, pred(hi+1) is (conceptually) false.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if pred(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty stats should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Max(xs) != 5 || Min(xs) != -1 || Sum(xs) != 12 {
+		t.Errorf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestSMAPE(t *testing.T) {
+	pred := []float64{110, 90}
+	truth := []float64{100, 100}
+	// |10|/105 + |10|/95, averaged, ×100.
+	want := (10.0/105 + 10.0/95) / 2 * 100
+	if got := SMAPE(pred, truth); !almostEqual(got, want, 1e-9) {
+		t.Errorf("SMAPE = %v, want %v", got, want)
+	}
+}
+
+func TestSMAPEPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SMAPE(xs, xs); got != 0 {
+		t.Errorf("SMAPE of identical = %v, want 0", got)
+	}
+}
+
+func TestSMAPEZeroPairs(t *testing.T) {
+	if got := SMAPE([]float64{0, 10}, []float64{0, 10}); got != 0 {
+		t.Errorf("SMAPE with zero pair = %v, want 0", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE([]float64{110}, []float64{100}); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	// Zero truth entries are skipped.
+	if got := MAPE([]float64{5, 110}, []float64{0, 100}); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("MAPE skipping zero = %v, want 10", got)
+	}
+}
+
+func TestVMR(t *testing.T) {
+	// Poisson-like data has VMR ~ 1.
+	r := NewRand(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64(Poisson(r, 10))
+	}
+	if vmr := VarianceToMeanRatio(xs); vmr < 0.8 || vmr > 1.2 {
+		t.Errorf("Poisson VMR = %v, want ~1", vmr)
+	}
+}
+
+// Property: SMAPE is symmetric in its arguments and bounded by 200%.
+func TestSMAPEProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		n := 1 + r.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = math.Abs(r.NormFloat64()) * 100
+			b[i] = math.Abs(r.NormFloat64()) * 100
+		}
+		s1, s2 := SMAPE(a, b), SMAPE(b, a)
+		return almostEqual(s1, s2, 1e-9) && s1 >= 0 && s1 <= 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-9, 100)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-6) {
+		t.Errorf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectNoRoot(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 1e-9, 100); err == nil {
+		t.Error("Bisect without sign change should fail")
+	}
+}
+
+func TestMaxIntWhere(t *testing.T) {
+	// Largest b in [1, 64] with b*b <= 100 is 10.
+	got := MaxIntWhere(1, 64, func(b int) bool { return b*b <= 100 })
+	if got != 10 {
+		t.Errorf("MaxIntWhere = %d, want 10", got)
+	}
+	if got := MaxIntWhere(1, 64, func(int) bool { return false }); got != 0 {
+		t.Errorf("all-false MaxIntWhere = %d, want 0", got)
+	}
+	if got := MaxIntWhere(1, 64, func(int) bool { return true }); got != 64 {
+		t.Errorf("all-true MaxIntWhere = %d, want 64", got)
+	}
+	if got := MaxIntWhere(5, 4, func(int) bool { return true }); got != 4 {
+		t.Errorf("empty-range MaxIntWhere = %d, want 4", got)
+	}
+}
+
+// Property: MaxIntWhere agrees with a linear scan for monotone predicates.
+func TestMaxIntWhereProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		lo := r.Intn(10)
+		hi := lo + r.Intn(50)
+		cut := lo - 1 + r.Intn(hi-lo+2) // last true value, may be lo-1
+		pred := func(b int) bool { return b <= cut }
+		return MaxIntWhere(lo, hi, pred) == cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncNorm(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := TruncNorm(r, 1, 5, 0.5); v < 0.5 {
+			t.Fatalf("TruncNorm below floor: %v", v)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRand(2)
+	n := 20000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += float64(Poisson(r, 4))
+	}
+	if mean := s / float64(n); mean < 3.8 || mean > 4.2 {
+		t.Errorf("Poisson mean = %v, want ~4", mean)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := NewRand(4)
+	v := Poisson(r, 1000)
+	if v < 800 || v > 1200 {
+		t.Errorf("Poisson(1000) = %d, out of plausible range", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRand(5)
+	n := 20000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += Exponential(r, 2.5)
+	}
+	if mean := s / float64(n); mean < 2.3 || mean > 2.7 {
+		t.Errorf("Exponential mean = %v, want ~2.5", mean)
+	}
+}

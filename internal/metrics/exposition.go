@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the store in the Prometheus text exposition format
+// (version 0.0.4): one `name{labels} value timestamp_ms` line per sample,
+// series grouped under a `# TYPE <name> untyped` header. Timestamps carry
+// the simulation time in milliseconds.
+func (s *Store) WriteText(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Group series keys by metric name, deterministically.
+	byName := map[string][]string{}
+	for _, k := range s.order {
+		n := s.series[k].Name
+		byName[n] = append(byName[n], k)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n", n); err != nil {
+			return err
+		}
+		keys := byName[n]
+		sort.Strings(keys)
+		for _, k := range keys {
+			sr := s.series[k]
+			labels := renderLabels(sr.Labels)
+			for _, sm := range sr.Samples {
+				if _, err := fmt.Fprintf(w, "%s%s %s %d\n",
+					n, labels,
+					strconv.FormatFloat(sm.Value, 'g', -1, 64),
+					int64(sm.Time*1000)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText reads a Prometheus text exposition produced by WriteText back
+// into a Store. Comment lines are skipped; malformed sample lines abort
+// with an error naming the line number.
+func ParseText(r io.Reader) (*Store, error) {
+	store := NewStore()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ts, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", i+1, err)
+		}
+		store.Record(name, labels, ts, value)
+	}
+	return store, nil
+}
+
+func parseSampleLine(line string) (name string, labels Labels, value, ts float64, err error) {
+	rest := line
+	// Metric name runs until '{' or space.
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, 0, fmt.Errorf("missing value")
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	labels = Labels{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, 0, fmt.Errorf("unterminated label set")
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for _, pair := range splitLabelPairs(body) {
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, 0, fmt.Errorf("bad label pair %q", pair)
+			}
+			v, err := strconv.Unquote(pair[eq+1:])
+			if err != nil {
+				return "", nil, 0, 0, fmt.Errorf("bad label value %q", pair[eq+1:])
+			}
+			labels[pair[:eq]] = v
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, 0, fmt.Errorf("want 'value [timestamp]', got %q", rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, 0, fmt.Errorf("bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		ms, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "", nil, 0, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+		ts = float64(ms) / 1000
+	}
+	return name, labels, value, ts, nil
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

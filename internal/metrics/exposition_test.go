@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTextFormat(t *testing.T) {
+	s := NewStore()
+	s.Record("init_time", Labels{"fn": "IR", "kind": "CPU"}, 1.5, 2.25)
+	s.Record("init_time", Labels{"fn": "IR", "kind": "CPU"}, 2.5, 2.5)
+	s.Record("pods", nil, 3, 7)
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE init_time untyped",
+		`init_time{fn="IR",kind="CPU"} 2.25 1500`,
+		"# TYPE pods untyped",
+		"pods 7 3000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Record("inf_time", Labels{"fn": "TRS", "kind": "GPU", "batch": "4"}, 0.125, 0.442)
+	s.Record("inf_time", Labels{"fn": "TRS", "kind": "CPU", "batch": "4"}, 0.25, 1.7)
+	s.Record("cost", nil, 10, 0.003)
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := back.Get("inf_time", Labels{"fn": "TRS", "kind": "GPU", "batch": "4"})
+	if sr == nil || len(sr.Samples) != 1 {
+		t.Fatalf("series lost in round trip: %+v", sr)
+	}
+	if sr.Samples[0].Value != 0.442 || sr.Samples[0].Time != 0.125 {
+		t.Errorf("sample = %+v, want {0.125 0.442}", sr.Samples[0])
+	}
+	if back.Get("cost", nil) == nil {
+		t.Error("unlabeled series lost")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"metric_only\n",
+		"m{a=\"x\" 1 2\n",     // unterminated labels
+		"m{a=x} 1 2\n",        // unquoted label value
+		"m 1 2 3\n",           // too many fields
+		"m nope\n",            // bad value
+		"m 1 notatimestamp\n", // bad timestamp
+		"m{a} 1\n",            // label without value
+	}
+	for i, c := range cases {
+		if _, err := ParseText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail: %q", i, c)
+		}
+	}
+}
+
+func TestParseTextSkipsComments(t *testing.T) {
+	in := "# HELP whatever\n# TYPE m untyped\nm 42 1000\n\n"
+	s, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := s.Get("m", Labels{}); sr == nil || sr.Samples[0].Value != 42 {
+		t.Error("comment handling broke sample parsing")
+	}
+}
+
+func TestParseTextQuotedComma(t *testing.T) {
+	in := `m{a="x,y",b="z"} 1 0` + "\n"
+	s, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr := s.Get("m", Labels{"a": "x,y", "b": "z"}); sr == nil {
+		t.Error("comma inside quoted label value mishandled")
+	}
+}

@@ -1,0 +1,163 @@
+// Package metrics is the in-process stand-in for Prometheus (§IV-A, §VI):
+// a concurrency-safe, labeled time-series store. The Offline Profiler writes
+// initialization and inference timing records here and later queries them
+// back for model fitting; the simulator records pod counts and costs for the
+// experiment harnesses.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels is an immutable-by-convention label set identifying one series.
+type Labels map[string]string
+
+// key renders labels canonically so equal label sets map to one series.
+func (l Labels) key(name string) string {
+	if len(l) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sample is one observation of a series.
+type Sample struct {
+	Time  float64 // simulation time, seconds
+	Value float64
+}
+
+// Series is an append-only sequence of samples for one (name, labels) pair.
+type Series struct {
+	Name    string
+	Labels  Labels
+	Samples []Sample
+}
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, x := range s.Samples {
+		out[i] = x.Value
+	}
+	return out
+}
+
+// Range returns samples with Time in [from, to).
+func (s *Series) Range(from, to float64) []Sample {
+	var out []Sample
+	for _, x := range s.Samples {
+		if x.Time >= from && x.Time < to {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Store is the time-series database.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+	order  []string // insertion order for deterministic listing
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the series identified by name+labels, creating
+// the series on first use. Labels are copied.
+func (s *Store) Record(name string, labels Labels, t, v float64) {
+	k := labels.key(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[k]
+	if !ok {
+		cp := make(Labels, len(labels))
+		for lk, lv := range labels {
+			cp[lk] = lv
+		}
+		sr = &Series{Name: name, Labels: cp}
+		s.series[k] = sr
+		s.order = append(s.order, k)
+	}
+	sr.Samples = append(sr.Samples, Sample{Time: t, Value: v})
+}
+
+// Get returns the series exactly matching name+labels, or nil.
+func (s *Store) Get(name string, labels Labels) *Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.series[labels.key(name)]
+}
+
+// Select returns all series with the given name whose labels are a superset
+// of match, in insertion order.
+func (s *Store) Select(name string, match Labels) []*Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Series
+	for _, k := range s.order {
+		sr := s.series[k]
+		if sr.Name != name {
+			continue
+		}
+		ok := true
+		for mk, mv := range match {
+			if sr.Labels[mk] != mv {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Names returns the distinct series names in first-seen order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range s.order {
+		n := s.series[k].Name
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SumValues returns the sum of all sample values across series selected by
+// name+match. Useful for cost aggregation.
+func (s *Store) SumValues(name string, match Labels) float64 {
+	total := 0.0
+	for _, sr := range s.Select(name, match) {
+		for _, x := range sr.Samples {
+			total += x.Value
+		}
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordAndGet(t *testing.T) {
+	s := NewStore()
+	s.Record("init_time", Labels{"fn": "IR", "kind": "CPU"}, 0, 1.5)
+	s.Record("init_time", Labels{"fn": "IR", "kind": "CPU"}, 1, 1.7)
+	sr := s.Get("init_time", Labels{"fn": "IR", "kind": "CPU"})
+	if sr == nil || len(sr.Samples) != 2 {
+		t.Fatalf("series = %+v", sr)
+	}
+	if sr.Samples[1].Value != 1.7 {
+		t.Errorf("second sample = %v", sr.Samples[1].Value)
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	// Same labels regardless of map iteration: both records must land in
+	// one series.
+	s := NewStore()
+	s.Record("m", Labels{"a": "1", "b": "2"}, 0, 1)
+	s.Record("m", Labels{"b": "2", "a": "1"}, 1, 2)
+	if sr := s.Get("m", Labels{"a": "1", "b": "2"}); len(sr.Samples) != 2 {
+		t.Errorf("samples = %d, want 2", len(sr.Samples))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore()
+	if s.Get("nope", nil) != nil {
+		t.Error("missing series should be nil")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	s := NewStore()
+	s.Record("inf_time", Labels{"fn": "IR", "kind": "CPU"}, 0, 1)
+	s.Record("inf_time", Labels{"fn": "IR", "kind": "GPU"}, 0, 2)
+	s.Record("inf_time", Labels{"fn": "TRS", "kind": "CPU"}, 0, 3)
+	s.Record("other", Labels{"fn": "IR"}, 0, 4)
+
+	if got := len(s.Select("inf_time", Labels{"fn": "IR"})); got != 2 {
+		t.Errorf("Select fn=IR = %d series, want 2", got)
+	}
+	if got := len(s.Select("inf_time", nil)); got != 3 {
+		t.Errorf("Select all = %d series, want 3", got)
+	}
+	if got := len(s.Select("inf_time", Labels{"fn": "IR", "kind": "GPU"})); got != 1 {
+		t.Errorf("Select exact = %d series, want 1", got)
+	}
+}
+
+func TestSeriesRangeAndValues(t *testing.T) {
+	sr := &Series{Samples: []Sample{{0, 1}, {1, 2}, {2, 3}, {3, 4}}}
+	got := sr.Range(1, 3)
+	if len(got) != 2 || got[0].Value != 2 || got[1].Value != 3 {
+		t.Errorf("Range = %+v", got)
+	}
+	vs := sr.Values()
+	if len(vs) != 4 || vs[3] != 4 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestSumValues(t *testing.T) {
+	s := NewStore()
+	s.Record("cost", Labels{"app": "a", "fn": "1"}, 0, 1.5)
+	s.Record("cost", Labels{"app": "a", "fn": "2"}, 0, 2.5)
+	s.Record("cost", Labels{"app": "b", "fn": "1"}, 0, 10)
+	if got := s.SumValues("cost", Labels{"app": "a"}); got != 4 {
+		t.Errorf("SumValues app=a = %v, want 4", got)
+	}
+	if got := s.SumValues("cost", nil); got != 14 {
+		t.Errorf("SumValues all = %v, want 14", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := NewStore()
+	s.Record("b_metric", nil, 0, 1)
+	s.Record("a_metric", nil, 0, 1)
+	s.Record("b_metric", Labels{"x": "1"}, 0, 1)
+	names := s.Names()
+	if len(names) != 2 || names[0] != "b_metric" || names[1] != "a_metric" {
+		t.Errorf("Names = %v, want [b_metric a_metric] (first-seen order)", names)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Record("m", Labels{"w": string(rune('a' + w))}, float64(i), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, sr := range s.Select("m", nil) {
+		total += len(sr.Samples)
+	}
+	if total != 8000 {
+		t.Errorf("recorded %d samples, want 8000", total)
+	}
+}

@@ -1,0 +1,178 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+)
+
+func cpuCfg(cores int) hardware.Config { return hardware.Config{Kind: hardware.CPU, Cores: cores} }
+func gpuCfg(share int) hardware.Config { return hardware.Config{Kind: hardware.GPU, GPUShare: share} }
+func almost(a, b, tol float64) bool    { return math.Abs(a-b) <= tol }
+
+// genSamples evaluates a known model over the paper's profiling grid
+// (batch 2^1..2^5, cores 2^0..2^4) with optional noise.
+func genSamples(m InferenceModel, noise float64, seed int64) []Sample {
+	r := mathx.NewRand(seed)
+	var out []Sample
+	for _, b := range []int{2, 4, 8, 16, 32} {
+		for _, c := range []int{1, 2, 4, 8, 16} {
+			cfg := cpuCfg(c)
+			lat := m.Predict(b, cfg)
+			if noise > 0 {
+				lat *= 1 + noise*r.NormFloat64()
+			}
+			out = append(out, Sample{Batch: b, Config: cfg, Latency: lat})
+		}
+	}
+	return out
+}
+
+func TestFitInferenceExact(t *testing.T) {
+	truth := InferenceModel{Kind: hardware.CPU, A: 0.4, B: 0.01, G: 0.05}
+	got, err := FitInference(hardware.CPU, genSamples(truth, 0, 1))
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if !almost(got.A, truth.A, 1e-6) || !almost(got.B, truth.B, 1e-6) || !almost(got.G, truth.G, 1e-6) {
+		t.Errorf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitInferenceNoisySMAPE(t *testing.T) {
+	// With 5% multiplicative noise the fitted model should stay well under
+	// the paper's 20% SMAPE bound (Fig. 11b).
+	truth := InferenceModel{Kind: hardware.CPU, A: 0.4, B: 0.01, G: 0.05}
+	samples := genSamples(truth, 0.05, 2)
+	got, err := FitInference(hardware.CPU, samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if s := got.SMAPE(samples); s > 20 {
+		t.Errorf("SMAPE = %v%%, want < 20%%", s)
+	}
+}
+
+func TestFitInferenceGPU(t *testing.T) {
+	truth := InferenceModel{Kind: hardware.GPU, A: 1.2, B: 0.002, G: 0.03}
+	var samples []Sample
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		for share := 10; share <= 100; share += 10 {
+			samples = append(samples, Sample{Batch: b, Config: gpuCfg(share), Latency: truth.Predict(b, gpuCfg(share))})
+		}
+	}
+	got, err := FitInference(hardware.GPU, samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if !almost(got.A, truth.A, 1e-6) || !almost(got.G, truth.G, 1e-6) {
+		t.Errorf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitInferenceErrors(t *testing.T) {
+	if _, err := FitInference(hardware.CPU, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	bad := []Sample{
+		{Batch: 1, Config: cpuCfg(1), Latency: 1},
+		{Batch: 2, Config: gpuCfg(10), Latency: 1},
+		{Batch: 4, Config: cpuCfg(2), Latency: 1},
+	}
+	if _, err := FitInference(hardware.CPU, bad); err == nil {
+		t.Error("mixed-kind fit should fail")
+	}
+}
+
+func TestPredictKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch should panic")
+		}
+	}()
+	m := InferenceModel{Kind: hardware.CPU, A: 1}
+	m.Predict(1, gpuCfg(10))
+}
+
+func TestPredictMonotonicity(t *testing.T) {
+	m := InferenceModel{Kind: hardware.CPU, A: 0.4, B: 0.01, G: 0.05}
+	// More cores -> faster; bigger batch -> slower.
+	if m.Predict(4, cpuCfg(8)) >= m.Predict(4, cpuCfg(4)) {
+		t.Error("more cores should reduce latency")
+	}
+	if m.Predict(8, cpuCfg(4)) <= m.Predict(4, cpuCfg(4)) {
+		t.Error("bigger batch should increase latency")
+	}
+}
+
+func TestFitInit(t *testing.T) {
+	d := []float64{1, 1, 1, 1}
+	m, err := FitInit(hardware.CPU, d, 3)
+	if err != nil {
+		t.Fatalf("FitInit: %v", err)
+	}
+	if m.Estimate() != 1 {
+		t.Errorf("constant samples estimate = %v, want 1", m.Estimate())
+	}
+	d2 := []float64{0.8, 1.2, 1.0, 0.9, 1.1}
+	m2, _ := FitInit(hardware.CPU, d2, 3)
+	if m2.Estimate() <= mathx.Mean(d2) {
+		t.Error("mu+3sigma must exceed the mean for noisy samples")
+	}
+}
+
+func TestFitInitErrors(t *testing.T) {
+	if _, err := FitInit(hardware.CPU, nil, 3); err == nil {
+		t.Error("empty init fit should fail")
+	}
+	if _, err := FitInit(hardware.CPU, []float64{-1}, 3); err == nil {
+		t.Error("negative sample should fail")
+	}
+	if _, err := FitInit(hardware.CPU, []float64{math.NaN()}, 3); err == nil {
+		t.Error("NaN sample should fail")
+	}
+}
+
+func TestProfileDispatch(t *testing.T) {
+	p := &Profile{
+		Function: "f",
+		CPUInf:   InferenceModel{Kind: hardware.CPU, A: 4, B: 0, G: 0},
+		GPUInf:   InferenceModel{Kind: hardware.GPU, A: 10, B: 0, G: 0},
+		CPUInit:  InitModel{Kind: hardware.CPU, Mu: 2, N: 3},
+		GPUInit:  InitModel{Kind: hardware.GPU, Mu: 8, N: 3},
+	}
+	if got := p.InferenceTime(cpuCfg(4), 1); !almost(got, 1, 1e-12) {
+		t.Errorf("CPU inference = %v, want 1", got)
+	}
+	if got := p.InferenceTime(gpuCfg(10), 1); !almost(got, 1, 1e-12) {
+		t.Errorf("GPU inference = %v, want 1", got)
+	}
+	if p.InitTime(cpuCfg(4)) != 2 || p.InitTime(gpuCfg(10)) != 8 {
+		t.Error("init time dispatch wrong")
+	}
+}
+
+// Property: fitting recovers any non-negative model exactly from noiseless
+// samples over the profiling grid.
+func TestFitRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		truth := InferenceModel{
+			Kind: hardware.CPU,
+			A:    math.Abs(r.NormFloat64()) + 0.1,
+			B:    math.Abs(r.NormFloat64()) * 0.01,
+			G:    math.Abs(r.NormFloat64()) * 0.1,
+		}
+		got, err := FitInference(hardware.CPU, genSamples(truth, 0, seed))
+		if err != nil {
+			return false
+		}
+		return almost(got.A, truth.A, 1e-6) && almost(got.B, truth.B, 1e-6) && almost(got.G, truth.G, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

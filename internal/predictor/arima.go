@@ -1,0 +1,93 @@
+package predictor
+
+import (
+	"fmt"
+
+	"smiless/internal/mathx"
+)
+
+// ARIMA is the autoregressive baseline the paper compares against
+// (Fig. 12): an AR(p) model on the (optionally first-differenced) series,
+// fit by least squares. The Azure trace study (Shahrad et al.) uses the
+// same family for invocation forecasting.
+type ARIMA struct {
+	// P is the autoregressive order.
+	P int
+	// D enables first differencing (the "I" in ARIMA) when 1.
+	D int
+
+	coef []float64 // AR coefficients plus intercept
+	last float64   // last observed level, for un-differencing
+}
+
+// NewARIMA returns an ARIMA(p, d, 0) model.
+func NewARIMA(p, d int) *ARIMA {
+	if p < 1 || d < 0 || d > 1 {
+		panic(fmt.Sprintf("predictor: unsupported ARIMA order p=%d d=%d", p, d))
+	}
+	return &ARIMA{P: p, D: d}
+}
+
+// Name implements CountPredictor.
+func (a *ARIMA) Name() string { return fmt.Sprintf("ARIMA(%d,%d,0)", a.P, a.D) }
+
+// difference applies first differencing d times.
+func (a *ARIMA) difference(series []float64) []float64 {
+	if a.D == 0 {
+		return series
+	}
+	out := make([]float64, len(series)-1)
+	for i := 1; i < len(series); i++ {
+		out[i-1] = series[i] - series[i-1]
+	}
+	return out
+}
+
+// Fit implements CountPredictor.
+func (a *ARIMA) Fit(counts []float64) {
+	s := a.difference(counts)
+	if len(s) <= a.P+1 {
+		panic(fmt.Sprintf("predictor: series of %d too short for AR(%d)", len(s), a.P))
+	}
+	n := len(s) - a.P
+	x := mathx.NewMatrix(n, a.P+1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < a.P; j++ {
+			x.Set(i, j, s[i+a.P-1-j]) // lag j+1
+		}
+		x.Set(i, a.P, 1) // intercept
+		y[i] = s[i+a.P]
+	}
+	coef, err := mathx.LeastSquares(x, y)
+	if err != nil {
+		// Degenerate series (e.g. constant): fall back to the mean.
+		coef = make([]float64, a.P+1)
+		coef[a.P] = mathx.Mean(y)
+	}
+	a.coef = coef
+}
+
+// Predict implements CountPredictor.
+func (a *ARIMA) Predict(history []float64) float64 {
+	if a.coef == nil {
+		panic("predictor: Predict before Fit")
+	}
+	s := a.difference(history)
+	pred := a.coef[a.P]
+	for j := 0; j < a.P; j++ {
+		idx := len(s) - 1 - j
+		v := 0.0
+		if idx >= 0 {
+			v = s[idx]
+		}
+		pred += a.coef[j] * v
+	}
+	if a.D == 1 {
+		pred += history[len(history)-1]
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}

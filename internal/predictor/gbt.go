@@ -1,0 +1,179 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GBT is a gradient-boosted regression-tree model over lag features — the
+// stand-in for the XGBoost baseline in Fig. 12. Each boosting round fits a
+// depth-1 regression tree (stump) to the residuals; splits are chosen
+// greedily over feature quantiles.
+type GBT struct {
+	// Lags is the number of lagged values used as features.
+	Lags int
+	// Rounds is the number of boosting rounds.
+	Rounds int
+	// LearningRate shrinks each stump's contribution.
+	LearningRate float64
+
+	base   float64
+	stumps []stump
+}
+
+type stump struct {
+	feature     int
+	threshold   float64
+	left, right float64
+}
+
+// NewGBT returns a GBT with XGBoost-flavored defaults.
+func NewGBT() *GBT { return &GBT{Lags: 12, Rounds: 100, LearningRate: 0.1} }
+
+// Name implements CountPredictor.
+func (g *GBT) Name() string { return "XGBoost" }
+
+// features extracts the lag vector ending at position i (exclusive).
+func (g *GBT) features(series []float64, i int) []float64 {
+	f := make([]float64, g.Lags)
+	for j := 0; j < g.Lags; j++ {
+		idx := i - 1 - j
+		if idx >= 0 {
+			f[j] = series[idx]
+		}
+	}
+	return f
+}
+
+// Fit implements CountPredictor.
+func (g *GBT) Fit(counts []float64) {
+	if len(counts) <= g.Lags+1 {
+		panic(fmt.Sprintf("predictor: series of %d too short for %d lags", len(counts), g.Lags))
+	}
+	n := len(counts) - g.Lags
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = g.features(counts, i+g.Lags)
+		ys[i] = counts[i+g.Lags]
+	}
+	g.base = mean(ys)
+	resid := make([]float64, n)
+	for i := range ys {
+		resid[i] = ys[i] - g.base
+	}
+	g.stumps = g.stumps[:0]
+	for round := 0; round < g.Rounds; round++ {
+		st, ok := bestStump(xs, resid)
+		if !ok {
+			break
+		}
+		st.left *= g.LearningRate
+		st.right *= g.LearningRate
+		g.stumps = append(g.stumps, st)
+		for i, x := range xs {
+			resid[i] -= st.predict(x)
+		}
+	}
+}
+
+func (s stump) predict(x []float64) float64 {
+	if x[s.feature] <= s.threshold {
+		return s.left
+	}
+	return s.right
+}
+
+// bestStump finds the (feature, threshold) split minimizing residual SSE,
+// scanning candidate thresholds at feature quantiles.
+func bestStump(xs [][]float64, resid []float64) (stump, bool) {
+	n := len(xs)
+	if n < 4 {
+		return stump{}, false
+	}
+	nFeat := len(xs[0])
+	bestSSE := math.Inf(1)
+	var best stump
+	found := false
+	vals := make([]float64, n)
+	for f := 0; f < nFeat; f++ {
+		for i := range xs {
+			vals[i] = xs[i][f]
+		}
+		cand := quantiles(vals, 16)
+		for _, th := range cand {
+			var sumL, sumR float64
+			var nL, nR int
+			for i := range xs {
+				if xs[i][f] <= th {
+					sumL += resid[i]
+					nL++
+				} else {
+					sumR += resid[i]
+					nR++
+				}
+			}
+			if nL == 0 || nR == 0 {
+				continue
+			}
+			mL, mR := sumL/float64(nL), sumR/float64(nR)
+			sse := 0.0
+			for i := range xs {
+				var d float64
+				if xs[i][f] <= th {
+					d = resid[i] - mL
+				} else {
+					d = resid[i] - mR
+				}
+				sse += d * d
+			}
+			if sse < bestSSE {
+				bestSSE = sse
+				best = stump{feature: f, threshold: th, left: mL, right: mR}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// quantiles returns up to k distinct quantile values of xs.
+func quantiles(xs []float64, k int) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []float64
+	seen := map[float64]bool{}
+	for i := 1; i <= k; i++ {
+		v := sorted[(len(sorted)-1)*i/(k+1)]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Predict implements CountPredictor.
+func (g *GBT) Predict(history []float64) float64 {
+	x := g.features(history, len(history))
+	pred := g.base
+	for _, st := range g.stumps {
+		pred += st.predict(x)
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}

@@ -1,0 +1,133 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+)
+
+// IdleHistogram implements the hybrid histogram policy of "Serverless in
+// the Wild" (Shahrad et al., ATC'20) — the production keep-alive policy the
+// Azure trace study proposes, and the natural non-LSTM alternative to
+// SMIless' predictors. Idle times (gaps between invocations) are tracked in
+// fixed-width bins; the policy pre-warms a function PrewarmAfter() seconds
+// after it goes idle and keeps it alive for KeepAliveFor() more seconds, so
+// the warm window brackets where the next invocation historically lands:
+//
+//	prewarm  = lowQuantile(idle times) × (1 − margin)
+//	keepalive = highQuantile(idle times) × (1 + margin) − prewarm
+//
+// When the distribution carries no signal (too few samples, or too many
+// out-of-bounds gaps), the policy falls back to a conservative plain
+// keep-alive, as the paper's hybrid scheme does.
+type IdleHistogram struct {
+	// BinWidth is the histogram resolution in seconds.
+	BinWidth float64
+	// Bins is the number of bins; gaps beyond BinWidth×Bins count as
+	// out-of-bounds.
+	Bins int
+	// LowQuantile/HighQuantile bracket the warm window (ATC'20 uses the
+	// 5th and 99th percentiles).
+	LowQuantile, HighQuantile float64
+	// Margin widens the window on both sides (ATC'20 uses 10%).
+	Margin float64
+	// MinSamples gates the policy: below it the fallback applies.
+	MinSamples int
+	// FallbackKeepAlive is the plain keep-alive used without signal.
+	FallbackKeepAlive float64
+
+	counts []int
+	total  int
+	oob    int
+}
+
+// NewIdleHistogram returns a policy with the ATC'20 defaults at one-second
+// resolution over a four-minute range.
+func NewIdleHistogram() *IdleHistogram {
+	return &IdleHistogram{
+		BinWidth:          1,
+		Bins:              240,
+		LowQuantile:       0.05,
+		HighQuantile:      0.99,
+		Margin:            0.10,
+		MinSamples:        10,
+		FallbackKeepAlive: 30,
+	}
+}
+
+// Observe records one idle duration.
+func (h *IdleHistogram) Observe(idle float64) {
+	if idle < 0 {
+		panic(fmt.Sprintf("predictor: negative idle time %v", idle))
+	}
+	if h.counts == nil {
+		h.counts = make([]int, h.Bins)
+	}
+	bin := int(idle / h.BinWidth)
+	h.total++
+	if bin >= h.Bins {
+		h.oob++
+		return
+	}
+	h.counts[bin]++
+}
+
+// Samples returns the number of observed idle times.
+func (h *IdleHistogram) Samples() int { return h.total }
+
+// usable reports whether the histogram carries enough in-bounds signal.
+func (h *IdleHistogram) usable() bool {
+	if h.total < h.MinSamples {
+		return false
+	}
+	// ATC'20 switches to the fallback when too much mass is out of bounds.
+	return float64(h.oob) < 0.5*float64(h.total)
+}
+
+// quantile returns the approximate q-quantile of in-bounds idle times (bin
+// upper edge).
+func (h *IdleHistogram) quantile(q float64) float64 {
+	inBounds := h.total - h.oob
+	if inBounds == 0 {
+		return h.FallbackKeepAlive
+	}
+	target := int(math.Ceil(q * float64(inBounds)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return float64(i+1) * h.BinWidth
+		}
+	}
+	return float64(h.Bins) * h.BinWidth
+}
+
+// PrewarmAfter returns how long after going idle the function should stay
+// unloaded before pre-warming; zero means "keep alive immediately" (the
+// fallback, or a head-heavy idle distribution).
+func (h *IdleHistogram) PrewarmAfter() float64 {
+	if !h.usable() {
+		return 0
+	}
+	v := h.quantile(h.LowQuantile) * (1 - h.Margin)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// KeepAliveFor returns how long the (pre-warmed or still-warm) instance
+// should then remain alive.
+func (h *IdleHistogram) KeepAliveFor() float64 {
+	if !h.usable() {
+		return h.FallbackKeepAlive
+	}
+	hi := h.quantile(h.HighQuantile) * (1 + h.Margin)
+	v := hi - h.PrewarmAfter()
+	if v < h.BinWidth {
+		v = h.BinWidth
+	}
+	return v
+}

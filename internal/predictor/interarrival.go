@@ -1,0 +1,246 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"smiless/internal/mathx"
+)
+
+// IATPredictor forecasts the next inter-arrival time.
+type IATPredictor interface {
+	Name() string
+	// FitIAT trains on aligned series: iats[i] is the gap after arrival i,
+	// and counts[i] is the invocation count in the window containing that
+	// arrival (context about the current load regime).
+	FitIAT(iats, counts []float64)
+	// PredictIAT forecasts the next gap from the two aligned histories.
+	PredictIAT(iats, counts []float64) float64
+}
+
+// InterArrivalPredictor is the paper's dedicated Inter-arrival Time
+// Predictor (§IV-B2): two LSTM modules process the inter-arrival series and
+// the invocation-count series separately; their hidden states are merged,
+// passed through a tanh activation and a linear layer to produce the next
+// inter-arrival time. Setting DualInput to false yields the paper's
+// SMIless-S ablation (single LSTM on inter-arrival times only).
+type InterArrivalPredictor struct {
+	// SeqLen is the input window length for both series.
+	SeqLen int
+	// Hidden is the per-module LSTM width; the paper uses 128, which is
+	// reduced here by default to keep pure-Go training fast. The merge and
+	// head structure is unchanged.
+	Hidden int
+	// Epochs is the number of training passes.
+	Epochs int
+	// DualInput selects the two-module architecture; false reproduces the
+	// single-input SMIless-S variant.
+	DualInput bool
+	// OverPenalty > 1 weights over-estimation errors more heavily in the
+	// loss, matching the paper's design goal of preventing over-estimations
+	// that would mis-schedule pre-warming.
+	OverPenalty float64
+
+	lstmIAT   *LSTM
+	lstmCount *LSTM
+	merge     *Dense // merged hidden -> hidden (with tanh)
+	head      *Dense // hidden -> 1
+	iatNorm   float64
+	countNorm float64
+	seed      int64
+}
+
+// NewInterArrivalPredictor returns the dual-input predictor.
+func NewInterArrivalPredictor(seed int64) *InterArrivalPredictor {
+	return &InterArrivalPredictor{
+		SeqLen:      16,
+		Hidden:      24,
+		Epochs:      8,
+		DualInput:   true,
+		OverPenalty: 3,
+		seed:        seed,
+	}
+}
+
+// NewSingleInputIAT returns the SMIless-S ablation: one LSTM over
+// inter-arrival times only.
+func NewSingleInputIAT(seed int64) *InterArrivalPredictor {
+	p := NewInterArrivalPredictor(seed)
+	p.DualInput = false
+	return p
+}
+
+// Name implements IATPredictor.
+func (p *InterArrivalPredictor) Name() string {
+	if p.DualInput {
+		return "SMIless-IAT"
+	}
+	return "SMIless-S"
+}
+
+func (p *InterArrivalPredictor) params() (params, grads [][]float64) {
+	ps, gs := p.lstmIAT.Params()
+	if p.DualInput {
+		p2, g2 := p.lstmCount.Params()
+		ps, gs = append(ps, p2...), append(gs, g2...)
+	}
+	p3, g3 := p.merge.Params()
+	p4, g4 := p.head.Params()
+	return append(append(ps, p3...), p4...), append(append(gs, g3...), g4...)
+}
+
+func (p *InterArrivalPredictor) zeroGrad() {
+	p.lstmIAT.ZeroGrad()
+	if p.DualInput {
+		p.lstmCount.ZeroGrad()
+	}
+	p.merge.ZeroGrad()
+	p.head.ZeroGrad()
+}
+
+// windowOf builds the normalized trailing window of one series.
+func windowOf(series []float64, seqLen int, norm float64) [][]float64 {
+	xs := make([][]float64, seqLen)
+	for i := 0; i < seqLen; i++ {
+		idx := len(series) - seqLen + i
+		v := 0.0
+		if idx >= 0 {
+			v = series[idx]
+		}
+		xs[i] = []float64{v / norm}
+	}
+	return xs
+}
+
+// forward runs the network, returning the scalar prediction (normalized)
+// plus the intermediate values needed for backprop.
+type iatForward struct {
+	hIAT, hCnt     []float64
+	cachesIAT      []*lstmCache
+	cachesCnt      []*lstmCache
+	merged, actOut []float64
+	y              float64
+}
+
+func (p *InterArrivalPredictor) forward(iats, counts []float64) *iatForward {
+	f := &iatForward{}
+	f.hIAT, f.cachesIAT = p.lstmIAT.Forward(windowOf(iats, p.SeqLen, p.iatNorm))
+	mergedIn := f.hIAT
+	if p.DualInput {
+		f.hCnt, f.cachesCnt = p.lstmCount.Forward(windowOf(counts, p.SeqLen, p.countNorm))
+		mergedIn = append(append([]float64(nil), f.hIAT...), f.hCnt...)
+	}
+	f.merged = mergedIn
+	pre := p.merge.Forward(mergedIn)
+	f.actOut = make([]float64, len(pre))
+	for i, v := range pre {
+		f.actOut[i] = math.Tanh(v)
+	}
+	f.y = p.head.Forward(f.actOut)[0]
+	return f
+}
+
+// backward propagates dY through head, activation, merge and both LSTMs.
+func (p *InterArrivalPredictor) backward(f *iatForward, dY float64) {
+	dAct := p.head.Backward(f.actOut, []float64{dY})
+	dPre := make([]float64, len(dAct))
+	for i := range dAct {
+		dPre[i] = dAct[i] * (1 - f.actOut[i]*f.actOut[i])
+	}
+	dMerged := p.merge.Backward(f.merged, dPre)
+	h := p.lstmIAT.Hidden
+	p.lstmIAT.Backward(f.cachesIAT, dMerged[:h])
+	if p.DualInput {
+		p.lstmCount.Backward(f.cachesCnt, dMerged[h:])
+	}
+}
+
+// FitIAT implements IATPredictor.
+func (p *InterArrivalPredictor) FitIAT(iats, counts []float64) {
+	if len(iats) <= p.SeqLen {
+		panic(fmt.Sprintf("predictor: IAT series of %d shorter than SeqLen %d", len(iats), p.SeqLen))
+	}
+	if len(counts) != len(iats) {
+		panic("predictor: iats and counts must be aligned")
+	}
+	p.iatNorm = math.Max(mathx.Max(iats), 1e-9)
+	p.countNorm = math.Max(mathx.Max(counts), 1)
+	r := mathx.NewRand(p.seed)
+	p.lstmIAT = NewLSTM(r, 1, p.Hidden)
+	mergeIn := p.Hidden
+	if p.DualInput {
+		p.lstmCount = NewLSTM(r, 1, p.Hidden)
+		mergeIn = 2 * p.Hidden
+	}
+	p.merge = NewDense(r, mergeIn, p.Hidden)
+	p.head = NewDense(r, p.Hidden, 1)
+	params, grads := p.params()
+	opt := NewAdam(0.005, params, grads)
+
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		for i := p.SeqLen; i < len(iats); i++ {
+			target := iats[i] / p.iatNorm
+			p.zeroGrad()
+			f := p.forward(iats[:i], counts[:i])
+			diff := f.y - target
+			// Asymmetric squared loss: over-estimations (diff > 0) are
+			// penalized OverPenalty times more.
+			w := 1.0
+			if diff > 0 && p.OverPenalty > 1 {
+				w = p.OverPenalty
+			}
+			p.backward(f, w*diff)
+			opt.Step(5)
+		}
+	}
+}
+
+// PredictIAT implements IATPredictor.
+func (p *InterArrivalPredictor) PredictIAT(iats, counts []float64) float64 {
+	if p.lstmIAT == nil {
+		panic("predictor: PredictIAT before FitIAT")
+	}
+	f := p.forward(iats, counts)
+	v := f.y * p.iatNorm
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// IATEval summarizes inter-arrival prediction quality as in Fig. 12(b).
+type IATEval struct {
+	MAPE             float64 // mean absolute percentage error
+	OverestimateRate float64 // fraction of predictions above the true gap
+	MeanOvershoot    float64 // mean relative overshoot on over-estimates
+}
+
+// EvaluateIAT fits on the training prefix and walks the test series.
+func EvaluateIAT(p IATPredictor, trainIAT, trainCnt, testIAT, testCnt []float64) IATEval {
+	p.FitIAT(trainIAT, trainCnt)
+	histI := append([]float64(nil), trainIAT...)
+	histC := append([]float64(nil), trainCnt...)
+	var preds, truth []float64
+	over, overSum := 0, 0.0
+	for i, actual := range testIAT {
+		pred := p.PredictIAT(histI, histC)
+		preds = append(preds, pred)
+		truth = append(truth, actual)
+		if pred > actual {
+			over++
+			if actual > 0 {
+				overSum += (pred - actual) / actual
+			}
+		}
+		histI = append(histI, actual)
+		histC = append(histC, testCnt[i])
+	}
+	ev := IATEval{MAPE: mathx.MAPE(preds, truth)}
+	if len(testIAT) > 0 {
+		ev.OverestimateRate = float64(over) / float64(len(testIAT))
+	}
+	if over > 0 {
+		ev.MeanOvershoot = overSum / float64(over)
+	}
+	return ev
+}

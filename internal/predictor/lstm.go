@@ -1,0 +1,328 @@
+// Package predictor implements the paper's Online Predictor (§IV-B) and the
+// baselines it is evaluated against (Fig. 12):
+//
+//   - an LSTM bucket-classifier that predicts an upper bound on the number
+//     of invocations in the next window (underestimation avoidance);
+//   - a dual-LSTM regressor for inter-arrival times that consumes both the
+//     inter-arrival series and the invocation-count series;
+//   - baselines: ARIMA (autoregression), FIP (IceBreaker's Fourier-based
+//     predictor), and gradient-boosted trees (the XGBoost stand-in).
+//
+// Everything, including LSTM backpropagation-through-time and the Adam
+// optimizer, is implemented from scratch on the standard library.
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer LSTM. Gate weights are packed into one matrix W of
+// shape [4H x (I+H)] with gate order (input, forget, cell, output), plus a
+// packed bias vector of length 4H. The forget-gate bias is initialized to 1,
+// the standard trick for gradient flow on startup.
+type LSTM struct {
+	In, Hidden int
+	W          []float64 // 4H x (I+H), row-major
+	B          []float64 // 4H
+	dW, dB     []float64 // gradient accumulators
+}
+
+// NewLSTM returns an LSTM with Xavier-style initialization.
+func NewLSTM(r *rand.Rand, in, hidden int) *LSTM {
+	if in < 1 || hidden < 1 {
+		panic(fmt.Sprintf("predictor: bad LSTM shape in=%d hidden=%d", in, hidden))
+	}
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		W:  make([]float64, 4*hidden*(in+hidden)),
+		B:  make([]float64, 4*hidden),
+		dW: make([]float64, 4*hidden*(in+hidden)),
+		dB: make([]float64, 4*hidden),
+	}
+	scale := 1.0 / math.Sqrt(float64(in+hidden))
+	for i := range l.W {
+		l.W[i] = r.NormFloat64() * scale
+	}
+	for h := 0; h < hidden; h++ {
+		l.B[hidden+h] = 1 // forget gate bias
+	}
+	return l
+}
+
+// lstmCache stores the per-step activations needed by BPTT.
+type lstmCache struct {
+	x          []float64 // input at this step
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64 // gate activations
+	c, h       []float64 // new cell and hidden state
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// step runs one LSTM step and returns the cache.
+func (l *LSTM) step(x, hPrev, cPrev []float64) *lstmCache {
+	h := l.Hidden
+	cache := &lstmCache{
+		x: append([]float64(nil), x...), hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, h), f: make([]float64, h), g: make([]float64, h), o: make([]float64, h),
+		c: make([]float64, h), h: make([]float64, h),
+	}
+	width := l.In + h
+	for gate := 0; gate < 4; gate++ {
+		for j := 0; j < h; j++ {
+			row := (gate*h + j) * width
+			s := l.B[gate*h+j]
+			for k := 0; k < l.In; k++ {
+				s += l.W[row+k] * x[k]
+			}
+			for k := 0; k < h; k++ {
+				s += l.W[row+l.In+k] * hPrev[k]
+			}
+			switch gate {
+			case 0:
+				cache.i[j] = sigmoid(s)
+			case 1:
+				cache.f[j] = sigmoid(s)
+			case 2:
+				cache.g[j] = math.Tanh(s)
+			case 3:
+				cache.o[j] = sigmoid(s)
+			}
+		}
+	}
+	for j := 0; j < h; j++ {
+		cache.c[j] = cache.f[j]*cPrev[j] + cache.i[j]*cache.g[j]
+		cache.h[j] = cache.o[j] * math.Tanh(cache.c[j])
+	}
+	return cache
+}
+
+// Forward runs the LSTM over a sequence of input vectors starting from zero
+// state and returns the final hidden state plus the caches for BPTT.
+func (l *LSTM) Forward(xs [][]float64) ([]float64, []*lstmCache) {
+	h := make([]float64, l.Hidden)
+	c := make([]float64, l.Hidden)
+	caches := make([]*lstmCache, len(xs))
+	for t, x := range xs {
+		if len(x) != l.In {
+			panic(fmt.Sprintf("predictor: input width %d, want %d", len(x), l.In))
+		}
+		cache := l.step(x, h, c)
+		caches[t] = cache
+		h, c = cache.h, cache.c
+	}
+	return h, caches
+}
+
+// Backward runs BPTT given dH, the loss gradient w.r.t. the final hidden
+// state, accumulating parameter gradients into dW/dB.
+func (l *LSTM) Backward(caches []*lstmCache, dH []float64) {
+	h := l.Hidden
+	width := l.In + h
+	dh := append([]float64(nil), dH...)
+	dc := make([]float64, h)
+	for t := len(caches) - 1; t >= 0; t-- {
+		cc := caches[t]
+		dhNext := make([]float64, h)
+		dcNext := make([]float64, h)
+		for j := 0; j < h; j++ {
+			tc := math.Tanh(cc.c[j])
+			do := dh[j] * tc
+			dcj := dc[j] + dh[j]*cc.o[j]*(1-tc*tc)
+			di := dcj * cc.g[j]
+			dg := dcj * cc.i[j]
+			df := dcj * cc.cPrev[j]
+			dcNext[j] = dcj * cc.f[j]
+
+			// Pre-activation gradients.
+			zi := di * cc.i[j] * (1 - cc.i[j])
+			zf := df * cc.f[j] * (1 - cc.f[j])
+			zg := dg * (1 - cc.g[j]*cc.g[j])
+			zo := do * cc.o[j] * (1 - cc.o[j])
+			for gate, z := range [4]float64{zi, zf, zg, zo} {
+				row := (gate*h + j) * width
+				l.dB[gate*h+j] += z
+				for k := 0; k < l.In; k++ {
+					l.dW[row+k] += z * cc.x[k]
+				}
+				for k := 0; k < h; k++ {
+					l.dW[row+l.In+k] += z * cc.hPrev[k]
+					// accumulated below via dhNext
+				}
+				for k := 0; k < h; k++ {
+					dhNext[k] += l.W[row+l.In+k] * z
+				}
+			}
+		}
+		dh = dhNext
+		dc = dcNext
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *LSTM) ZeroGrad() {
+	for i := range l.dW {
+		l.dW[i] = 0
+	}
+	for i := range l.dB {
+		l.dB[i] = 0
+	}
+}
+
+// Params returns the parameter and gradient slices for the optimizer.
+func (l *LSTM) Params() (params, grads [][]float64) {
+	return [][]float64{l.W, l.B}, [][]float64{l.dW, l.dB}
+}
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float64 // Out x In
+	B       []float64
+	dW, dB  []float64
+}
+
+// NewDense returns a Dense layer with Xavier-style initialization.
+func NewDense(r *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float64, out*in), B: make([]float64, out),
+		dW: make([]float64, out*in), dB: make([]float64, out),
+	}
+	scale := 1.0 / math.Sqrt(float64(in))
+	for i := range d.W {
+		d.W[i] = r.NormFloat64() * scale
+	}
+	return d
+}
+
+// Forward computes the layer output.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("predictor: dense input %d, want %d", len(x), d.In))
+	}
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		for i := 0; i < d.In; i++ {
+			s += d.W[o*d.In+i] * x[i]
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates gradients given the input x and dY, returning dX.
+func (d *Dense) Backward(x, dY []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		d.dB[o] += dY[o]
+		for i := 0; i < d.In; i++ {
+			d.dW[o*d.In+i] += dY[o] * x[i]
+			dx[i] += d.W[o*d.In+i] * dY[o]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	for i := range d.dW {
+		d.dW[i] = 0
+	}
+	for i := range d.dB {
+		d.dB[i] = 0
+	}
+}
+
+// Params returns the parameter and gradient slices for the optimizer.
+func (d *Dense) Params() (params, grads [][]float64) {
+	return [][]float64{d.W, d.B}, [][]float64{d.dW, d.dB}
+}
+
+// Adam is the Adam optimizer over a set of parameter slices.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float64
+	params, grads         [][]float64
+}
+
+// NewAdam wires an Adam optimizer to the given parameter/gradient slices.
+func NewAdam(lr float64, params, grads [][]float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params, grads: grads}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p)))
+		a.v = append(a.v, make([]float64, len(p)))
+	}
+	return a
+}
+
+// Step applies one Adam update with gradient clipping at clip (no clipping
+// when clip <= 0).
+func (a *Adam) Step(clip float64) {
+	a.t++
+	if clip > 0 {
+		norm := 0.0
+		for _, g := range a.grads {
+			for _, x := range g {
+				norm += x * x
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > clip {
+			s := clip / norm
+			for _, g := range a.grads {
+				for i := range g {
+					g[i] *= s
+				}
+			}
+		}
+	}
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		g := a.grads[pi]
+		for i := range p {
+			a.m[pi][i] = a.Beta1*a.m[pi][i] + (1-a.Beta1)*g[i]
+			a.v[pi][i] = a.Beta2*a.v[pi][i] + (1-a.Beta2)*g[i]*g[i]
+			mh := a.m[pi][i] / b1c
+			vh := a.v[pi][i] / b2c
+			p[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// Softmax returns the softmax of logits (numerically stable).
+func Softmax(logits []float64) []float64 {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropyGrad returns the loss and dLogits for a softmax +
+// cross-entropy head with the given target class.
+func CrossEntropyGrad(logits []float64, target int) (float64, []float64) {
+	p := Softmax(logits)
+	loss := -math.Log(math.Max(p[target], 1e-12))
+	grad := make([]float64, len(p))
+	copy(grad, p)
+	grad[target] -= 1
+	return loss, grad
+}

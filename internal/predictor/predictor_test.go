@@ -1,0 +1,333 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"smiless/internal/mathx"
+	"smiless/internal/trace"
+)
+
+// periodicCounts builds a deterministic periodic count series with mild
+// noise: an easy pattern every predictor should track.
+func periodicCounts(n int, seed int64) []float64 {
+	r := mathx.NewRand(seed)
+	out := make([]float64, n)
+	for i := range out {
+		base := 6 + 5*math.Sin(2*math.Pi*float64(i)/24)
+		out[i] = math.Max(0, math.Round(base+r.NormFloat64()*0.5))
+	}
+	return out
+}
+
+// burstyCounts builds an Azure-like count series dense enough that the
+// per-window counts carry learnable structure (the Fig. 12 regime).
+func burstyCounts(n int, seed int64) []float64 {
+	r := mathx.NewRand(seed)
+	tr := trace.AzureLike(r, trace.DenseAzureLike(float64(n)))
+	cs := tr.Counts(1)
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+func TestInvocationPredictorRarelyUnderestimates(t *testing.T) {
+	// Fig. 12(a): the bucket classifier's underestimation error ~3%.
+	series := periodicCounts(700, 1)
+	p := NewInvocationPredictor(2, 1)
+	ev := EvaluateCounts(p, series[:400], series[400:])
+	if ev.UnderestimateRate > 0.10 {
+		t.Errorf("underestimate rate = %.1f%%, want <= 10%%", ev.UnderestimateRate*100)
+	}
+}
+
+func TestInvocationPredictorBeatsBaselinesOnUnderestimation(t *testing.T) {
+	series := burstyCounts(900, 2)
+	train, test := series[:600], series[600:]
+	lstm := EvaluateCounts(NewInvocationPredictor(2, 3), train, test)
+	arima := EvaluateCounts(NewARIMA(8, 0), train, test)
+	fip := EvaluateCounts(NewFIP(), train, test)
+	// The upper-bound classification approach must underestimate less than
+	// the point-forecast baselines (the paper's core argument).
+	if lstm.UnderestimateRate >= arima.UnderestimateRate {
+		t.Errorf("LSTM underestimates %.1f%%, ARIMA %.1f%% — LSTM should win",
+			lstm.UnderestimateRate*100, arima.UnderestimateRate*100)
+	}
+	if lstm.UnderestimateRate >= fip.UnderestimateRate {
+		t.Errorf("LSTM underestimates %.1f%%, FIP %.1f%% — LSTM should win",
+			lstm.UnderestimateRate*100, fip.UnderestimateRate*100)
+	}
+}
+
+func TestInvocationPredictorBuckets(t *testing.T) {
+	p := NewInvocationPredictor(4, 1)
+	if p.bucket(0) != 0 || p.bucket(1) != 1 || p.bucket(4) != 1 || p.bucket(5) != 2 {
+		t.Error("bucket boundaries wrong")
+	}
+	if p.upper(2) != 8 {
+		t.Errorf("upper(2) = %v, want 8", p.upper(2))
+	}
+}
+
+func TestInvocationPredictorPanics(t *testing.T) {
+	p := NewInvocationPredictor(2, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short series should panic")
+			}
+		}()
+		p.Fit(make([]float64, 5))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Predict before Fit should panic")
+			}
+		}()
+		p.Predict([]float64{1, 2, 3})
+	}()
+}
+
+func TestARIMARecoversAR1(t *testing.T) {
+	// Series y[t] = 0.8 y[t-1] + e: AR(1) coefficient should be ~0.8.
+	r := mathx.NewRand(4)
+	n := 2000
+	series := make([]float64, n)
+	for i := 1; i < n; i++ {
+		series[i] = 0.8*series[i-1] + r.NormFloat64()
+	}
+	a := NewARIMA(1, 0)
+	a.Fit(series)
+	if math.Abs(a.coef[0]-0.8) > 0.05 {
+		t.Errorf("AR(1) coefficient = %v, want ~0.8", a.coef[0])
+	}
+}
+
+func TestARIMAPredictConstant(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 5
+	}
+	a := NewARIMA(3, 0)
+	a.Fit(series)
+	if got := a.Predict(series); math.Abs(got-5) > 0.5 {
+		t.Errorf("constant-series prediction = %v, want ~5", got)
+	}
+}
+
+func TestARIMADifferencing(t *testing.T) {
+	// Linear trend: ARIMA(1,1,0) should track it; ARIMA without
+	// differencing lags behind.
+	n := 300
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = float64(i)
+	}
+	a := NewARIMA(2, 1)
+	a.Fit(series)
+	got := a.Predict(series)
+	if math.Abs(got-float64(n)) > 1 {
+		t.Errorf("trend prediction = %v, want ~%d", got, n)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	r := mathx.NewRand(5)
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+	}
+	spec := fft(x, false)
+	back := fft(spec, true)
+	for i := range x {
+		if math.Abs(real(back[i])/float64(n)-real(x[i])) > 1e-9 {
+			t.Fatalf("fft round trip failed at %d", i)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := mathx.NewRand(6)
+	n := 128
+	x := make([]complex128, n)
+	var sumT float64
+	for i := range x {
+		v := r.NormFloat64()
+		x[i] = complex(v, 0)
+		sumT += v * v
+	}
+	spec := fft(x, false)
+	var sumF float64
+	for _, s := range spec {
+		sumF += real(s)*real(s) + imag(s)*imag(s)
+	}
+	if math.Abs(sumF/float64(n)-sumT) > 1e-6 {
+		t.Errorf("Parseval violated: time %v vs freq %v", sumT, sumF/float64(n))
+	}
+}
+
+func TestFIPTracksPeriodicSignal(t *testing.T) {
+	// Pure sinusoid with period 32: FIP should predict within the signal's
+	// amplitude scale.
+	n := 512
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = 10 + 8*math.Sin(2*math.Pi*float64(i)/32)
+	}
+	f := NewFIP()
+	f.Fit(series[:256])
+	// Walk the rest and check MAPE is small for this ideal input.
+	var preds, truth []float64
+	for i := 256; i < n; i++ {
+		preds = append(preds, f.Predict(series[:i]))
+		truth = append(truth, series[i])
+	}
+	if m := mathx.MAPE(preds, truth); m > 25 {
+		t.Errorf("FIP MAPE on pure sinusoid = %.1f%%, want < 25%%", m)
+	}
+}
+
+func TestGBTLearnsLagRelation(t *testing.T) {
+	// y[t] = y[t-1]: GBT over lags should track a slow random walk.
+	r := mathx.NewRand(7)
+	n := 600
+	series := make([]float64, n)
+	series[0] = 50
+	for i := 1; i < n; i++ {
+		series[i] = math.Max(0, series[i-1]+r.NormFloat64())
+	}
+	g := NewGBT()
+	g.Fit(series[:400])
+	var preds, truth []float64
+	for i := 400; i < n; i++ {
+		preds = append(preds, g.Predict(series[:i]))
+		truth = append(truth, series[i])
+	}
+	if m := mathx.MAPE(preds, truth); m > 15 {
+		t.Errorf("GBT MAPE on random walk = %.1f%%, want < 15%%", m)
+	}
+}
+
+func TestGBTPanicsOnShortSeries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short series should panic")
+		}
+	}()
+	NewGBT().Fit(make([]float64, 5))
+}
+
+// iatSeries builds aligned inter-arrival and count series from a trace at
+// window granularity: the paper defines the inter-arrival time as the gap
+// between consecutive windows with non-zero invocations (§IV-B2), which is
+// also what the controller feeds the predictor.
+func iatSeries(tr *trace.Trace) (iats, counts []float64) {
+	cs := tr.Counts(1)
+	var events []float64
+	lastWin := -1
+	for _, a := range tr.Arrivals {
+		w := int(a)
+		if w != lastWin {
+			events = append(events, a)
+			lastWin = w
+		}
+	}
+	for i := 1; i < len(events); i++ {
+		iats = append(iats, events[i]-events[i-1])
+		w := int(events[i])
+		if w >= len(cs) {
+			w = len(cs) - 1
+		}
+		counts = append(counts, float64(cs[w]))
+	}
+	return iats, counts
+}
+
+func TestIATPredictorLearns(t *testing.T) {
+	// Alternating regime: gaps of 1s and 4s in blocks. The predictor must
+	// do much better than the global mean.
+	n := 600
+	iats := make([]float64, n)
+	counts := make([]float64, n)
+	for i := range iats {
+		if (i/40)%2 == 0 {
+			iats[i] = 1
+			counts[i] = 8
+		} else {
+			iats[i] = 4
+			counts[i] = 2
+		}
+	}
+	p := NewInterArrivalPredictor(1)
+	p.Epochs = 6
+	ev := EvaluateIAT(p, iats[:400], counts[:400], iats[400:], counts[400:])
+	if ev.MAPE > 35 {
+		t.Errorf("dual-LSTM MAPE = %.1f%%, want < 35%%", ev.MAPE)
+	}
+}
+
+func TestDualInputReducesOverestimation(t *testing.T) {
+	// Fig. 12(b): the dual-input model overestimates less than SMIless-S.
+	r := mathx.NewRand(8)
+	tr := trace.AzureLike(r, trace.DefaultAzureLike(4800))
+	iats, counts := iatSeries(tr)
+	if len(iats) < 400 {
+		t.Skip("trace too sparse")
+	}
+	cut := len(iats) * 2 / 3
+	dual := EvaluateIAT(NewInterArrivalPredictor(9), iats[:cut], counts[:cut], iats[cut:], counts[cut:])
+	single := EvaluateIAT(NewSingleInputIAT(9), iats[:cut], counts[:cut], iats[cut:], counts[cut:])
+	// Compare the over-estimation burden (rate × mean overshoot). A
+	// degenerate single-input model that under-predicts everything has
+	// zero burden but useless accuracy, so require the dual model to be
+	// at least comparable overall before comparing burdens.
+	if dual.MAPE > single.MAPE*1.2 {
+		t.Errorf("dual MAPE %.1f%% should not exceed single %.1f%% by >20%%", dual.MAPE, single.MAPE)
+	}
+	dBurden := dual.OverestimateRate * dual.MeanOvershoot
+	sBurden := single.OverestimateRate * single.MeanOvershoot
+	if sBurden > 0.01 && dBurden > sBurden*1.1 {
+		t.Errorf("dual over-estimation burden %.4f should not exceed single %.4f", dBurden, sBurden)
+	}
+}
+
+func TestIATPredictorValidation(t *testing.T) {
+	p := NewInterArrivalPredictor(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("misaligned series should panic")
+			}
+		}()
+		p.FitIAT(make([]float64, 100), make([]float64, 50))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PredictIAT before FitIAT should panic")
+			}
+		}()
+		p.PredictIAT([]float64{1}, []float64{1})
+	}()
+}
+
+func TestPredictorNames(t *testing.T) {
+	for _, c := range []struct {
+		got, want string
+	}{
+		{NewInvocationPredictor(1, 0).Name(), "SMIless-LSTM"},
+		{NewARIMA(2, 0).Name(), "ARIMA(2,0,0)"},
+		{NewFIP().Name(), "FIP"},
+		{NewGBT().Name(), "XGBoost"},
+		{NewInterArrivalPredictor(0).Name(), "SMIless-IAT"},
+		{NewSingleInputIAT(0).Name(), "SMIless-S"},
+	} {
+		if c.got != c.want {
+			t.Errorf("name %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package profiler implements the paper's Offline Profiler (§IV-A): it
+// collects initialization and inference timing samples for each function on
+// both backends, stores them in the metrics store (the Prometheus stand-in),
+// and fits the perfmodel latency laws.
+//
+// Sampling budget follows §VII-C1: inference profiling uses 5×5 = 25 samples
+// on the CPU backend (batch sizes 2¹..2⁵ × core counts 2⁰..2⁴) and 50 on the
+// GPU backend (5 batch sizes × 10 MPS shares); initialization is measured 10
+// times per backend and summarized as μ + n·σ.
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smiless/internal/apps"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/metrics"
+	"smiless/internal/perfmodel"
+)
+
+// Options configures a profiling campaign.
+type Options struct {
+	// InitRepeats is the number of cold starts measured per backend
+	// (paper: 10).
+	InitRepeats int
+	// Uncertainty is the n in μ + n·σ (paper: 3; Fig. 11a shows 0, i.e.
+	// plain mean, causes 34% SLA violations).
+	Uncertainty float64
+	// Batches are the batch sizes sampled (paper: 2^1..2^5).
+	Batches []int
+	// Cores are the CPU core counts sampled (paper: 2^0..2^4).
+	Cores []int
+	// GPUShares are the MPS percentages sampled (paper: 10..100).
+	GPUShares []int
+	// Seed drives measurement noise.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's profiling budget.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		InitRepeats: 10,
+		Uncertainty: perfmodel.DefaultUncertainty,
+		Batches:     []int{2, 4, 8, 16, 32},
+		Cores:       []int{1, 2, 4, 8, 16},
+		GPUShares:   []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Seed:        seed,
+	}
+}
+
+// Profiler runs profiling campaigns against the synthetic ground truth,
+// standing in for the event-tracking measurements on the real cluster.
+type Profiler struct {
+	Store *metrics.Store
+	Opts  Options
+}
+
+// New returns a Profiler writing samples into store.
+func New(store *metrics.Store, opts Options) *Profiler {
+	if store == nil {
+		store = metrics.NewStore()
+	}
+	if opts.InitRepeats < 1 {
+		opts.InitRepeats = 10
+	}
+	return &Profiler{Store: store, Opts: opts}
+}
+
+// ProfileFunction measures one function on both backends and fits its
+// profile. The name parameter labels the stored series (a node ID when
+// profiling within an application).
+func (p *Profiler) ProfileFunction(name string, spec *apps.FunctionSpec, r *rand.Rand) (*perfmodel.Profile, error) {
+	cpuInit := p.measureInit(name, spec, hardware.Config{Kind: hardware.CPU, Cores: 4}, r)
+	gpuInit := p.measureInit(name, spec, hardware.Config{Kind: hardware.GPU, GPUShare: 100}, r)
+
+	cpuSamples := p.measureInferenceCPU(name, spec, r)
+	gpuSamples := p.measureInferenceGPU(name, spec, r)
+
+	cpuInf, err := perfmodel.FitInference(hardware.CPU, cpuSamples)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %s CPU fit: %w", name, err)
+	}
+	gpuInf, err := perfmodel.FitInference(hardware.GPU, gpuSamples)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %s GPU fit: %w", name, err)
+	}
+	cpuInitModel, err := perfmodel.FitInit(hardware.CPU, cpuInit, p.Opts.Uncertainty)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %s CPU init fit: %w", name, err)
+	}
+	gpuInitModel, err := perfmodel.FitInit(hardware.GPU, gpuInit, p.Opts.Uncertainty)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %s GPU init fit: %w", name, err)
+	}
+	return &perfmodel.Profile{
+		Function: name,
+		CPUInf:   cpuInf, GPUInf: gpuInf,
+		CPUInit: cpuInitModel, GPUInit: gpuInitModel,
+	}, nil
+}
+
+// measureInit runs the initialization measurement loop for one backend.
+func (p *Profiler) measureInit(name string, spec *apps.FunctionSpec, cfg hardware.Config, r *rand.Rand) []float64 {
+	out := make([]float64, p.Opts.InitRepeats)
+	for i := range out {
+		out[i] = spec.SampleInit(r, cfg)
+		p.Store.Record("init_time", metrics.Labels{"fn": name, "kind": cfg.Kind.String()}, float64(i), out[i])
+	}
+	return out
+}
+
+// measureInferenceCPU samples the paper's 5×5 CPU grid.
+func (p *Profiler) measureInferenceCPU(name string, spec *apps.FunctionSpec, r *rand.Rand) []perfmodel.Sample {
+	var out []perfmodel.Sample
+	for _, b := range p.Opts.Batches {
+		for _, c := range p.Opts.Cores {
+			cfg := hardware.Config{Kind: hardware.CPU, Cores: c}
+			lat := spec.SampleInference(r, cfg, b)
+			p.Store.Record("inf_time", metrics.Labels{
+				"fn": name, "kind": "CPU",
+				"batch": fmt.Sprint(b), "res": fmt.Sprint(c),
+			}, 0, lat)
+			out = append(out, perfmodel.Sample{Batch: b, Config: cfg, Latency: lat})
+		}
+	}
+	return out
+}
+
+// measureInferenceGPU samples the paper's 5×10 GPU grid.
+func (p *Profiler) measureInferenceGPU(name string, spec *apps.FunctionSpec, r *rand.Rand) []perfmodel.Sample {
+	var out []perfmodel.Sample
+	for _, b := range p.Opts.Batches {
+		for _, g := range p.Opts.GPUShares {
+			cfg := hardware.Config{Kind: hardware.GPU, GPUShare: g}
+			lat := spec.SampleInference(r, cfg, b)
+			p.Store.Record("inf_time", metrics.Labels{
+				"fn": name, "kind": "GPU",
+				"batch": fmt.Sprint(b), "res": fmt.Sprint(g),
+			}, 0, lat)
+			out = append(out, perfmodel.Sample{Batch: b, Config: cfg, Latency: lat})
+		}
+	}
+	return out
+}
+
+// ProfileApplication profiles every function of an application, keyed by
+// node ID.
+func (p *Profiler) ProfileApplication(app *apps.Application) (map[dag.NodeID]*perfmodel.Profile, error) {
+	r := rand.New(rand.NewSource(p.Opts.Seed))
+	out := make(map[dag.NodeID]*perfmodel.Profile, app.Graph.Len())
+	for _, id := range app.Graph.Nodes() {
+		prof, err := p.ProfileFunction(string(id), app.Spec(id), r)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = prof
+	}
+	return out, nil
+}
+
+// Accuracy reports the SMAPE (in percent) of a fitted profile against the
+// ground truth mean latency over a validation grid, per backend — the
+// Fig. 11(b) metric.
+func Accuracy(prof *perfmodel.Profile, spec *apps.FunctionSpec, opts Options) (cpuSMAPE, gpuSMAPE float64) {
+	var cpuPred, cpuTruth, gpuPred, gpuTruth []float64
+	for _, b := range opts.Batches {
+		for _, c := range opts.Cores {
+			cfg := hardware.Config{Kind: hardware.CPU, Cores: c}
+			cpuPred = append(cpuPred, prof.InferenceTime(cfg, b))
+			cpuTruth = append(cpuTruth, spec.MeanInference(cfg, b))
+		}
+		for _, g := range opts.GPUShares {
+			cfg := hardware.Config{Kind: hardware.GPU, GPUShare: g}
+			gpuPred = append(gpuPred, prof.InferenceTime(cfg, b))
+			gpuTruth = append(gpuTruth, spec.MeanInference(cfg, b))
+		}
+	}
+	return mathx.SMAPE(cpuPred, cpuTruth), mathx.SMAPE(gpuPred, gpuTruth)
+}

@@ -1,0 +1,158 @@
+package profiler
+
+import (
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/metrics"
+	"smiless/internal/perfmodel"
+)
+
+func TestProfileFunctionAccuracy(t *testing.T) {
+	// Fig. 11(b): SMAPE < 20% for every function, average < 8%, GPU more
+	// accurate than CPU.
+	opts := DefaultOptions(1)
+	p := New(metrics.NewStore(), opts)
+	r := mathx.NewRand(opts.Seed)
+	var cpuSum, gpuSum float64
+	n := 0
+	for name, spec := range apps.Functions {
+		prof, err := p.ProfileFunction(name, spec, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cpuS, gpuS := Accuracy(prof, spec, opts)
+		if cpuS > 20 || gpuS > 20 {
+			t.Errorf("%s: SMAPE cpu=%.1f%% gpu=%.1f%%, want both < 20%%", name, cpuS, gpuS)
+		}
+		cpuSum += cpuS
+		gpuSum += gpuS
+		n++
+	}
+	if avg := (cpuSum + gpuSum) / float64(2*n); avg > 8 {
+		t.Errorf("average SMAPE %.1f%%, want < 8%%", avg)
+	}
+	if gpuSum >= cpuSum {
+		t.Errorf("GPU profiling (sum %.1f) should be more accurate than CPU (sum %.1f)", gpuSum, cpuSum)
+	}
+}
+
+func TestInitEstimateConservative(t *testing.T) {
+	// With n=3, the estimate must exceed the true mean for both backends,
+	// the property that eliminates SLA violations in Fig. 11(a).
+	opts := DefaultOptions(2)
+	p := New(nil, opts)
+	r := mathx.NewRand(2)
+	spec := apps.Functions["TRS"]
+	prof, err := p.ProfileFunction("TRS", spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.InitTime(hardware.Config{Kind: hardware.CPU, Cores: 4}); got <= spec.CPUInitMu {
+		t.Errorf("CPU init estimate %v should exceed true mean %v", got, spec.CPUInitMu)
+	}
+	if got := prof.InitTime(hardware.Config{Kind: hardware.GPU, GPUShare: 100}); got <= spec.GPUInitMu {
+		t.Errorf("GPU init estimate %v should exceed true mean %v", got, spec.GPUInitMu)
+	}
+}
+
+func TestPlainMeanUnderestimates(t *testing.T) {
+	// With n=0 (plain mean), roughly half of realized cold starts exceed
+	// the estimate — the cause of Fig. 11(a)'s 34% violations.
+	opts := DefaultOptions(3)
+	opts.Uncertainty = 0
+	p := New(nil, opts)
+	r := mathx.NewRand(3)
+	spec := apps.Functions["IR"]
+	prof, err := p.ProfileFunction("IR", spec, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hardware.Config{Kind: hardware.GPU, GPUShare: 100}
+	est := prof.InitTime(cfg)
+	exceed := 0
+	trials := 2000
+	for i := 0; i < trials; i++ {
+		if spec.SampleInit(r, cfg) > est {
+			exceed++
+		}
+	}
+	frac := float64(exceed) / float64(trials)
+	if frac < 0.25 {
+		t.Errorf("only %.0f%% of cold starts exceed the plain-mean estimate; expected a large fraction", frac*100)
+	}
+	// And with n=3 the exceed fraction must be tiny.
+	prof3 := spec.TrueProfile(3)
+	est3 := prof3.InitTime(cfg)
+	exceed3 := 0
+	for i := 0; i < trials; i++ {
+		if spec.SampleInit(r, cfg) > est3 {
+			exceed3++
+		}
+	}
+	if frac3 := float64(exceed3) / float64(trials); frac3 > 0.01 {
+		t.Errorf("%.1f%% of cold starts exceed mu+3sigma; want <= 1%%", frac3*100)
+	}
+}
+
+func TestProfileApplication(t *testing.T) {
+	app := apps.VoiceAssistant()
+	p := New(metrics.NewStore(), DefaultOptions(4))
+	profiles, err := p.ProfileApplication(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != app.Graph.Len() {
+		t.Fatalf("profiles = %d, want %d", len(profiles), app.Graph.Len())
+	}
+	for id, prof := range profiles {
+		if prof.Function != string(id) {
+			t.Errorf("profile %s labeled %q", id, prof.Function)
+		}
+	}
+}
+
+func TestSamplesLandInStore(t *testing.T) {
+	store := metrics.NewStore()
+	p := New(store, DefaultOptions(5))
+	r := mathx.NewRand(5)
+	if _, err := p.ProfileFunction("QA", apps.Functions["QA"], r); err != nil {
+		t.Fatal(err)
+	}
+	// 10 init samples per backend.
+	cpuInit := store.Get("init_time", metrics.Labels{"fn": "QA", "kind": "CPU"})
+	if cpuInit == nil || len(cpuInit.Samples) != 10 {
+		t.Errorf("CPU init samples = %v, want 10", cpuInit)
+	}
+	// 25 CPU + 50 GPU inference samples.
+	if got := len(store.Select("inf_time", metrics.Labels{"fn": "QA", "kind": "CPU"})); got != 25 {
+		t.Errorf("CPU inference series = %d, want 25", got)
+	}
+	if got := len(store.Select("inf_time", metrics.Labels{"fn": "QA", "kind": "GPU"})); got != 50 {
+		t.Errorf("GPU inference series = %d, want 50", got)
+	}
+}
+
+func TestProfiledVsTrueProfilesAgree(t *testing.T) {
+	// Profiled models should track the exact profiles closely enough that
+	// optimizer decisions based on either rarely differ in latency by more
+	// than the noise floor.
+	app := apps.ImageQuery()
+	p := New(nil, DefaultOptions(6))
+	fitted, err := p.ProfileApplication(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	for _, id := range app.Graph.Nodes() {
+		for _, cfg := range hardware.DefaultCatalog().Configs {
+			f := fitted[id].InferenceTime(cfg, 4)
+			e := exact[id].InferenceTime(cfg, 4)
+			if f < e*0.7 || f > e*1.3 {
+				t.Errorf("%s %v: fitted %.3f vs exact %.3f beyond 30%%", id, cfg, f, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package simulator
+
+import (
+	"fmt"
+
+	"smiless/internal/hardware"
+)
+
+// clusterState tracks per-node free capacity: CPU cores and GPU shares (in
+// 10% MPS slices).
+type clusterState struct {
+	spec      hardware.ClusterSpec
+	freeCores []int
+	freeGPU   []int // in percent
+}
+
+func newClusterState(spec hardware.ClusterSpec) *clusterState {
+	c := &clusterState{spec: spec}
+	for _, n := range spec.Nodes {
+		c.freeCores = append(c.freeCores, n.Cores)
+		c.freeGPU = append(c.freeGPU, n.GPUs*100)
+	}
+	return c
+}
+
+// allocate finds a node with capacity for cfg (first fit) and reserves it,
+// returning the node index or false when the cluster is full.
+func (c *clusterState) allocate(cfg hardware.Config) (int, bool) {
+	for i := range c.freeCores {
+		switch cfg.Kind {
+		case hardware.CPU:
+			if c.freeCores[i] >= cfg.Cores {
+				c.freeCores[i] -= cfg.Cores
+				return i, true
+			}
+		case hardware.GPU:
+			if c.freeGPU[i] >= cfg.GPUShare {
+				c.freeGPU[i] -= cfg.GPUShare
+				return i, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// release returns cfg's resources to node i.
+func (c *clusterState) release(i int, cfg hardware.Config) {
+	switch cfg.Kind {
+	case hardware.CPU:
+		c.freeCores[i] += cfg.Cores
+		if c.freeCores[i] > c.spec.Nodes[i].Cores {
+			panic(fmt.Sprintf("simulator: core over-release on node %d", i))
+		}
+	case hardware.GPU:
+		c.freeGPU[i] += cfg.GPUShare
+		if c.freeGPU[i] > c.spec.Nodes[i].GPUs*100 {
+			panic(fmt.Sprintf("simulator: GPU over-release on node %d", i))
+		}
+	}
+}
+
+// usedCores returns total cores currently allocated.
+func (c *clusterState) usedCores() int {
+	total := 0
+	for i, n := range c.spec.Nodes {
+		total += n.Cores - c.freeCores[i]
+	}
+	return total
+}
+
+// usedGPU returns total GPU percentage currently allocated.
+func (c *clusterState) usedGPU() int {
+	total := 0
+	for i, n := range c.spec.Nodes {
+		total += n.GPUs*100 - c.freeGPU[i]
+	}
+	return total
+}
+
+// usedGPUOnNode returns the GPU percentage currently allocated on node i.
+func (c *clusterState) usedGPUOnNode(i int) int {
+	return c.spec.Nodes[i].GPUs*100 - c.freeGPU[i]
+}

@@ -1,0 +1,61 @@
+// Package simulator is the serverless-cluster substrate replacing the
+// paper's OpenFaaS/Kubernetes testbed (§VI): a discrete-event simulation of
+// container lifecycles (initialization, inference, idle keep-alive,
+// termination), DAG request routing, batching agents, MPS-style fractional
+// GPU allocation, per-second billing, and pre-warm timers.
+//
+// The simulator is policy-agnostic: a Driver (the SMIless controller or one
+// of the baseline systems) installs per-function Directives and may schedule
+// pre-warm events; the simulator realizes them against sampled ground-truth
+// timings and accounts cost exactly as Eq. (3) does — billed
+// instance-seconds times unit cost.
+package simulator
+
+import "container/heap"
+
+// eventKind discriminates simulator events.
+type eventKind int
+
+const (
+	evArrival     eventKind = iota // application request arrival
+	evInitDone                     // container finished initializing
+	evExecDone                     // container finished a batch
+	evIdleTimeout                  // keep-alive expired
+	evPrewarm                      // scheduled pre-warm point
+	evWindow                       // decision-window boundary
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   float64
+	seq  int // tie-breaker for determinism
+	kind eventKind
+	// container events
+	cid int
+	// idle timeout epoch (stale timers are ignored)
+	epoch int
+	// prewarm target function
+	fn string
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,99 @@
+package simulator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"smiless/internal/mathx"
+)
+
+// Report is the serializable summary of one run: what an experiment
+// pipeline archives next to its tables. It is derived from RunStats and
+// deterministic for a deterministic run.
+type Report struct {
+	System    string  `json:"system"`
+	App       string  `json:"app"`
+	SLA       float64 `json:"sla_seconds"`
+	Requests  int     `json:"requests"`
+	Measured  int     `json:"measured_requests"`
+	TotalCost float64 `json:"total_cost_dollars"`
+
+	ViolationRate float64 `json:"violation_rate"`
+	LatencyP50    float64 `json:"latency_p50_seconds"`
+	LatencyP95    float64 `json:"latency_p95_seconds"`
+	LatencyP99    float64 `json:"latency_p99_seconds"`
+	LatencyMax    float64 `json:"latency_max_seconds"`
+
+	Inits           int     `json:"container_inits"`
+	ReinitPerReq    float64 `json:"reinit_per_request"`
+	InitGated       int     `json:"init_gated_batches"`
+	MeanBatch       float64 `json:"mean_batch"`
+	CPUSeconds      float64 `json:"cpu_container_seconds"`
+	GPUSeconds      float64 `json:"gpu_container_seconds"`
+	CPUCost         float64 `json:"cpu_cost_dollars"`
+	GPUCost         float64 `json:"gpu_cost_dollars"`
+	CapacityBlocked int     `json:"capacity_blocked_launches"`
+
+	// CostByFunction is sorted by descending cost for stable output.
+	CostByFunction []FunctionCostEntry `json:"cost_by_function"`
+}
+
+// FunctionCostEntry attributes cost to one function.
+type FunctionCostEntry struct {
+	Function string  `json:"function"`
+	Cost     float64 `json:"cost_dollars"`
+}
+
+// BuildReport assembles a Report from run statistics.
+func BuildReport(system, app string, st *RunStats) Report {
+	r := Report{
+		System:          system,
+		App:             app,
+		SLA:             st.SLA,
+		Requests:        st.Completed,
+		Measured:        len(st.E2E),
+		TotalCost:       st.TotalCost,
+		ViolationRate:   st.ViolationRate(),
+		LatencyP50:      st.LatencyPercentile(50),
+		LatencyP95:      st.LatencyPercentile(95),
+		LatencyP99:      st.LatencyPercentile(99),
+		LatencyMax:      mathx.Max(st.E2E),
+		Inits:           st.Inits,
+		ReinitPerReq:    st.ReinitFraction(),
+		InitGated:       st.InitGated,
+		MeanBatch:       st.MeanBatch(),
+		CPUSeconds:      st.CPUSeconds,
+		GPUSeconds:      st.GPUSeconds,
+		CPUCost:         st.CPUCost,
+		GPUCost:         st.GPUCost,
+		CapacityBlocked: st.CapacityBlocked,
+	}
+	for fn, c := range st.CostPerFn {
+		r.CostByFunction = append(r.CostByFunction, FunctionCostEntry{Function: fn, Cost: c})
+	}
+	sort.Slice(r.CostByFunction, func(i, j int) bool {
+		if r.CostByFunction[i].Cost != r.CostByFunction[j].Cost {
+			return r.CostByFunction[i].Cost > r.CostByFunction[j].Cost
+		}
+		return r.CostByFunction[i].Function < r.CostByFunction[j].Function
+	})
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("simulator: decoding report: %w", err)
+	}
+	return r, nil
+}

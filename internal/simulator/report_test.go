@@ -1,0 +1,70 @@
+package simulator
+
+import (
+	"bytes"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/trace"
+)
+
+func TestBuildReport(t *testing.T) {
+	tr := &trace.Trace{Horizon: 100, Arrivals: []float64{1, 20, 40, 60}}
+	st := runPipeline(t, keepAliveDriver(cpu(4), 30), tr, 30)
+	r := BuildReport("test-driver", "Pipeline-3", st)
+	if r.Requests != 4 || r.Measured != 4 {
+		t.Errorf("requests = %d/%d, want 4/4", r.Requests, r.Measured)
+	}
+	if r.TotalCost != st.TotalCost {
+		t.Error("cost mismatch")
+	}
+	if len(r.CostByFunction) != 3 {
+		t.Fatalf("cost entries = %d, want 3", len(r.CostByFunction))
+	}
+	// Sorted descending.
+	for i := 1; i < len(r.CostByFunction); i++ {
+		if r.CostByFunction[i-1].Cost < r.CostByFunction[i].Cost {
+			t.Error("cost entries not sorted descending")
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	tr := &trace.Trace{Horizon: 60, Arrivals: []float64{1, 10}}
+	st := runPipeline(t, keepAliveDriver(cpu(4), 30), tr, 60)
+	r := BuildReport("d", "a", st)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalCost != r.TotalCost || back.Requests != r.Requests ||
+		len(back.CostByFunction) != len(r.CostByFunction) {
+		t.Error("round trip lost fields")
+	}
+}
+
+func TestReadReportError(t *testing.T) {
+	if _, err := ReadReport(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestReportWarmupSplit(t *testing.T) {
+	// StatsAfter excludes early arrivals from measurement but not from
+	// Requests.
+	app := apps.Pipeline(1)
+	d := keepAliveDriver(cpu(4), 60)
+	sim := New(Config{App: app, SLA: 30, Seed: 1, StatsAfter: 50}, d)
+	st := sim.Run(&trace.Trace{Horizon: 120, Arrivals: []float64{10, 60, 100}})
+	r := BuildReport("d", "a", st)
+	if r.Requests != 3 {
+		t.Errorf("requests = %d, want 3", r.Requests)
+	}
+	if r.Measured != 2 {
+		t.Errorf("measured = %d, want 2 (one arrival inside warm-up)", r.Measured)
+	}
+}

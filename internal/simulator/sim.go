@@ -1,0 +1,848 @@
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+
+	"math/rand"
+	"sort"
+
+	"smiless/internal/apps"
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/trace"
+)
+
+// Directive is the per-function policy a Driver installs: the realized form
+// of (⋆_k, △_k) plus the Auto-scaler's batch and instance counts.
+type Directive struct {
+	// Config is the hardware configuration for new instances.
+	Config hardware.Config
+	// Policy selects the cold-start behaviour after a batch completes.
+	Policy coldstart.Policy
+	// KeepAlive is how long an idle instance survives before termination
+	// (KeepAlive/AlwaysOn policies; AlwaysOn ignores it and never expires).
+	KeepAlive float64
+	// PrewarmLead is the estimated initialization time used to schedule
+	// pre-warm starts (μ + n·σ from the profile).
+	PrewarmLead float64
+	// PathOffset is the predicted delay from request arrival until this
+	// function's input is ready (sum of upstream critical-path inference
+	// times); used by reactive pre-warming.
+	PathOffset float64
+	// PrewarmOnArrival launches initialization when an application request
+	// arrives, timed so it completes as the function's input arrives
+	// (Orion-style "right pre-warming", also SMIless' fallback when a
+	// predicted arrival was missed).
+	PrewarmOnArrival bool
+	// Batch is the maximum invocations executed together per instance.
+	Batch int
+	// Instances caps reactively launched concurrent instances.
+	Instances int
+	// MinWarm keeps at least this many instances resident: an idle
+	// timeout that would drop the live count below MinWarm re-arms
+	// instead of terminating.
+	MinWarm int
+}
+
+// normalized fills defaults.
+func (d Directive) normalized() Directive {
+	if d.Batch < 1 {
+		d.Batch = 1
+	}
+	if d.Instances < 1 {
+		d.Instances = 1
+	}
+	return d
+}
+
+// Driver is the decision-making system under evaluation (SMIless or a
+// baseline). It installs Directives and may schedule pre-warms.
+type Driver interface {
+	// Name labels the system in experiment output.
+	Name() string
+	// Setup is called once before the run; the driver installs initial
+	// directives here.
+	Setup(sim *Simulator)
+	// OnWindow is called at every decision-window boundary with the
+	// current time; the driver may update directives, schedule pre-warms
+	// and rescale.
+	OnWindow(sim *Simulator, now float64)
+}
+
+// container states.
+const (
+	cInitializing = iota
+	cIdle
+	cBusy
+	cDead
+)
+
+type container struct {
+	id        int
+	fn        *fnState
+	cfg       hardware.Config
+	state     int
+	initStart float64
+	warmAt    float64
+	idleEpoch int
+	node      int
+	assigned  []*nodeInv // waiting to run when init completes
+	batch     []*nodeInv // currently executing
+	prewarmed bool       // launched by a pre-warm, not by a waiting request
+}
+
+type fnState struct {
+	id         dag.NodeID
+	spec       *apps.FunctionSpec
+	directive  Directive
+	containers map[int]*container
+	queue      []*nodeInv
+	inits      int
+}
+
+// liveCount returns containers not dead.
+func (f *fnState) liveCount() int {
+	n := 0
+	for _, c := range f.containers {
+		if c.state != cDead {
+			n++
+		}
+	}
+	return n
+}
+
+type appInv struct {
+	id        int
+	arrival   float64
+	pending   map[dag.NodeID]int // unfinished predecessor count
+	done      map[dag.NodeID]bool
+	remaining int
+}
+
+type nodeInv struct {
+	inv     *appInv
+	node    dag.NodeID
+	readyAt float64
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	App     *apps.Application
+	Cluster hardware.ClusterSpec
+	Pricing hardware.Pricing
+	// SLA is the end-to-end latency bound in seconds.
+	SLA float64
+	// Window is the decision-window length; the paper uses one second.
+	Window float64
+	// StatsAfter excludes requests arriving before this time from the
+	// latency/violation statistics: the measurement warm-up, during which
+	// predictors train and the initial plan converges. Cost is always
+	// accounted for the full run. Zero measures everything.
+	StatsAfter float64
+	// GPUContention scales the latency penalty for co-located MPS slices:
+	// an instance holding share s on a node with u percent total GPU usage
+	// runs (1 + GPUContention·(u−s)/100)× slower — the PCIe/memory
+	// bandwidth sharing the paper mitigates with the 10% allocation floor
+	// (§IV-A2). Zero disables contention.
+	GPUContention float64
+	// Seed drives all sampled timings.
+	Seed int64
+}
+
+// Simulator runs one (application, driver, trace) evaluation.
+type Simulator struct {
+	cfg     Config
+	driver  Driver
+	rng     *rand.Rand
+	cluster *clusterState
+
+	now    float64
+	events eventHeap
+	seq    int
+
+	fns           map[dag.NodeID]*fnState
+	conts         map[int]*container
+	nextCont      int
+	nextInv       int
+	pendingLaunch []*container // waiting for cluster capacity
+
+	arrivalsThisWindow int
+	counts             []int // per-window arrival history
+	arrivalTimes       []float64
+
+	stats   *RunStats
+	horizon float64
+}
+
+// New prepares a simulator for the given run configuration and driver.
+func New(cfg Config, driver Driver) *Simulator {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.SLA <= 0 {
+		cfg.SLA = 2
+	}
+	if cfg.Cluster.Nodes == nil {
+		cfg.Cluster = hardware.DefaultCluster()
+	}
+	if cfg.Pricing == (hardware.Pricing{}) {
+		cfg.Pricing = hardware.DefaultPricing
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		driver:  driver,
+		rng:     mathx.NewRand(cfg.Seed),
+		cluster: newClusterState(cfg.Cluster),
+		fns:     make(map[dag.NodeID]*fnState),
+		conts:   make(map[int]*container),
+		stats:   newRunStats(cfg.SLA),
+	}
+	for _, id := range cfg.App.Graph.Nodes() {
+		s.fns[id] = &fnState{
+			id:         id,
+			spec:       cfg.App.Spec(id),
+			containers: make(map[int]*container),
+			directive: Directive{
+				Config: hardware.Config{Kind: hardware.CPU, Cores: 1},
+				Policy: coldstart.KeepAlive,
+				Batch:  1, Instances: 1, KeepAlive: 60,
+			},
+		}
+	}
+	return s
+}
+
+// --- Driver-facing API -------------------------------------------------
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// App returns the application under test.
+func (s *Simulator) App() *apps.Application { return s.cfg.App }
+
+// SLA returns the run's SLA bound.
+func (s *Simulator) SLA() float64 { return s.cfg.SLA }
+
+// Window returns the decision-window length.
+func (s *Simulator) Window() float64 { return s.cfg.Window }
+
+// SetDirective installs the directive for one function and re-dispatches
+// any queued work under the new policy (e.g. a burst rescale must be able
+// to launch instances for a backlog that accumulated under the old caps).
+func (s *Simulator) SetDirective(id dag.NodeID, d Directive) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	fs.directive = d.normalized()
+	if len(fs.queue) > 0 {
+		s.pump(fs)
+	}
+}
+
+// GetDirective returns the current directive for one function.
+func (s *Simulator) GetDirective(id dag.NodeID) Directive {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	return fs.directive
+}
+
+// CountsHistory returns completed per-window arrival counts so far.
+func (s *Simulator) CountsHistory() []int {
+	return append([]int(nil), s.counts...)
+}
+
+// ArrivalTimes returns all application arrival timestamps observed so far.
+func (s *Simulator) ArrivalTimes() []float64 {
+	return append([]float64(nil), s.arrivalTimes...)
+}
+
+// QueueLen returns the number of ready-but-undispatched invocations of a
+// function, letting drivers detect backlog.
+func (s *Simulator) QueueLen(id dag.NodeID) int { return len(s.fns[id].queue) }
+
+// LiveInstances returns the number of live containers for a function.
+func (s *Simulator) LiveInstances(id dag.NodeID) int { return s.fns[id].liveCount() }
+
+// EnsureConfigInstance launches one instance of the function's current
+// directive configuration unless one is already live (idle, busy or
+// initializing). Drivers call it after a re-plan changes a function's
+// flavor: the replacement warms in the background while the previous
+// generation keeps serving, making the transition hitless.
+func (s *Simulator) EnsureConfigInstance(id dag.NodeID) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	for _, c := range fs.containers {
+		if c.state != cDead && c.cfg == fs.directive.Config {
+			return
+		}
+	}
+	s.launch(fs, fs.directive.Config, true)
+}
+
+// EnsureInstances launches instances of the function's current directive
+// config until n are live (bounded by the directive's Instances cap). Used
+// by drivers that pre-scale ahead of a predicted burst.
+func (s *Simulator) EnsureInstances(id dag.NodeID, n int) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	if n > fs.directive.Instances {
+		n = fs.directive.Instances
+	}
+	for fs.liveCount() < n {
+		s.launch(fs, fs.directive.Config, true)
+	}
+}
+
+// HasWarmMatching reports whether an idle or busy instance of the
+// function's current directive configuration exists.
+func (s *Simulator) HasWarmMatching(id dag.NodeID) bool {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	for _, c := range fs.containers {
+		if (c.state == cIdle || c.state == cBusy) && c.cfg == fs.directive.Config {
+			return true
+		}
+	}
+	return false
+}
+
+// RetireMismatched terminates idle instances whose configuration no longer
+// matches the directive, keeping at least MinWarm live instances. Drivers
+// call it after a re-plan once a matching instance is warm, so fleets do
+// not pay for two generations of configuration at once.
+func (s *Simulator) RetireMismatched(id dag.NodeID) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	ids := make([]int, 0, len(fs.containers))
+	for cid := range fs.containers {
+		ids = append(ids, cid)
+	}
+	sort.Ints(ids)
+	for _, cid := range ids {
+		c := fs.containers[cid]
+		if c != nil && c.state == cIdle && c.cfg != fs.directive.Config &&
+			fs.liveCount() > fs.directive.MinWarm+1 {
+			s.terminate(c)
+		}
+	}
+}
+
+// FunctionCost returns the cost attributable to one function so far:
+// terminated containers' billed cost plus live containers' accrual.
+func (s *Simulator) FunctionCost(id dag.NodeID) float64 {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	total := s.stats.CostPerFn[string(id)]
+	for _, c := range fs.containers {
+		if c.state != cDead {
+			total += (s.now - c.initStart) * s.cfg.Pricing.UnitCost(c.cfg)
+		}
+	}
+	return total
+}
+
+// Stats exposes the run statistics accumulated so far. Cost totals reflect
+// terminated containers only; add AccruedCost for live instances.
+func (s *Simulator) Stats() *RunStats { return s.stats }
+
+// AccruedCost returns the cost accrued by still-live containers (billed
+// from their initialization start to now).
+func (s *Simulator) AccruedCost() float64 {
+	total := 0.0
+	for _, c := range s.conts {
+		if c.state != cDead {
+			total += (s.now - c.initStart) * s.cfg.Pricing.UnitCost(c.cfg)
+		}
+	}
+	return total
+}
+
+// SchedulePrewarm asks for a warm instance of fn at time at: initialization
+// is scheduled to start at max(now, at − PrewarmLead) unless a live
+// instance already exists or will be warm in time.
+func (s *Simulator) SchedulePrewarm(id dag.NodeID, at float64) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	start := coldstart.PrewarmStart(s.now, at, fs.directive.PrewarmLead)
+	s.schedule(&event{at: start, kind: evPrewarm, fn: string(id)})
+}
+
+// --- Run loop ----------------------------------------------------------
+
+func (s *Simulator) schedule(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// Run replays the trace through the simulator and returns the collected
+// statistics. The run ends when all requests have completed (or the safety
+// horizon of trace.Horizon + 600 s is reached).
+func (s *Simulator) Run(tr *trace.Trace) *RunStats {
+	for _, at := range tr.Arrivals {
+		s.schedule(&event{at: at, kind: evArrival})
+	}
+	s.horizon = tr.Horizon + 600
+	for w := s.cfg.Window; w <= tr.Horizon+s.cfg.Window; w += s.cfg.Window {
+		s.schedule(&event{at: w, kind: evWindow})
+	}
+	s.driver.Setup(s)
+
+	outstanding := tr.Len()
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at > s.horizon {
+			break
+		}
+		if e.at < s.now-1e-9 {
+			panic(fmt.Sprintf("simulator: time travel %.6f -> %.6f", s.now, e.at))
+		}
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.onArrival()
+		case evInitDone:
+			s.onInitDone(e.cid)
+		case evExecDone:
+			s.onExecDone(e.cid)
+		case evIdleTimeout:
+			s.onIdleTimeout(e.cid, e.epoch)
+		case evPrewarm:
+			s.onPrewarm(dag.NodeID(e.fn))
+		case evWindow:
+			s.counts = append(s.counts, s.arrivalsThisWindow)
+			s.arrivalsThisWindow = 0
+			s.driver.OnWindow(s, s.now)
+			s.samplePods()
+		}
+		if s.stats.Completed == outstanding && s.allIdle() && s.now > tr.Horizon {
+			break
+		}
+	}
+	s.finish()
+	return s.stats
+}
+
+func (s *Simulator) allIdle() bool {
+	for _, fs := range s.fns {
+		if len(fs.queue) > 0 {
+			return false
+		}
+		for _, c := range fs.containers {
+			if c.state == cBusy || c.state == cInitializing {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finish terminates all containers and finalizes accounting. Containers
+// are terminated in id order so floating-point cost accumulation is
+// deterministic run to run.
+func (s *Simulator) finish() {
+	ids := make([]int, 0, len(s.conts))
+	for id := range s.conts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if c := s.conts[id]; c != nil && c.state != cDead {
+			s.terminate(c)
+		}
+	}
+}
+
+// --- Event handlers ----------------------------------------------------
+
+func (s *Simulator) onArrival() {
+	s.arrivalsThisWindow++
+	s.arrivalTimes = append(s.arrivalTimes, s.now)
+	g := s.cfg.App.Graph
+	inv := &appInv{
+		id:        s.nextInv,
+		arrival:   s.now,
+		pending:   make(map[dag.NodeID]int, g.Len()),
+		done:      make(map[dag.NodeID]bool, g.Len()),
+		remaining: g.Len(),
+	}
+	s.nextInv++
+	for _, id := range g.Nodes() {
+		inv.pending[id] = len(g.Predecessors(id))
+	}
+	// Reactive pre-warming for functions that request it.
+	for _, id := range g.Nodes() {
+		fs := s.fns[id]
+		if fs.directive.PrewarmOnArrival && len(g.Predecessors(id)) > 0 {
+			s.SchedulePrewarm(id, s.now+fs.directive.PathOffset)
+		}
+	}
+	// Entry function becomes ready immediately.
+	for _, src := range g.Sources() {
+		s.enqueue(&nodeInv{inv: inv, node: src, readyAt: s.now})
+	}
+}
+
+// enqueue adds a ready node invocation and attempts dispatch.
+func (s *Simulator) enqueue(ni *nodeInv) {
+	fs := s.fns[ni.node]
+	fs.queue = append(fs.queue, ni)
+	s.pump(fs)
+}
+
+// pump dispatches queued invocations onto available containers, launching
+// new instances when the directive allows.
+func (s *Simulator) pump(fs *fnState) {
+	for len(fs.queue) > 0 {
+		d := fs.directive
+		// 1. An idle warm container.
+		if c := s.pickIdle(fs); c != nil {
+			s.startBatch(c)
+			continue
+		}
+		// 2. Busy warm containers absorb small overlaps: joining the next
+		// batch costs at most one inference cycle, which beats waiting out
+		// a cold initialization on a fresh instance.
+		busy := 0
+		for _, c := range fs.containers {
+			if c.state == cBusy {
+				busy++
+			}
+		}
+		if busy > 0 && len(fs.queue) <= busy*d.Batch {
+			return
+		}
+		// 3. An initializing container with spare assignment capacity.
+		// Capacity-blocked launches (not placed on a node yet) do not
+		// accept work: binding requests to a container that may never be
+		// scheduled would strand them.
+		if c := s.pickInitializing(fs); c != nil {
+			n := d.Batch - len(c.assigned)
+			take := n
+			if take > len(fs.queue) {
+				take = len(fs.queue)
+			}
+			c.assigned = append(c.assigned, fs.queue[:take]...)
+			fs.queue = fs.queue[take:]
+			continue
+		}
+		// 4. Launch a new instance if under the cap. If the cluster is out
+		// of capacity the launch queues unplaced and takes no work; the
+		// requests stay in the function queue for whichever instance frees
+		// up first.
+		if fs.liveCount() < d.Instances {
+			c := s.launch(fs, d.Config, false)
+			if c.node < 0 {
+				return
+			}
+			take := d.Batch
+			if take > len(fs.queue) {
+				take = len(fs.queue)
+			}
+			c.assigned = append(c.assigned, fs.queue[:take]...)
+			fs.queue = fs.queue[take:]
+			continue
+		}
+		// 5. Saturated: wait for a container to free up.
+		return
+	}
+}
+
+func (s *Simulator) pickIdle(fs *fnState) *container {
+	var best *container
+	for _, c := range fs.containers {
+		if c.state == cIdle && (best == nil || c.id < best.id) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (s *Simulator) pickInitializing(fs *fnState) *container {
+	var best *container
+	for _, c := range fs.containers {
+		if c.state == cInitializing && c.node >= 0 && len(c.assigned) < fs.directive.Batch &&
+			(best == nil || c.id < best.id) {
+			best = c
+		}
+	}
+	return best
+}
+
+// launch starts a new container (cold start). When the cluster lacks
+// capacity the launch queues until resources free.
+func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *container {
+	c := &container{
+		id: s.nextCont, fn: fs, cfg: cfg, state: cInitializing,
+		initStart: s.now, prewarmed: prewarmed, node: -1,
+	}
+	s.nextCont++
+	fs.containers[c.id] = c
+	s.conts[c.id] = c
+	fs.inits++
+	s.stats.Inits++
+	node, ok := s.cluster.allocate(cfg)
+	if !ok {
+		s.pendingLaunch = append(s.pendingLaunch, c)
+		s.stats.CapacityBlocked++
+		return c
+	}
+	c.node = node
+	dur := fs.spec.SampleInit(s.rng, cfg)
+	c.warmAt = s.now + dur
+	s.schedule(&event{at: c.warmAt, kind: evInitDone, cid: c.id})
+	return c
+}
+
+func (s *Simulator) onInitDone(cid int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cInitializing {
+		return
+	}
+	c.state = cIdle
+	s.stats.WarmStarts++
+	fs := c.fn
+	if len(c.assigned) > 0 {
+		// Work waited for this initialization: the cold start was on the
+		// request path.
+		s.stats.InitGated++
+		s.startBatch(c)
+		return
+	}
+	// Pre-warmed and nothing waiting: idle with keep-alive timer.
+	s.armIdleTimer(c)
+	s.pump(fs)
+}
+
+// startBatch moves assigned/queued work onto the container and runs it.
+func (s *Simulator) startBatch(c *container) {
+	fs := c.fn
+	d := fs.directive
+	batch := c.assigned
+	c.assigned = nil
+	for len(batch) < d.Batch && len(fs.queue) > 0 {
+		batch = append(batch, fs.queue[0])
+		fs.queue = fs.queue[1:]
+	}
+	if len(batch) == 0 {
+		return
+	}
+	c.state = cBusy
+	c.batch = batch
+	c.idleEpoch++ // invalidate any pending idle timer
+	dur := fs.spec.SampleInference(s.rng, c.cfg, len(batch))
+	if s.cfg.GPUContention > 0 && c.cfg.Kind == hardware.GPU && c.node >= 0 {
+		others := s.cluster.usedGPUOnNode(c.node) - c.cfg.GPUShare
+		if others > 0 {
+			dur *= 1 + s.cfg.GPUContention*float64(others)/100
+		}
+	}
+	s.stats.Executions++
+	s.stats.BatchSum += len(batch)
+	s.schedule(&event{at: s.now + dur, kind: evExecDone, cid: c.id})
+}
+
+func (s *Simulator) onExecDone(cid int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cBusy {
+		return
+	}
+	batch := c.batch
+	c.batch = nil
+	c.state = cIdle
+	fs := c.fn
+
+	// Complete each node invocation and release successors.
+	g := s.cfg.App.Graph
+	for _, ni := range batch {
+		inv := ni.inv
+		if inv.done[ni.node] {
+			continue
+		}
+		inv.done[ni.node] = true
+		inv.remaining--
+		for _, succ := range g.Successors(ni.node) {
+			inv.pending[succ]--
+			if inv.pending[succ] == 0 {
+				s.enqueue(&nodeInv{inv: inv, node: succ, readyAt: s.now})
+			}
+		}
+		if inv.remaining == 0 {
+			s.completeInvocation(inv)
+		}
+	}
+
+	// More queued work? Keep the instance busy.
+	if len(fs.queue) > 0 {
+		s.startBatch(c)
+		return
+	}
+	// Apply the cold-start policy.
+	switch fs.directive.Policy {
+	case coldstart.Prewarm, coldstart.NoMitigation:
+		s.terminate(c)
+	case coldstart.KeepAlive:
+		s.armIdleTimer(c)
+	case coldstart.AlwaysOn:
+		// Stays resident; no timer.
+	}
+}
+
+func (s *Simulator) armIdleTimer(c *container) {
+	d := c.fn.directive
+	if d.Policy == coldstart.AlwaysOn {
+		return
+	}
+	ka := d.KeepAlive
+	if ka <= 0 {
+		// Grace period for drivers that leave KeepAlive unset: long
+		// enough that a pre-warmed instance arriving slightly early is
+		// not reaped before its request.
+		ka = 10 * s.cfg.Window
+	}
+	c.idleEpoch++
+	s.schedule(&event{at: s.now + ka, kind: evIdleTimeout, cid: c.id, epoch: c.idleEpoch})
+}
+
+func (s *Simulator) onIdleTimeout(cid, epoch int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cIdle || c.idleEpoch != epoch {
+		return
+	}
+	if c.fn.liveCount() <= c.fn.directive.MinWarm {
+		s.armIdleTimer(c) // floor reached: stay resident, check again later
+		return
+	}
+	s.terminate(c)
+}
+
+func (s *Simulator) terminate(c *container) {
+	if c.state == cDead {
+		return
+	}
+	// Requeue any assigned-but-unstarted work.
+	if len(c.assigned) > 0 {
+		c.fn.queue = append(c.assigned, c.fn.queue...)
+		c.assigned = nil
+	}
+	c.state = cDead
+	if c.node >= 0 {
+		s.cluster.release(c.node, c.cfg)
+		s.drainPendingLaunches()
+	} else {
+		// Never placed: remove from the pending queue.
+		for i, p := range s.pendingLaunch {
+			if p.id == c.id {
+				s.pendingLaunch = append(s.pendingLaunch[:i], s.pendingLaunch[i+1:]...)
+				break
+			}
+		}
+	}
+	life := s.now - c.initStart
+	cost := life * s.cfg.Pricing.UnitCost(c.cfg)
+	s.stats.addCost(string(c.fn.id), c.cfg, life, cost)
+	delete(c.fn.containers, c.id)
+	delete(s.conts, c.id)
+}
+
+// drainPendingLaunches starts queued launches that now fit.
+func (s *Simulator) drainPendingLaunches() {
+	remaining := s.pendingLaunch[:0]
+	for _, c := range s.pendingLaunch {
+		if c.state != cInitializing {
+			continue
+		}
+		node, ok := s.cluster.allocate(c.cfg)
+		if !ok {
+			remaining = append(remaining, c)
+			continue
+		}
+		c.node = node
+		dur := c.fn.spec.SampleInit(s.rng, c.cfg)
+		c.warmAt = s.now + dur
+		s.schedule(&event{at: c.warmAt, kind: evInitDone, cid: c.id})
+	}
+	s.pendingLaunch = remaining
+	// Placed launches can now accept queued work once warm; nothing to do
+	// here — onInitDone pumps.
+}
+
+func (s *Simulator) completeInvocation(inv *appInv) {
+	e2e := s.now - inv.arrival
+	s.stats.Completed++
+	if inv.arrival < s.cfg.StatsAfter {
+		return // measurement warm-up: not part of the reported statistics
+	}
+	s.stats.E2E = append(s.stats.E2E, e2e)
+	s.stats.E2EArrival = append(s.stats.E2EArrival, inv.arrival)
+	if e2e > s.cfg.SLA {
+		s.stats.Violations++
+	}
+}
+
+func (s *Simulator) onPrewarm(id dag.NodeID) {
+	fs := s.fns[id]
+	// An idle or initializing instance already satisfies the pre-warm
+	// goal. A busy instance does too unless the policy terminates it
+	// after its current batch (Prewarm/NoMitigation), in which case it
+	// will not be available for the next request.
+	terminating := fs.directive.Policy == coldstart.Prewarm || fs.directive.Policy == coldstart.NoMitigation
+	for _, c := range fs.containers {
+		switch c.state {
+		case cIdle, cInitializing:
+			return
+		case cBusy:
+			if !terminating {
+				return
+			}
+		}
+	}
+	if fs.liveCount() >= fs.directive.Instances {
+		return
+	}
+	s.launch(fs, fs.directive.Config, true)
+}
+
+// samplePods records pod-count and backend-usage series each window.
+func (s *Simulator) samplePods() {
+	cpuPods, gpuPods := 0, 0
+	for _, c := range s.conts {
+		if c.state == cDead {
+			continue
+		}
+		if c.cfg.Kind == hardware.CPU {
+			cpuPods++
+		} else {
+			gpuPods++
+		}
+	}
+	s.stats.PodSamples = append(s.stats.PodSamples, PodSample{
+		Time: s.now, CPU: cpuPods, GPU: gpuPods,
+		Arrivals: s.lastWindowCount(),
+	})
+}
+
+func (s *Simulator) lastWindowCount() int {
+	if len(s.counts) == 0 {
+		return 0
+	}
+	return s.counts[len(s.counts)-1]
+}

@@ -1,0 +1,132 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+)
+
+// PodSample is one per-window snapshot of live pods and arrivals, used by
+// the burst-adaptation experiment (Fig. 14).
+type PodSample struct {
+	Time     float64
+	CPU, GPU int
+	Arrivals int
+}
+
+// RunStats aggregates everything the paper's figures report about a run.
+type RunStats struct {
+	SLA float64
+
+	// Cost accounting (dollars).
+	TotalCost  float64
+	CostPerFn  map[string]float64
+	CPUSeconds float64 // billed CPU-container seconds
+	GPUSeconds float64 // billed GPU-container seconds
+	CPUCost    float64
+	GPUCost    float64
+
+	// Latency.
+	E2E []float64
+	// E2EArrival[i] is the arrival time of the request behind E2E[i].
+	E2EArrival []float64
+	Completed  int
+	Violations int
+
+	// Container lifecycle.
+	Inits           int // container initializations (Fig. 9b numerator)
+	WarmStarts      int // inits that completed
+	Executions      int // batches run
+	BatchSum        int // total invocations across batches
+	InitGated       int // batches whose start waited on initialization
+	CapacityBlocked int // launches delayed by cluster capacity
+
+	PodSamples []PodSample
+}
+
+func newRunStats(sla float64) *RunStats {
+	return &RunStats{SLA: sla, CostPerFn: make(map[string]float64)}
+}
+
+func (r *RunStats) addCost(fn string, cfg hardware.Config, life, cost float64) {
+	r.TotalCost += cost
+	r.CostPerFn[fn] += cost
+	if cfg.Kind == hardware.CPU {
+		r.CPUSeconds += life
+		r.CPUCost += cost
+	} else {
+		r.GPUSeconds += life
+		r.GPUCost += cost
+	}
+}
+
+// ViolationRate returns the fraction of measured requests exceeding the
+// SLA (requests arriving during the warm-up window are not measured).
+func (r *RunStats) ViolationRate() float64 {
+	if len(r.E2E) == 0 {
+		return 0
+	}
+	return float64(r.Violations) / float64(len(r.E2E))
+}
+
+// ReinitFraction returns container initializations per completed request,
+// the Fig. 9(b) metric.
+func (r *RunStats) ReinitFraction() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.Inits) / float64(r.Completed)
+}
+
+// CPUGPURatio returns billed CPU seconds over billed GPU seconds (Fig. 9a);
+// +Inf when no GPU time was billed.
+func (r *RunStats) CPUGPURatio() float64 {
+	if r.GPUSeconds == 0 {
+		if r.CPUSeconds == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return r.CPUSeconds / r.GPUSeconds
+}
+
+// MeanBatch returns the average realized batch size.
+func (r *RunStats) MeanBatch() float64 {
+	if r.Executions == 0 {
+		return 0
+	}
+	return float64(r.BatchSum) / float64(r.Executions)
+}
+
+// LatencyPercentile returns the p-th percentile of E2E latency.
+func (r *RunStats) LatencyPercentile(p float64) float64 {
+	return mathx.Percentile(r.E2E, p)
+}
+
+// Summary renders a human-readable digest for CLI output.
+func (r *RunStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed=%d cost=$%.4f violations=%.1f%% ", r.Completed, r.TotalCost, r.ViolationRate()*100)
+	fmt.Fprintf(&b, "p50=%.2fs p95=%.2fs p99=%.2fs ", r.LatencyPercentile(50), r.LatencyPercentile(95), r.LatencyPercentile(99))
+	fmt.Fprintf(&b, "inits=%d reinit/req=%.2f cpu:gpu=%.2f meanBatch=%.2f", r.Inits, r.ReinitFraction(), r.CPUGPURatio(), r.MeanBatch())
+	return b.String()
+}
+
+// TopCostFunctions returns function names ordered by descending cost.
+func (r *RunStats) TopCostFunctions() []string {
+	names := make([]string, 0, len(r.CostPerFn))
+	for n := range r.CostPerFn {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if r.CostPerFn[names[i]] != r.CostPerFn[names[j]] {
+			return r.CostPerFn[names[i]] > r.CostPerFn[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+)
+
+// The Azure Functions 2019 dataset (Shahrad et al., ATC'20) ships as CSV
+// files with one row per function and one column per minute of the day:
+//
+//	HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+//
+// This file implements a loader for that format plus the paper's scale-down
+// (§VII-A: one trace minute becomes two seconds), so anyone holding the
+// dataset can drive the evaluation with real invocation patterns, and a
+// writer that exports synthetic traces in the same format.
+
+// AzureRow is one function's daily invocation-count series.
+type AzureRow struct {
+	Owner, App, Function, Trigger string
+	// Counts holds invocations per minute (typically 1440 entries).
+	Counts []int
+}
+
+// Total returns the row's total daily invocations.
+func (r *AzureRow) Total() int {
+	s := 0
+	for _, c := range r.Counts {
+		s += c
+	}
+	return s
+}
+
+// ReadAzureCSV parses an Azure Functions invocations-per-minute CSV. The
+// header row is required; malformed rows abort with an error naming the
+// line.
+func ReadAzureCSV(r io.Reader) ([]AzureRow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading Azure CSV header: %w", err)
+	}
+	if len(header) < 5 {
+		return nil, fmt.Errorf("trace: Azure CSV header has %d columns, want >= 5", len(header))
+	}
+	var rows []AzureRow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: Azure CSV line %d: %w", line, err)
+		}
+		if len(rec) < 5 {
+			return nil, fmt.Errorf("trace: Azure CSV line %d has %d columns, want >= 5", line, len(rec))
+		}
+		row := AzureRow{Owner: rec[0], App: rec[1], Function: rec[2], Trigger: rec[3]}
+		for i, cell := range rec[4:] {
+			v, err := strconv.Atoi(cell)
+			if err != nil {
+				return nil, fmt.Errorf("trace: Azure CSV line %d minute %d: %w", line, i+1, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("trace: Azure CSV line %d minute %d: negative count", line, i+1)
+			}
+			row.Counts = append(row.Counts, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PaperScale is the paper's scale-down: one trace minute becomes two
+// seconds (§VII-A), compressing a day of Azure traffic into 48 minutes.
+const PaperScale = 2.0
+
+// FromAzureRow converts a row's per-minute counts into an arrival trace:
+// each minute becomes secondsPerMinute seconds (the paper uses PaperScale),
+// with that minute's invocations spread uniformly at random inside it.
+func FromAzureRow(row AzureRow, secondsPerMinute float64, r *rand.Rand) *Trace {
+	if secondsPerMinute <= 0 {
+		panic("trace: non-positive scale")
+	}
+	return FromCounts(row.Counts, secondsPerMinute, r)
+}
+
+// WriteAzureCSV exports count series in the dataset's format, one row per
+// series. All series must share a length.
+func WriteAzureCSV(w io.Writer, rows []AzureRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("trace: no rows to write")
+	}
+	n := len(rows[0].Counts)
+	cw := csv.NewWriter(w)
+	header := []string{"HashOwner", "HashApp", "HashFunction", "Trigger"}
+	for i := 1; i <= n; i++ {
+		header = append(header, strconv.Itoa(i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row.Counts) != n {
+			return fmt.Errorf("trace: row %d has %d minutes, want %d", i, len(row.Counts), n)
+		}
+		rec := []string{row.Owner, row.App, row.Function, row.Trigger}
+		for _, c := range row.Counts {
+			rec = append(rec, strconv.Itoa(c))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ToAzureRow converts a trace into the dataset's per-minute format using
+// the same scale (each secondsPerMinute seconds of trace time becomes one
+// minute column).
+func ToAzureRow(t *Trace, secondsPerMinute float64, name string) AzureRow {
+	if secondsPerMinute <= 0 {
+		panic("trace: non-positive scale")
+	}
+	return AzureRow{
+		Owner: "synthetic", App: "synthetic", Function: name, Trigger: "http",
+		Counts: t.Counts(secondsPerMinute),
+	}
+}

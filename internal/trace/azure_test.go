@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smiless/internal/mathx"
+)
+
+const sampleCSV = `HashOwner,HashApp,HashFunction,Trigger,1,2,3,4,5
+o1,a1,f1,http,0,3,1,0,2
+o1,a1,f2,timer,1,1,1,1,1
+`
+
+func TestReadAzureCSV(t *testing.T) {
+	rows, err := ReadAzureCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Function != "f1" || rows[0].Trigger != "http" {
+		t.Errorf("row metadata wrong: %+v", rows[0])
+	}
+	if rows[0].Total() != 6 || rows[1].Total() != 5 {
+		t.Errorf("totals = %d, %d; want 6, 5", rows[0].Total(), rows[1].Total())
+	}
+	if len(rows[0].Counts) != 5 {
+		t.Errorf("minutes = %d, want 5", len(rows[0].Counts))
+	}
+}
+
+func TestReadAzureCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no header
+		"a,b\n",                     // short header
+		"a,b,c,d,1\no,a,f,h\n",      // short row
+		"a,b,c,d,1\no,a,f,h,nope\n", // non-integer count
+		"a,b,c,d,1\no,a,f,h,-3\n",   // negative count
+	}
+	for i, c := range cases {
+		if _, err := ReadAzureCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestFromAzureRowPaperScale(t *testing.T) {
+	rows, err := ReadAzureCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(1)
+	tr := FromAzureRow(rows[0], PaperScale, r)
+	// 5 minutes at 2 s each -> 10 s horizon, 6 arrivals.
+	if tr.Horizon != 10 {
+		t.Errorf("horizon = %v, want 10", tr.Horizon)
+	}
+	if tr.Len() != 6 {
+		t.Errorf("arrivals = %d, want 6", tr.Len())
+	}
+	// Counts survive the round trip at the same scale.
+	back := tr.Counts(PaperScale)
+	for i, want := range rows[0].Counts {
+		if back[i] != want {
+			t.Errorf("minute %d: %d arrivals, want %d", i+1, back[i], want)
+		}
+	}
+}
+
+func TestAzureCSVRoundTrip(t *testing.T) {
+	r := mathx.NewRand(2)
+	tr := Poisson(r, 0.8, 120)
+	row := ToAzureRow(tr, PaperScale, "poisson")
+	var buf bytes.Buffer
+	if err := WriteAzureCSV(&buf, []AzureRow{row}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadAzureCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Total() != tr.Len() {
+		t.Fatalf("round trip lost arrivals: %d vs %d", rows[0].Total(), tr.Len())
+	}
+	for i, c := range rows[0].Counts {
+		if c != row.Counts[i] {
+			t.Fatalf("minute %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteAzureCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAzureCSV(&buf, nil); err == nil {
+		t.Error("empty rows should fail")
+	}
+	rows := []AzureRow{
+		{Function: "a", Counts: []int{1, 2}},
+		{Function: "b", Counts: []int{1}},
+	}
+	if err := WriteAzureCSV(&buf, rows); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
