@@ -20,7 +20,17 @@ import (
 	"smiless/internal/perfmodel"
 )
 
+// skipIfShort keeps `go test -short ./...` (and the -race CI lane) free of
+// benchmark setup cost when benches are not requested.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping benchmark in -short mode")
+	}
+}
+
 func BenchmarkFig2HardwareLatency(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig2()
 		if len(r.Functions) != 3 {
@@ -30,6 +40,7 @@ func BenchmarkFig2HardwareLatency(b *testing.B) {
 }
 
 func BenchmarkFig3MotivatingExample(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig3()
 		if r.OptimalCost >= r.OrionCost {
@@ -39,6 +50,7 @@ func BenchmarkFig3MotivatingExample(b *testing.B) {
 }
 
 func BenchmarkFig8E2EComparison(b *testing.B) {
+	skipIfShort(b)
 	p := experiments.Fig8Params{
 		Horizon: 600, SLA: 2.0, Seed: 3, UseLSTM: false,
 		Apps:    []string{"WL2"},
@@ -54,6 +66,7 @@ func BenchmarkFig8E2EComparison(b *testing.B) {
 }
 
 func BenchmarkFig9HardwareUsage(b *testing.B) {
+	skipIfShort(b)
 	p := experiments.Fig8Params{
 		Horizon: 400, SLA: 2.0, Seed: 4, UseLSTM: false,
 		Apps:    []string{"WL2"},
@@ -69,6 +82,7 @@ func BenchmarkFig9HardwareUsage(b *testing.B) {
 }
 
 func BenchmarkFig10SLASweep(b *testing.B) {
+	skipIfShort(b)
 	p := experiments.Fig10Params{
 		Horizon: 300, Seed: 5, UseLSTM: false,
 		SLAs:    []float64{2, 4},
@@ -83,6 +97,7 @@ func BenchmarkFig10SLASweep(b *testing.B) {
 }
 
 func BenchmarkFig11Profiling(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig11(experiments.Fig11Params{Horizon: 300, Seed: 6})
 		if r.OverallAverageSMAPE > 8 {
@@ -92,6 +107,7 @@ func BenchmarkFig11Profiling(b *testing.B) {
 }
 
 func BenchmarkFig12Predictors(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig12(experiments.Fig12Params{TrainWindows: 300, TestWindows: 300, Seed: 7})
 		if len(r.CountNames) != 4 {
@@ -101,6 +117,7 @@ func BenchmarkFig12Predictors(b *testing.B) {
 }
 
 func BenchmarkFig13Ablations(b *testing.B) {
+	skipIfShort(b)
 	p := experiments.Fig13Params{Horizon: 300, SLA: 2.0, Seed: 8, UseLSTM: false, Apps: []string{"WL2"}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -111,6 +128,7 @@ func BenchmarkFig13Ablations(b *testing.B) {
 }
 
 func BenchmarkFig14BurstAdaptation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r := experiments.Fig14(experiments.Fig14Params{SLA: 2.0, Seed: 9, UseLSTM: false})
 		if r.Stats.Completed == 0 {
@@ -120,6 +138,7 @@ func BenchmarkFig14BurstAdaptation(b *testing.B) {
 }
 
 func BenchmarkFig15BurstComparison(b *testing.B) {
+	skipIfShort(b)
 	p := experiments.Fig15Params{
 		SLA: 2.0, Seed: 10, UseLSTM: false,
 		Systems: []experiments.SystemName{experiments.SysSMIless, experiments.SysGrandSLAm},
@@ -135,6 +154,7 @@ func BenchmarkFig15BurstComparison(b *testing.B) {
 // BenchmarkFig16SearchOverhead measures the Strategy Optimizer itself at
 // the paper's largest chain length — the direct Fig. 16(a) quantity.
 func BenchmarkFig16SearchOverhead(b *testing.B) {
+	skipIfShort(b)
 	app := apps.Pipeline(12)
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	opt := core.New(hardware.DefaultCatalog())
@@ -150,6 +170,7 @@ func BenchmarkFig16SearchOverhead(b *testing.B) {
 // BenchmarkFig16AutoscalerDecision measures one Eq. (7)/(8) solve — the
 // Fig. 16(b) quantity (paper: < 0.1 ms).
 func BenchmarkFig16AutoscalerDecision(b *testing.B) {
+	skipIfShort(b)
 	scaler := autoscaler.New(hardware.DefaultCatalog())
 	prof := apps.Functions["TRS"].TrueProfile(perfmodel.DefaultUncertainty)
 	b.ResetTimer()
@@ -163,6 +184,7 @@ func BenchmarkFig16AutoscalerDecision(b *testing.B) {
 // BenchmarkAblationPrewarmPolicies compares the closed-form per-invocation
 // cost of adaptive pre-warming vs always-keep-alive vs no mitigation.
 func BenchmarkAblationPrewarmPolicies(b *testing.B) {
+	skipIfShort(b)
 	prof := apps.Functions["IR"].TrueProfile(perfmodel.DefaultUncertainty)
 	cfg := hardware.Config{Kind: hardware.CPU, Cores: 4}
 	t := prof.InitTime(cfg)
@@ -200,6 +222,7 @@ func costTriple(t, inf, it, unit float64) (int, [3]float64) {
 // BenchmarkAblationDecompose compares whole-DAG search via decomposition
 // against per-path sequential optimization.
 func BenchmarkAblationDecompose(b *testing.B) {
+	skipIfShort(b)
 	app := apps.VoiceAssistant()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	opt := core.New(hardware.DefaultCatalog())
@@ -216,6 +239,7 @@ func BenchmarkAblationDecompose(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw discrete-event throughput: one
 // hour of moderate traffic through the full DAG machinery.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		tr := experiments.SmoothTrace(int64(i), 600)
 		st := experiments.RunSystem(experiments.SysGrandSLAm, experiments.RunParams{
@@ -229,6 +253,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 // BenchmarkOptimizerTopK contrasts top-1 with a wider beam.
 func BenchmarkOptimizerTopK(b *testing.B) {
+	skipIfShort(b)
 	app := apps.Pipeline(8)
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	for _, k := range []int{1, 3} {

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16 or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep, not in 'all'), or 'all'")
 	horizon := flag.Float64("horizon", 0, "trace horizon in seconds (0 = per-figure default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
@@ -85,6 +85,16 @@ func main() {
 	}
 	if show("16") {
 		fmt.Println(experiments.Fig16(experiments.Fig16Params{}).Table())
+	}
+	// The chaos sweep is opt-in: it is not part of the paper's figures.
+	if want["chaos"] {
+		p := experiments.DefaultChaosParams(*seed)
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *horizon > 0 {
+			p.Horizon = *horizon
+		}
+		fmt.Println(experiments.Chaos(p).Table())
 	}
 	if !all && len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "no figure selected; use -fig")

@@ -5,6 +5,8 @@
 //
 //	smiless-sim -app WL2 -system SMIless -horizon 1800 -sla 2
 //	smiless-sim -app WL3 -system IceBreaker -trace bursty
+//	smiless-sim -app WL2 -faults 0.05 -outage         # fault-injected run
+//	smiless-sim -chaos                                 # full resilience sweep
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 
 	"smiless/internal/apps"
 	"smiless/internal/experiments"
+	"smiless/internal/faults"
 	"smiless/internal/mathx"
+	"smiless/internal/metrics"
 	"smiless/internal/simulator"
 	"smiless/internal/trace"
 )
@@ -29,7 +33,24 @@ func main() {
 	traceKind := flag.String("trace", "azure", "workload: azure, diurnal, poisson, bursty")
 	rate := flag.Float64("rate", 0.2, "mean rate for poisson/diurnal traces (req/s)")
 	jsonOut := flag.String("json", "", "also write a JSON run report to this file")
+	faultRate := flag.Float64("faults", 0, "base failure rate: init-crash prob = rate, exec-crash = 0.6*rate, straggler = rate (0 = fault-free)")
+	straggler := flag.Float64("straggler", 6, "execution-time inflation factor for injected stragglers")
+	outage := flag.Bool("outage", false, "with -faults: take node 0 down for 120s mid-run")
+	chaos := flag.Bool("chaos", false, "run the full resilience sweep (systems x failure rates) and exit")
+	metricsOut := flag.String("metrics", "", "also write run counters in Prometheus text exposition to this file")
 	flag.Parse()
+
+	if *chaos {
+		p := experiments.DefaultChaosParams(*seed)
+		p.App = *app
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *horizon != 1800 {
+			p.Horizon = *horizon
+		}
+		fmt.Println(experiments.Chaos(p).Table())
+		return
+	}
 
 	var tr *trace.Trace
 	r := mathx.NewRand(*seed)
@@ -47,11 +68,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plan *faults.Plan
+	if *faultRate > 0 {
+		plan = &faults.Plan{
+			Default: faults.Rates{
+				InitFail:        *faultRate,
+				ExecFail:        0.6 * *faultRate,
+				Straggler:       *faultRate,
+				StragglerFactor: *straggler,
+			},
+			Seed: *seed,
+		}
+		if *outage {
+			start := 0.4 * *horizon
+			plan.Outages = []faults.Outage{{Node: 0, Start: start, End: start + 120}}
+		}
+	}
+
 	params := experiments.RunParams{
 		App:     mustApp(*app),
 		SLA:     *sla,
 		Seed:    *seed,
 		UseLSTM: *lstm,
+		Faults:  plan,
 	}
 	st := experiments.RunSystem(experiments.SystemName(*system), params, tr)
 
@@ -70,6 +109,21 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+	if *metricsOut != "" {
+		store := metrics.NewStore()
+		st.RecordMetrics(store, metrics.Labels{"system": *system, "app": *app}, *horizon)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		if err := store.WriteText(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 	fmt.Println("cost by function (descending):")
 	for _, fn := range st.TopCostFunctions() {

@@ -40,8 +40,14 @@ func main() {
 		o.UseLSTM = false // the 2-minute lead-in is too short to train LSTMs
 		return o
 	}())
-	sim := smiless.NewSimulator(app, drv, sla, 3)
-	st := sim.Run(tr)
+	sim, err := smiless.NewSimulator(app, drv, sla, 3)
+	if err != nil {
+		panic(err)
+	}
+	st, err := sim.Run(tr)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("requests=%d completed=%d cost=$%.4f violations=%.1f%% mean batch=%.2f\n\n",
 		tr.Len(), st.Completed, st.TotalCost, st.ViolationRate()*100, st.MeanBatch())

@@ -47,8 +47,8 @@ func runAll(t *testing.T, app func() *apps.Application, tr *trace.Trace, sla flo
 	}
 	out := map[string]*simulator.RunStats{}
 	for _, d := range drivers {
-		sim := simulator.New(simulator.Config{App: app(), SLA: sla, Seed: 99}, d)
-		st := sim.Run(tr)
+		sim := simulator.MustNew(simulator.Config{App: app(), SLA: sla, Seed: 99}, d)
+		st := sim.MustRun(tr)
 		if st.Completed != tr.Len() {
 			t.Fatalf("%s completed %d/%d", d.Name(), st.Completed, tr.Len())
 		}
@@ -218,8 +218,8 @@ func TestGrandSLAmKeepsResident(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	d := NewGrandSLAm(hardware.DefaultCatalog(), profiles, 2.0)
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 5}, d)
-	st := sim.Run(tr)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 5}, d)
+	st := sim.MustRun(tr)
 	if st.Completed != 3 {
 		t.Fatalf("completed %d/3", st.Completed)
 	}
@@ -254,8 +254,8 @@ func TestAquatopeExploresConfigs(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	a := NewAquatope(hardware.DefaultCatalog(), profiles, 2.0, 3)
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 17}, a)
-	st := sim.Run(tr)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 17}, a)
+	st := sim.MustRun(tr)
 	if st.Completed != tr.Len() {
 		t.Fatalf("completed %d/%d", st.Completed, tr.Len())
 	}
@@ -336,8 +336,8 @@ func TestHybridHistogramRuns(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	d := NewHybridHistogram(hardware.DefaultCatalog(), profiles, 2.0)
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 21}, d)
-	st := sim.Run(tr)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 21}, d)
+	st := sim.MustRun(tr)
 	if st.Completed != tr.Len() {
 		t.Fatalf("completed %d/%d", st.Completed, tr.Len())
 	}

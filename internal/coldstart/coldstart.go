@@ -257,3 +257,21 @@ func TheoremCaseI(t2, i2, it, unit float64) (best Policy, costs map[Policy]float
 	}
 	return best, costs
 }
+
+// RetryAdjustedSLA shrinks a planning SLA to reserve headroom for the
+// gateway's retry backoffs: when failures are injected, a request may spend
+// part of its budget waiting out backoff delays, so the optimizer plans
+// against sla − budget. floorFrac bounds the shrink (the plan must still
+// target a meaningful latency), so the result never drops below
+// floorFrac·sla.
+func RetryAdjustedSLA(sla, budget, floorFrac float64) float64 {
+	if budget <= 0 {
+		return sla
+	}
+	adjusted := sla - budget
+	floor := sla * floorFrac
+	if adjusted < floor {
+		return floor
+	}
+	return adjusted
+}

@@ -13,6 +13,7 @@ import (
 	"smiless/internal/coldstart"
 	"smiless/internal/core"
 	"smiless/internal/dag"
+	"smiless/internal/faults"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/perfmodel"
@@ -82,6 +83,23 @@ type SMIless struct {
 	// times: itLow drives the Case I/II policy split (an early arrival
 	// must still find a warm container), itHigh sizes keep-alives.
 	itLow, itHigh float64
+
+	// Resilience layer (active only when the run injects faults; see
+	// resilience.go). resilient mirrors sim.FaultsEnabled() so fault-free
+	// runs never touch these paths.
+	resilient bool
+	// breakers holds one circuit breaker per function; when a breaker is
+	// open the function serves on the known-good fallback flavor.
+	breakers map[dag.NodeID]*faults.Breaker
+	fallback map[dag.NodeID]bool
+	// last* remember cumulative FnResilience counters so each window feeds
+	// the breaker only its delta.
+	lastInitF, lastExecF, lastSucc map[dag.NodeID]int
+	fallbackCfg                    hardware.Config
+	// degraded is set while serving the synthetic conservative plan that
+	// replaces a failed optimizer run.
+	degraded      bool
+	degradedSince int // windows spent degraded, for periodic re-optimization
 }
 
 // New builds the SMIless controller.
@@ -107,26 +125,45 @@ func (s *SMIless) Name() string {
 }
 
 // reoptimize recomputes the plan for the given conservative policy IT and
-// expected mean IT, then installs directives.
+// expected mean IT, then installs directives. An optimizer failure with no
+// plan yet installed falls back to the degraded conservative plan; with a
+// plan in place the last good plan keeps serving (graceful degradation).
 func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
 	margin := s.Opts.SLAMargin
 	if margin <= 0 || margin > 1 {
 		margin = 0.7
 	}
+	planSLA := s.SLA * margin
+	if s.resilient {
+		// Reserve backoff headroom for retried attempts out of the
+		// planning budget so a once-retried request can still meet the SLA.
+		planSLA = coldstart.RetryAdjustedSLA(planSLA, s.nominalRetryPolicy().SlackBudget(), 0.4)
+	}
 	res, err := s.opt.Optimize(core.Request{
 		Graph:    sim.App().Graph,
 		Profiles: s.Profiles,
-		SLA:      s.SLA * margin,
+		SLA:      planSLA,
 		IT:       it,
 		ITMean:   s.itMean,
 		Batch:    1,
 	})
 	if err != nil {
+		if s.plan == nil {
+			s.degrade(sim, it)
+		}
 		return
 	}
+	s.degraded = false
 	s.plan = res.Plan
 	s.planIT = it
 	s.planITMean = s.itMean
+	s.computePlanGeometry(sim)
+	s.installPlan(sim, it)
+}
+
+// computePlanGeometry derives critical-path offsets, per-function inference
+// estimates and the plan path latency from the current plan.
+func (s *SMIless) computePlanGeometry(sim *simulator.Simulator) {
 	s.offsets = make(map[dag.NodeID]float64)
 	s.planInfer = make(map[dag.NodeID]float64)
 	g := sim.App().Graph
@@ -154,7 +191,6 @@ func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
 			s.planPath = end
 		}
 	}
-	s.installPlan(sim, it)
 }
 
 // installPlan writes the optimizer plan into simulator directives. When a
@@ -164,8 +200,15 @@ func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
 func (s *SMIless) installPlan(sim *simulator.Simulator, it float64) {
 	for _, id := range sim.App().Graph.Nodes() {
 		cfg := s.plan.Configs[id]
-		changed := sim.GetDirective(id).Config != cfg
 		d := s.plan.Decisions[id]
+		if s.resilient && s.fallback[id] {
+			// Open breaker: the planned flavor keeps failing, so serve on
+			// the known-good CPU fallback with keep-alive until half-open
+			// probing clears it.
+			cfg = s.fallbackCfg
+			d = coldstart.Decision{Policy: coldstart.KeepAlive}
+		}
+		changed := sim.GetDirective(id).Config != cfg
 		// Keep-alive horizon: cover the observed gap distribution so warm
 		// instances survive ordinary lulls; genuinely long idle phases are
 		// handled by idle-mode below, which releases the fleet wholesale.
@@ -176,7 +219,7 @@ func (s *SMIless) installPlan(sim *simulator.Simulator, it float64) {
 		if ka < 2*sim.Window() {
 			ka = 2 * sim.Window()
 		}
-		sim.SetDirective(id, simulator.Directive{
+		dir := simulator.Directive{
 			Config:      cfg,
 			Policy:      d.Policy,
 			KeepAlive:   ka,
@@ -196,7 +239,12 @@ func (s *SMIless) installPlan(sim *simulator.Simulator, it float64) {
 			// out anyway, pin one instance resident: the marginal cost is
 			// tiny and it removes the rare gap-beyond-keep-alive cold DAG.
 			MinWarm: minWarmFor(d.Policy, it, ka),
-		})
+		}
+		if s.resilient {
+			dir.Retry = s.retryPolicyFor(id)
+			dir.HedgeDelay = s.hedgeDelayFor(sim, id)
+		}
+		sim.SetDirective(id, dir)
 		if changed && !s.idleMode && d.Policy == coldstart.KeepAlive {
 			sim.EnsureConfigInstance(id)
 		}
@@ -235,7 +283,15 @@ func (s *SMIless) slackBatch(id dag.NodeID, sim *simulator.Simulator) int {
 
 // Setup implements simulator.Driver.
 func (s *SMIless) Setup(sim *simulator.Simulator) {
+	if sim.FaultsEnabled() {
+		s.enableResilience(sim)
+	}
 	s.reoptimize(sim, 10) // neutral prior until arrivals are observed
+	if s.plan == nil {
+		// Optimizer failed before any plan existed: serve degraded rather
+		// than not at all.
+		s.degrade(sim, 10)
+	}
 	// Deployment warm-up: have the whole DAG warm for the first request.
 	for _, id := range sim.App().Graph.Nodes() {
 		sim.SchedulePrewarm(id, sim.Now())
@@ -274,6 +330,11 @@ func (s *SMIless) predictIT(sim *simulator.Simulator) float64 {
 		tail = tail[len(tail)-30:]
 	}
 	mw := (tail[len(tail)-1] - tail[0]) / float64(len(tail)-1)
+	if mw <= 0 || math.IsNaN(mw) || math.IsInf(mw, 0) {
+		// Degenerate history (coincident window-first arrivals): fall back
+		// to the neutral prior rather than planning against garbage.
+		mw = 10
+	}
 	if !s.lstmActive {
 		return mw
 	}
@@ -282,7 +343,8 @@ func (s *SMIless) predictIT(sim *simulator.Simulator) float64 {
 		return mw
 	}
 	v := s.itPred.PredictIAT(iats, counts)
-	if v <= 0 {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		// Predictor failure degrades to the moving-window estimate.
 		return mw
 	}
 	return v
@@ -426,6 +488,18 @@ func (s *SMIless) OnWindow(sim *simulator.Simulator, now float64) {
 	it := s.predictIT(sim)
 	s.itMean = it
 	s.updateQuantiles(sim, it)
+
+	if s.resilient {
+		s.updateBreakers(sim, now)
+	}
+	if s.degraded {
+		sim.Stats().DegradedWindows++
+		s.degradedSince++
+		// Periodically retry the optimizer; success clears degraded mode.
+		if s.degradedSince%10 == 0 {
+			s.reoptimize(sim, s.itLow/2)
+		}
+	}
 
 	// Idle-period detection: when no request has arrived for well beyond
 	// the predicted inter-arrival horizon, the application has gone quiet

@@ -22,8 +22,8 @@ func runSMIless(t *testing.T, app *apps.Application, tr *trace.Trace, sla float6
 	t.Helper()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, sla, opts)
-	sim := simulator.New(simulator.Config{App: app, SLA: sla, Seed: 42}, drv)
-	return sim.Run(tr)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: sla, Seed: 42}, drv)
+	return sim.MustRun(tr)
 }
 
 func TestSMIlessCompletesAll(t *testing.T) {
@@ -60,8 +60,8 @@ func TestSMIlessCheaperThanAlwaysOn(t *testing.T) {
 	st := runSMIless(t, app, tr, 2.0, liteOptions(3))
 
 	alwaysOn := &staticAlwaysOn{}
-	sim := simulator.New(simulator.Config{App: apps.ImageQuery(), SLA: 2.0, Seed: 42}, alwaysOn)
-	stAO := sim.Run(tr)
+	sim := simulator.MustNew(simulator.Config{App: apps.ImageQuery(), SLA: 2.0, Seed: 42}, alwaysOn)
+	stAO := sim.MustRun(tr)
 
 	if st.TotalCost >= stAO.TotalCost {
 		t.Errorf("SMIless cost %v should be below always-on cost %v on sparse traffic", st.TotalCost, stAO.TotalCost)
@@ -134,12 +134,12 @@ func TestHomoAblationViolatesTightSLA(t *testing.T) {
 	sla := 0.5 // below the CPU-only floor (~0.76 s), above the GPU floor
 
 	homo := New(hardware.CPUOnlyCatalog(), profiles, sla, liteOptions(6))
-	simH := simulator.New(simulator.Config{App: app, SLA: sla, Seed: 42}, homo)
-	stH := simH.Run(tr)
+	simH := simulator.MustNew(simulator.Config{App: app, SLA: sla, Seed: 42}, homo)
+	stH := simH.MustRun(tr)
 
 	het := New(hardware.DefaultCatalog(), app.TrueProfiles(perfmodel.DefaultUncertainty), sla, liteOptions(6))
-	simF := simulator.New(simulator.Config{App: apps.AmberAlert(), SLA: sla, Seed: 42}, het)
-	stF := simF.Run(tr)
+	simF := simulator.MustNew(simulator.Config{App: apps.AmberAlert(), SLA: sla, Seed: 42}, het)
+	stF := simF.MustRun(tr)
 
 	if stH.ViolationRate() <= stF.ViolationRate() {
 		t.Errorf("homo violation rate %.1f%% should exceed heterogeneous %.1f%%",

@@ -18,7 +18,7 @@ func TestIdleModeReleasesFleet(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, 2.0, liteOptions(1))
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 1}, drv)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 1}, drv)
 	// Dense lead-in (establishes a short IT), then a 500 s silence, then
 	// one more request.
 	var arr []float64
@@ -26,7 +26,7 @@ func TestIdleModeReleasesFleet(t *testing.T) {
 		arr = append(arr, 10+float64(i)*2)
 	}
 	arr = append(arr, 600)
-	st := sim.Run(&trace.Trace{Horizon: 700, Arrivals: arr})
+	st := sim.MustRun(&trace.Trace{Horizon: 700, Arrivals: arr})
 	if st.Completed != len(arr) {
 		t.Fatalf("completed %d/%d", st.Completed, len(arr))
 	}
@@ -49,9 +49,9 @@ func TestSlackBatchRespectsSLA(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, 2.0, liteOptions(2))
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 2}, drv)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 2}, drv)
 	// Run briefly so a plan exists.
-	st := sim.Run(&trace.Trace{Horizon: 60, Arrivals: []float64{10, 20, 30}})
+	st := sim.MustRun(&trace.Trace{Horizon: 60, Arrivals: []float64{10, 20, 30}})
 	if st.Completed != 3 {
 		t.Fatal("setup run incomplete")
 	}
@@ -75,7 +75,7 @@ func TestReplanOnRegimeShift(t *testing.T) {
 	app := apps.ImageQuery()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, 2.0, liteOptions(3))
-	sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: 3}, drv)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: 3}, drv)
 	// Sparse phase (IT 20 s) then dense phase (IT 1 s).
 	var arr []float64
 	for i := 0; i < 10; i++ {
@@ -84,7 +84,7 @@ func TestReplanOnRegimeShift(t *testing.T) {
 	for i := 0; i < 60; i++ {
 		arr = append(arr, 220+float64(i))
 	}
-	st := sim.Run(&trace.Trace{Horizon: 320, Arrivals: arr})
+	st := sim.MustRun(&trace.Trace{Horizon: 320, Arrivals: arr})
 	if st.Completed != len(arr) {
 		t.Fatalf("completed %d/%d", st.Completed, len(arr))
 	}
@@ -100,9 +100,9 @@ func TestEventTimesCollapsesBursts(t *testing.T) {
 	app := apps.Pipeline(1)
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, 2.0, liteOptions(4))
-	sim := simulator.New(simulator.Config{App: app, SLA: 5.0, Seed: 4}, drv)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 5.0, Seed: 4}, drv)
 	arr := []float64{10.1, 10.2, 10.3, 10.4, 20.5, 20.6}
-	st := sim.Run(&trace.Trace{Horizon: 60, Arrivals: arr})
+	st := sim.MustRun(&trace.Trace{Horizon: 60, Arrivals: arr})
 	if st.Completed != 6 {
 		t.Fatalf("completed %d/6", st.Completed)
 	}
@@ -131,7 +131,7 @@ func TestBurstConfigRestoredAfterBurst(t *testing.T) {
 	app := apps.Pipeline(2)
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	drv := New(hardware.DefaultCatalog(), profiles, 4.0, liteOptions(5))
-	sim := simulator.New(simulator.Config{App: app, SLA: 4.0, Seed: 5}, drv)
+	sim := simulator.MustNew(simulator.Config{App: app, SLA: 4.0, Seed: 5}, drv)
 	var arr []float64
 	r := mathx.NewRand(5)
 	for i := 0; i < 20; i++ { // steady lead-in
@@ -141,7 +141,7 @@ func TestBurstConfigRestoredAfterBurst(t *testing.T) {
 		arr = append(arr, 120+float64(i)*0.05)
 	}
 	arr = append(arr, 200, 220, 240) // steady tail
-	st := sim.Run(&trace.Trace{Horizon: 300, Arrivals: arr})
+	st := sim.MustRun(&trace.Trace{Horizon: 300, Arrivals: arr})
 	if st.Completed != len(arr) {
 		t.Fatalf("completed %d/%d", st.Completed, len(arr))
 	}

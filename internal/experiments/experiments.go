@@ -17,6 +17,7 @@ import (
 	"smiless/internal/baselines"
 	"smiless/internal/controller"
 	"smiless/internal/dag"
+	"smiless/internal/faults"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
 	"smiless/internal/simulator"
@@ -89,6 +90,9 @@ type RunParams struct {
 	Seed int64
 	// UseLSTM enables the full LSTM predictors in SMIless variants.
 	UseLSTM bool
+	// Faults optionally injects failures (crashes, stragglers, node
+	// outages) into the run; nil evaluates the fault-free substrate.
+	Faults *faults.Plan
 }
 
 // buildDriver constructs the driver for a system name.
@@ -142,10 +146,11 @@ func WarmupFor(tr *trace.Trace) float64 {
 // RunSystem evaluates one system on one trace.
 func RunSystem(name SystemName, p RunParams, tr *trace.Trace) *simulator.RunStats {
 	drv := buildDriver(name, p, tr)
-	sim := simulator.New(simulator.Config{
+	sim := simulator.MustNew(simulator.Config{
 		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
+		Faults: p.Faults,
 	}, drv)
-	return sim.Run(tr)
+	return sim.MustRun(tr)
 }
 
 // EvalTrace builds the default evaluation workload: an Azure-like mixture

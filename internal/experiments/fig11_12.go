@@ -63,8 +63,8 @@ func Fig11(p Fig11Params) *Fig11Result {
 		// the initialization estimate; the default margin would absorb it.
 		co.SLAMargin = 0.9
 		drv := controller.New(hardware.DefaultCatalog(), profiles, 2.0, co)
-		sim := simulator.New(simulator.Config{App: app, SLA: 2.0, Seed: p.Seed}, drv)
-		st := sim.Run(tr)
+		sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: p.Seed}, drv)
+		st := sim.MustRun(tr)
 		if n == 0 {
 			out.ViolationsMean = st.ViolationRate()
 		} else {

@@ -1,0 +1,135 @@
+package faults
+
+import "fmt"
+
+// BreakerState is the circuit-breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed routes traffic to the configured flavor normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen routes traffic to the fallback flavor while the
+	// suspect configuration cools down.
+	BreakerOpen
+	// BreakerHalfOpen probes the suspect configuration with live traffic
+	// after the cooldown; successes close the breaker, a failure re-opens.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes one per-function circuit breaker. Zero
+// fields take the defaults noted per field.
+type BreakerConfig struct {
+	// MinSamples is the minimum observation count before the failure
+	// ratio is meaningful (default 8).
+	MinSamples int
+	// FailureThreshold trips the breaker when failures/total reaches it
+	// (default 0.5).
+	FailureThreshold float64
+	// Cooldown is how long the breaker stays open before half-open
+	// probing (default 30 s).
+	Cooldown float64
+	// ProbeSuccesses closes a half-open breaker after this many
+	// consecutive successful probes (default 3).
+	ProbeSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30
+	}
+	if c.ProbeSuccesses <= 0 {
+		c.ProbeSuccesses = 3
+	}
+	return c
+}
+
+// Breaker is a per-function circuit breaker over windowed success/failure
+// counts. It is not safe for concurrent use (the controller drives it from
+// the single-threaded decision loop).
+type Breaker struct {
+	cfg          BreakerConfig
+	state        BreakerState
+	fails, succs float64
+	openedAt     float64
+	probeOK      int
+	trips        int
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State returns the breaker position at `now`, transitioning an open
+// breaker to half-open once its cooldown has elapsed.
+func (b *Breaker) State(now float64) BreakerState {
+	if b.state == BreakerOpen && now-b.openedAt >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probeOK = 0
+	}
+	return b.state
+}
+
+// Observe feeds one window's failure/success counts. In the closed state
+// the rolling ratio may trip the breaker; while open, observations are the
+// fallback's and are ignored; half-open treats them as probe outcomes.
+func (b *Breaker) Observe(now float64, failures, successes int) {
+	switch b.State(now) {
+	case BreakerClosed:
+		b.fails += float64(failures)
+		b.succs += float64(successes)
+		total := b.fails + b.succs
+		// Exponential forgetting: halve the window once it is 4x the
+		// minimum so ancient history cannot pin the ratio.
+		if total > float64(4*b.cfg.MinSamples) {
+			b.fails /= 2
+			b.succs /= 2
+			total /= 2
+		}
+		if total >= float64(b.cfg.MinSamples) && b.fails/total >= b.cfg.FailureThreshold {
+			b.trip(now)
+		}
+	case BreakerOpen:
+		// Cooldown: the fallback is serving; nothing to learn here.
+	case BreakerHalfOpen:
+		if failures > 0 {
+			b.trip(now)
+			return
+		}
+		b.probeOK += successes
+		if b.probeOK >= b.cfg.ProbeSuccesses {
+			b.state = BreakerClosed
+			b.fails, b.succs = 0, 0
+		}
+	}
+}
+
+func (b *Breaker) trip(now float64) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.trips++
+	b.fails, b.succs = 0, 0
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }

@@ -1,0 +1,146 @@
+// Package faults defines the failure-injection and recovery primitives the
+// simulator and controller share: a seeded injection Plan (container
+// crashes, stragglers, node outages), the Injector that realizes it, and
+// the gateway-side recovery state machines (RetryPolicy, Breaker).
+//
+// The paper's analysis (§V, Eq. 3–5) assumes containers never fail; this
+// package is the robustness extension. Injection is driven by an RNG that
+// is independent of the simulator's ground-truth timing stream, so a plan
+// with all probabilities zero (or a nil plan) leaves a run bit-identical
+// to the fault-free build, and two runs with the same plan seed replay the
+// same failure schedule.
+package faults
+
+import "math/rand"
+
+// Rates are per-attempt failure probabilities for one function (or the
+// plan-wide default).
+type Rates struct {
+	// InitFail is the probability a container crashes mid-initialization.
+	// The partial init is still billed (Eq. 3 does not forgive failures).
+	InitFail float64
+	// ExecFail is the probability a batch execution crashes. Members are
+	// individually retried or failed by the gateway's RetryPolicy.
+	ExecFail float64
+	// Straggler is the probability an execution lands in the heavy-tail
+	// slow mode (the exec-time analog of apps.ContentionProb).
+	Straggler float64
+	// StragglerFactor is the slow-mode latency multiplier (default 4).
+	StragglerFactor float64
+}
+
+// active reports whether any probability is set.
+func (r Rates) active() bool {
+	return r.InitFail > 0 || r.ExecFail > 0 || r.Straggler > 0
+}
+
+// Outage takes one node out of service over [Start, End): its containers
+// are evicted (in-flight work retried) and no new allocation lands on it
+// until End.
+type Outage struct {
+	Node       int
+	Start, End float64
+}
+
+// Plan is a deterministic, seeded failure-injection schedule for one run.
+// The zero value (and a nil plan) injects nothing.
+type Plan struct {
+	// Default applies to every function without a PerFunction override.
+	Default Rates
+	// PerFunction overrides Default for named functions.
+	PerFunction map[string]Rates
+	// Outages is the scheduled node-downtime list.
+	Outages []Outage
+	// Seed drives the injection RNG, independent of the simulation seed.
+	Seed int64
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if p.Default.active() || len(p.Outages) > 0 {
+		return true
+	}
+	for _, r := range p.PerFunction {
+		if r.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// RatesFor resolves the rates for one function.
+func (p *Plan) RatesFor(fn string) Rates {
+	if p == nil {
+		return Rates{}
+	}
+	if r, ok := p.PerFunction[fn]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// Injector realizes a Plan: each outcome draws from the plan-seeded RNG in
+// event order, which the simulator's deterministic event heap makes
+// reproducible run to run.
+type Injector struct {
+	plan *Plan
+	rng  *rand.Rand
+}
+
+// NewInjector builds the injector for a plan, or nil when the plan injects
+// nothing (callers must not store a typed nil into an interface).
+func NewInjector(p *Plan) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	return &Injector{plan: p, rng: rand.New(rand.NewSource(p.Seed ^ 0x5eedfa17))}
+}
+
+// crashFrac draws the crash point as a fraction of the attempt's duration,
+// bounded away from 0 and 1 so a crashed attempt always burns billed time
+// but never masquerades as a completion.
+func (in *Injector) crashFrac() float64 {
+	return 0.05 + 0.9*in.rng.Float64()
+}
+
+// InitOutcome decides whether one container initialization crashes, and if
+// so at which fraction of its sampled duration.
+func (in *Injector) InitOutcome(fn string) (fail bool, frac float64) {
+	r := in.plan.RatesFor(fn)
+	if r.InitFail > 0 && in.rng.Float64() < r.InitFail {
+		return true, in.crashFrac()
+	}
+	return false, 0
+}
+
+// ExecOutcome decides whether one batch execution crashes, and if so at
+// which fraction of its sampled duration.
+func (in *Injector) ExecOutcome(fn string) (fail bool, frac float64) {
+	r := in.plan.RatesFor(fn)
+	if r.ExecFail > 0 && in.rng.Float64() < r.ExecFail {
+		return true, in.crashFrac()
+	}
+	return false, 0
+}
+
+// StragglerFactor returns the latency multiplier for one execution: 1 in
+// the common case, the slow-mode factor when the straggler draw hits.
+func (in *Injector) StragglerFactor(fn string) float64 {
+	r := in.plan.RatesFor(fn)
+	if r.Straggler <= 0 || in.rng.Float64() >= r.Straggler {
+		return 1
+	}
+	if r.StragglerFactor > 1 {
+		return r.StragglerFactor
+	}
+	return 4
+}
+
+// Jitter returns a uniform [0,1) draw for backoff jitter, keeping retry
+// scheduling on the injection stream rather than the timing stream.
+func (in *Injector) Jitter() float64 {
+	return in.rng.Float64()
+}

@@ -1,0 +1,73 @@
+package faults
+
+import "math"
+
+// RetryPolicy is the gateway's per-function retry configuration: a
+// per-attempt timeout plus capped exponential backoff with jitter. The
+// zero value disables both timeout and retries.
+type RetryPolicy struct {
+	// MaxAttempts bounds total execution attempts per invocation,
+	// including the first (<=1 means no retries).
+	MaxAttempts int
+	// Timeout is the per-attempt watchdog in seconds: an attempt running
+	// longer is abandoned and its container recycled (0 disables).
+	Timeout float64
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it (0 retries immediately).
+	BaseBackoff float64
+	// MaxBackoff caps the exponential growth (0 means uncapped).
+	MaxBackoff float64
+	// JitterFrac spreads each backoff by ±JitterFrac·delay to decorrelate
+	// retry storms.
+	JitterFrac float64
+}
+
+// Enabled reports whether the policy does anything.
+func (p RetryPolicy) Enabled() bool {
+	return p.MaxAttempts > 1 || p.Timeout > 0
+}
+
+// Allow reports whether another attempt may run after `failures` failed
+// attempts.
+func (p RetryPolicy) Allow(failures int) bool {
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = 1
+	}
+	return failures < max
+}
+
+// Backoff returns the delay before the retry following the given failure
+// count (1-based). u in [0,1) supplies the jitter draw.
+func (p RetryPolicy) Backoff(failures int, u float64) float64 {
+	if p.BaseBackoff <= 0 || failures < 1 {
+		return 0
+	}
+	d := p.BaseBackoff * math.Pow(2, float64(failures-1))
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		d *= 1 + p.JitterFrac*(2*u-1)
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// SlackBudget returns the worst-case latency the retry ladder can add
+// before the final attempt starts: every failed attempt burns its timeout
+// plus the (jitter-free) backoff that follows it. Planners subtract this
+// from the SLA slack — the retry budget eats into Eq. (4)'s headroom.
+func (p RetryPolicy) SlackBudget() float64 {
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = 1
+	}
+	s := 0.0
+	for a := 1; a < max; a++ {
+		s += p.Timeout + p.Backoff(a, 0.5)
+	}
+	return s
+}

@@ -11,7 +11,8 @@ import (
 type clusterState struct {
 	spec      hardware.ClusterSpec
 	freeCores []int
-	freeGPU   []int // in percent
+	freeGPU   []int  // in percent
+	down      []bool // node outage in progress: no new allocations
 }
 
 func newClusterState(spec hardware.ClusterSpec) *clusterState {
@@ -19,14 +20,29 @@ func newClusterState(spec hardware.ClusterSpec) *clusterState {
 	for _, n := range spec.Nodes {
 		c.freeCores = append(c.freeCores, n.Cores)
 		c.freeGPU = append(c.freeGPU, n.GPUs*100)
+		c.down = append(c.down, false)
 	}
 	return c
 }
+
+// len returns the node count.
+func (c *clusterState) len() int { return len(c.spec.Nodes) }
+
+// isDown reports whether node i is out of service.
+func (c *clusterState) isDown(i int) bool { return c.down[i] }
+
+// setDown marks node i in or out of service. Capacity accounting is
+// untouched: evicted containers release through the normal path and the
+// node returns with its full capacity when the outage ends.
+func (c *clusterState) setDown(i int, down bool) { c.down[i] = down }
 
 // allocate finds a node with capacity for cfg (first fit) and reserves it,
 // returning the node index or false when the cluster is full.
 func (c *clusterState) allocate(cfg hardware.Config) (int, bool) {
 	for i := range c.freeCores {
+		if c.down[i] {
+			continue
+		}
 		switch cfg.Kind {
 		case hardware.CPU:
 			if c.freeCores[i] >= cfg.Cores {

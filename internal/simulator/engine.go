@@ -23,6 +23,13 @@ const (
 	evIdleTimeout                  // keep-alive expired
 	evPrewarm                      // scheduled pre-warm point
 	evWindow                       // decision-window boundary
+	evInitFail                     // injected crash mid-initialization
+	evExecFail                     // injected crash mid-execution
+	evExecTimeout                  // gateway per-attempt timeout fired
+	evHedge                        // hedge point for a slow single execution
+	evRetry                        // backed-off retry becomes ready
+	evNodeDown                     // node outage begins (cid = node index)
+	evNodeUp                       // node outage ends (cid = node index)
 )
 
 // event is one scheduled occurrence.
@@ -30,12 +37,14 @@ type event struct {
 	at   float64
 	seq  int // tie-breaker for determinism
 	kind eventKind
-	// container events
+	// container events (node index for evNodeDown/evNodeUp)
 	cid int
-	// idle timeout epoch (stale timers are ignored)
+	// idle-timer epoch or batch sequence (stale events are ignored)
 	epoch int
 	// prewarm target function
 	fn string
+	// retried invocation (evRetry)
+	ni *nodeInv
 }
 
 type eventHeap []*event

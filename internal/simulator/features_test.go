@@ -73,8 +73,8 @@ func (d *ensureDriver) OnWindow(s *Simulator, now float64) {
 func TestEnsureInstancesPreScales(t *testing.T) {
 	app := apps.Pipeline(1)
 	drv := &ensureDriver{at: 10, n: 4}
-	sim := New(Config{App: app, SLA: 60, Seed: 9}, drv)
-	st := sim.Run(&trace.Trace{Horizon: 60, Arrivals: []float64{30}})
+	sim := MustNew(Config{App: app, SLA: 60, Seed: 9}, drv)
+	st := sim.MustRun(&trace.Trace{Horizon: 60, Arrivals: []float64{30}})
 	if st.Completed != 1 {
 		t.Fatalf("completed %d/1", st.Completed)
 	}
@@ -92,7 +92,7 @@ func TestEnsureInstancesRespectsCap(t *testing.T) {
 	drv := &staticDriver{directive: func(dag.NodeID) Directive {
 		return Directive{Config: cpu(1), Policy: coldstart.KeepAlive, KeepAlive: 60, Batch: 1, Instances: 2}
 	}}
-	sim := New(Config{App: app, SLA: 60, Seed: 9}, drv)
+	sim := MustNew(Config{App: app, SLA: 60, Seed: 9}, drv)
 	drv.Setup(sim) // install directives before using the API directly
 	sim.EnsureInstances(app.Graph.Nodes()[0], 10)
 	if got := sim.LiveInstances(app.Graph.Nodes()[0]); got != 2 {
@@ -108,13 +108,13 @@ func TestPrewarmSkipsBusyOnlyForKeepAlive(t *testing.T) {
 	drv := &staticDriver{directive: func(dag.NodeID) Directive {
 		return Directive{Config: cpu(1), Policy: coldstart.Prewarm, Batch: 1, Instances: 4}
 	}}
-	sim := New(Config{App: app, SLA: 600, Seed: 10}, drv)
+	sim := MustNew(Config{App: app, SLA: 600, Seed: 10}, drv)
 	drv.Setup(sim)
 	// First request at t=1; its inference on CPU-1c takes ~1.6s, so at
 	// t=2 (handled via a prewarm scheduled during busy) a second container
 	// must be launched.
 	sim.SchedulePrewarm(id, 0)
-	st := sim.Run(&trace.Trace{Horizon: 60, Arrivals: []float64{3, 4}})
+	st := sim.MustRun(&trace.Trace{Horizon: 60, Arrivals: []float64{3, 4}})
 	if st.Completed != 2 {
 		t.Fatalf("completed %d/2", st.Completed)
 	}
@@ -140,8 +140,8 @@ func TestSetDirectiveRepumpsQueue(t *testing.T) {
 		},
 	}
 	arr := []float64{1, 1.1, 1.2, 1.3, 1.4, 1.5}
-	sim := New(Config{App: app, SLA: 600, Seed: 11}, drv)
-	st := sim.Run(&trace.Trace{Horizon: 120, Arrivals: arr})
+	sim := MustNew(Config{App: app, SLA: 600, Seed: 11}, drv)
+	st := sim.MustRun(&trace.Trace{Horizon: 120, Arrivals: arr})
 	if st.Completed != 6 {
 		t.Fatalf("completed %d/6", st.Completed)
 	}
@@ -189,8 +189,8 @@ func TestAccruedCost(t *testing.T) {
 
 func sim2Run(t *testing.T, app *apps.Application, d Driver, tr *trace.Trace) *RunStats {
 	t.Helper()
-	sim := New(Config{App: app, SLA: 600, Seed: 12}, d)
-	return sim.Run(tr)
+	sim := MustNew(Config{App: app, SLA: 600, Seed: 12}, d)
+	return sim.MustRun(tr)
 }
 
 func TestGPUContentionSlowsCoLocatedSlices(t *testing.T) {
@@ -202,9 +202,9 @@ func TestGPUContentionSlowsCoLocatedSlices(t *testing.T) {
 		}}
 		app := apps.Pipeline(1)
 		cluster := hardware.ClusterSpec{Nodes: []hardware.NodeSpec{{Cores: 4, GPUs: 1}}}
-		sim := New(Config{App: app, Cluster: cluster, SLA: 60, Seed: 7, GPUContention: contention}, d)
+		sim := MustNew(Config{App: app, Cluster: cluster, SLA: 60, Seed: 7, GPUContention: contention}, d)
 		// Two simultaneous arrivals so both slices run concurrently.
-		return sim.Run(&trace.Trace{Horizon: 120, Arrivals: []float64{30, 30.001, 60, 60.001}})
+		return sim.MustRun(&trace.Trace{Horizon: 120, Arrivals: []float64{30, 30.001, 60, 60.001}})
 	}
 	base := run(0)
 	cont := run(1.0)

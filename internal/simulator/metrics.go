@@ -1,0 +1,31 @@
+package simulator
+
+import "smiless/internal/metrics"
+
+// RecordMetrics exports the run's headline and resilience counters into a
+// metrics store at time t (typically the end of the run), under the given
+// label set (e.g. {"system": ..., "app": ...}). Series names follow the
+// Prometheus convention so metrics.WriteText produces a scrapeable
+// exposition.
+func (r *RunStats) RecordMetrics(store *metrics.Store, labels metrics.Labels, t float64) {
+	rec := func(name string, v float64) { store.Record(name, labels, t, v) }
+
+	rec("smiless_requests_completed_total", float64(r.Completed))
+	rec("smiless_requests_failed_total", float64(r.FailedInvocations))
+	rec("smiless_availability_ratio", r.Availability())
+	rec("smiless_violation_rate_ratio", r.ViolationRate())
+	rec("smiless_total_cost_dollars", r.TotalCost)
+	rec("smiless_container_inits_total", float64(r.Inits))
+
+	rec("smiless_retries_total", float64(r.Retries))
+	rec("smiless_timeouts_total", float64(r.Timeouts))
+	rec("smiless_init_failures_total", float64(r.InitFailures))
+	rec("smiless_exec_failures_total", float64(r.ExecFailures))
+	rec("smiless_stragglers_total", float64(r.Stragglers))
+	rec("smiless_hedges_launched_total", float64(r.HedgesLaunched))
+	rec("smiless_hedges_won_total", float64(r.HedgesWon))
+	rec("smiless_node_down_events_total", float64(r.NodeDownEvents))
+	rec("smiless_evicted_containers_total", float64(r.EvictedContainers))
+	rec("smiless_breaker_trips_total", float64(r.BreakerTrips))
+	rec("smiless_degraded_windows_total", float64(r.DegradedWindows))
+}

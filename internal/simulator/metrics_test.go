@@ -1,0 +1,70 @@
+package simulator
+
+import (
+	"strings"
+	"testing"
+
+	"smiless/internal/metrics"
+)
+
+func TestRecordMetricsExposition(t *testing.T) {
+	r := &RunStats{
+		Completed:         90,
+		FailedInvocations: 10,
+		TotalCost:         1.25,
+		Violations:        9,
+		Inits:             12,
+		Retries:           7,
+		Timeouts:          2,
+		InitFailures:      3,
+		ExecFailures:      4,
+		Stragglers:        5,
+		HedgesLaunched:    6,
+		HedgesWon:         1,
+		NodeDownEvents:    1,
+		EvictedContainers: 2,
+		BreakerTrips:      1,
+		DegradedWindows:   8,
+	}
+	store := metrics.NewStore()
+	r.RecordMetrics(store, metrics.Labels{"system": "SMIless", "app": "WL2"}, 600)
+
+	var sb strings.Builder
+	if err := store.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := sb.String()
+
+	for _, name := range []string{
+		"smiless_requests_completed_total",
+		"smiless_requests_failed_total",
+		"smiless_availability_ratio",
+		"smiless_violation_rate_ratio",
+		"smiless_total_cost_dollars",
+		"smiless_container_inits_total",
+		"smiless_retries_total",
+		"smiless_timeouts_total",
+		"smiless_init_failures_total",
+		"smiless_exec_failures_total",
+		"smiless_stragglers_total",
+		"smiless_hedges_launched_total",
+		"smiless_hedges_won_total",
+		"smiless_node_down_events_total",
+		"smiless_evicted_containers_total",
+		"smiless_breaker_trips_total",
+		"smiless_degraded_windows_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing series %s", name)
+		}
+	}
+	if !strings.Contains(text, `system="SMIless"`) {
+		t.Error("exposition missing system label")
+	}
+	if got := store.SumValues("smiless_retries_total", nil); got != 7 {
+		t.Errorf("retries recorded = %v, want 7", got)
+	}
+	if got := store.SumValues("smiless_availability_ratio", nil); got != 0.9 {
+		t.Errorf("availability recorded = %v, want 0.9", got)
+	}
+}

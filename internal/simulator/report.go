@@ -36,6 +36,21 @@ type Report struct {
 	GPUCost         float64 `json:"gpu_cost_dollars"`
 	CapacityBlocked int     `json:"capacity_blocked_launches"`
 
+	// Resilience counters (all zero and omitted on fault-free runs).
+	Availability      float64 `json:"availability,omitempty"`
+	FailedRequests    int     `json:"failed_requests,omitempty"`
+	Retries           int     `json:"retries,omitempty"`
+	Timeouts          int     `json:"timeouts,omitempty"`
+	InitFailures      int     `json:"init_failures,omitempty"`
+	ExecFailures      int     `json:"exec_failures,omitempty"`
+	Stragglers        int     `json:"stragglers,omitempty"`
+	HedgesLaunched    int     `json:"hedges_launched,omitempty"`
+	HedgesWon         int     `json:"hedges_won,omitempty"`
+	NodeDownEvents    int     `json:"node_down_events,omitempty"`
+	EvictedContainers int     `json:"evicted_containers,omitempty"`
+	BreakerTrips      int     `json:"breaker_trips,omitempty"`
+	DegradedWindows   int     `json:"degraded_windows,omitempty"`
+
 	// CostByFunction is sorted by descending cost for stable output.
 	CostByFunction []FunctionCostEntry `json:"cost_by_function"`
 }
@@ -69,6 +84,21 @@ func BuildReport(system, app string, st *RunStats) Report {
 		CPUCost:         st.CPUCost,
 		GPUCost:         st.GPUCost,
 		CapacityBlocked: st.CapacityBlocked,
+	}
+	if st.resilienceActive() {
+		r.Availability = st.Availability()
+		r.FailedRequests = st.FailedInvocations
+		r.Retries = st.Retries
+		r.Timeouts = st.Timeouts
+		r.InitFailures = st.InitFailures
+		r.ExecFailures = st.ExecFailures
+		r.Stragglers = st.Stragglers
+		r.HedgesLaunched = st.HedgesLaunched
+		r.HedgesWon = st.HedgesWon
+		r.NodeDownEvents = st.NodeDownEvents
+		r.EvictedContainers = st.EvictedContainers
+		r.BreakerTrips = st.BreakerTrips
+		r.DegradedWindows = st.DegradedWindows
 	}
 	for fn, c := range st.CostPerFn {
 		r.CostByFunction = append(r.CostByFunction, FunctionCostEntry{Function: fn, Cost: c})

@@ -58,8 +58,8 @@ func TestReportWarmupSplit(t *testing.T) {
 	// Requests.
 	app := apps.Pipeline(1)
 	d := keepAliveDriver(cpu(4), 60)
-	sim := New(Config{App: app, SLA: 30, Seed: 1, StatsAfter: 50}, d)
-	st := sim.Run(&trace.Trace{Horizon: 120, Arrivals: []float64{10, 60, 100}})
+	sim := MustNew(Config{App: app, SLA: 30, Seed: 1, StatsAfter: 50}, d)
+	st := sim.MustRun(&trace.Trace{Horizon: 120, Arrivals: []float64{10, 60, 100}})
 	r := BuildReport("d", "a", st)
 	if r.Requests != 3 {
 		t.Errorf("requests = %d, want 3", r.Requests)

@@ -2,6 +2,7 @@ package simulator
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"smiless/internal/apps"
 	"smiless/internal/coldstart"
 	"smiless/internal/dag"
+	"smiless/internal/faults"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/trace"
@@ -45,6 +47,15 @@ type Directive struct {
 	// timeout that would drop the live count below MinWarm re-arms
 	// instead of terminating.
 	MinWarm int
+	// Retry is the gateway's recovery policy for this function: a
+	// per-attempt timeout plus exponential backoff with jitter. The zero
+	// value disables both (failed work is lost when faults are injected
+	// and no retry policy is installed).
+	Retry faults.RetryPolicy
+	// HedgeDelay launches a duplicate of a single-invocation execution on
+	// a second warm instance once the first has run this long; the first
+	// completion wins and the loser is discarded (0 disables hedging).
+	HedgeDelay float64
 }
 
 // normalized fills defaults.
@@ -88,11 +99,16 @@ type container struct {
 	initStart float64
 	warmAt    float64
 	idleEpoch int
+	batchSeq  int // validates in-flight timeout/hedge/failure events
 	node      int
 	assigned  []*nodeInv // waiting to run when init completes
 	batch     []*nodeInv // currently executing
 	prewarmed bool       // launched by a pre-warm, not by a waiting request
 }
+
+// latWindow is the per-function ring of recent execution durations backing
+// ExecLatencyQuantile (hedging thresholds).
+const latWindow = 64
 
 type fnState struct {
 	id         dag.NodeID
@@ -101,6 +117,24 @@ type fnState struct {
 	containers map[int]*container
 	queue      []*nodeInv
 	inits      int
+
+	// Resilience bookkeeping: recent execution durations (ring buffer)
+	// and failure/success counts for breaker-driving drivers.
+	execLat   []float64
+	latPos    int
+	initFails int
+	execFails int
+	successes int
+}
+
+// recordLatency appends one execution duration to the ring.
+func (f *fnState) recordLatency(d float64) {
+	if len(f.execLat) < latWindow {
+		f.execLat = append(f.execLat, d)
+		return
+	}
+	f.execLat[f.latPos] = d
+	f.latPos = (f.latPos + 1) % latWindow
 }
 
 // liveCount returns containers not dead.
@@ -120,12 +154,20 @@ type appInv struct {
 	pending   map[dag.NodeID]int // unfinished predecessor count
 	done      map[dag.NodeID]bool
 	remaining int
+	failed    bool // a member exhausted its retries; the request is lost
 }
 
 type nodeInv struct {
 	inv     *appInv
 	node    dag.NodeID
 	readyAt float64
+
+	// Resilience state: how many times this member has failed (crash,
+	// timeout or eviction), whether a hedge twin has been launched for it,
+	// and whether this member IS the hedge twin.
+	attempts int
+	hedged   bool
+	isHedge  bool
 }
 
 // Config parameterizes a simulation run.
@@ -150,6 +192,21 @@ type Config struct {
 	GPUContention float64
 	// Seed drives all sampled timings.
 	Seed int64
+	// Faults is the optional failure-injection plan: crash probabilities,
+	// straggler inflation and node outages. Nil (or a plan with all rates
+	// zero and no outages) leaves every code path identical to a fault-free
+	// run — the injector draws from its own RNG stream, so enabling it
+	// never perturbs the ground-truth timing samples.
+	Faults *faults.Plan
+}
+
+// injector is the fault source the simulator consults. It is satisfied by
+// *faults.Injector; in-package tests install scripted fakes.
+type injector interface {
+	InitOutcome(fn string) (bool, float64)
+	ExecOutcome(fn string) (bool, float64)
+	StragglerFactor(fn string) float64
+	Jitter() float64
 }
 
 // Simulator runs one (application, driver, trace) evaluation.
@@ -175,14 +232,47 @@ type Simulator struct {
 
 	stats   *RunStats
 	horizon float64
+
+	// inj is non-nil only when Config.Faults enables injection; every
+	// fault code path is gated on it so fault-free runs are bit-compatible
+	// with builds that predate the subsystem.
+	inj injector
 }
 
-// New prepares a simulator for the given run configuration and driver.
-func New(cfg Config, driver Driver) *Simulator {
-	if cfg.Window <= 0 {
+// ConfigError reports an invalid Config field passed to New.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("simulator: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// ErrEmptyTrace is returned by Run when the trace carries no arrivals.
+var ErrEmptyTrace = errors.New("simulator: empty trace")
+
+// New prepares a simulator for the given run configuration and driver. It
+// returns a *ConfigError when the configuration is structurally invalid
+// (nil driver, missing application, negative SLA or window); zero SLA and
+// window still take their documented defaults.
+func New(cfg Config, driver Driver) (*Simulator, error) {
+	if driver == nil {
+		return nil, &ConfigError{Field: "driver", Reason: "must not be nil"}
+	}
+	if cfg.App == nil || cfg.App.Graph == nil || cfg.App.Graph.Len() == 0 {
+		return nil, &ConfigError{Field: "App", Reason: "must have a non-empty graph"}
+	}
+	if cfg.SLA < 0 {
+		return nil, &ConfigError{Field: "SLA", Reason: "must not be negative"}
+	}
+	if cfg.Window < 0 {
+		return nil, &ConfigError{Field: "Window", Reason: "must not be negative"}
+	}
+	if cfg.Window == 0 {
 		cfg.Window = 1
 	}
-	if cfg.SLA <= 0 {
+	if cfg.SLA == 0 {
 		cfg.SLA = 2
 	}
 	if cfg.Cluster.Nodes == nil {
@@ -190,6 +280,13 @@ func New(cfg Config, driver Driver) *Simulator {
 	}
 	if cfg.Pricing == (hardware.Pricing{}) {
 		cfg.Pricing = hardware.DefaultPricing
+	}
+	if cfg.Faults != nil {
+		for _, o := range cfg.Faults.Outages {
+			if o.Node < 0 || o.Node >= len(cfg.Cluster.Nodes) {
+				return nil, &ConfigError{Field: "Faults.Outages", Reason: fmt.Sprintf("node %d out of range", o.Node)}
+			}
+		}
 	}
 	s := &Simulator{
 		cfg:     cfg,
@@ -211,6 +308,21 @@ func New(cfg Config, driver Driver) *Simulator {
 				Batch:  1, Instances: 1, KeepAlive: 60,
 			},
 		}
+	}
+	// Guard against the typed-nil interface trap: only assign when the
+	// injector is actually enabled.
+	if in := faults.NewInjector(cfg.Faults); in != nil {
+		s.inj = in
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on configuration error, for tests and
+// experiment harnesses whose configs are statically known to be valid.
+func MustNew(cfg Config, driver Driver) *Simulator {
+	s, err := New(cfg, driver)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -361,6 +473,34 @@ func (s *Simulator) FunctionCost(id dag.NodeID) float64 {
 // terminated containers only; add AccruedCost for live instances.
 func (s *Simulator) Stats() *RunStats { return s.stats }
 
+// FaultsEnabled reports whether fault injection is active for this run.
+// Drivers gate their resilience machinery (retry directives, hedging,
+// circuit breakers) on it so fault-free runs stay bit-compatible.
+func (s *Simulator) FaultsEnabled() bool { return s.inj != nil }
+
+// ExecLatencyQuantile returns the p-th percentile (0–100) of the
+// function's recent observed execution durations, or 0 with no samples
+// yet. Drivers use it to place hedging thresholds.
+func (s *Simulator) ExecLatencyQuantile(id dag.NodeID, p float64) float64 {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	return mathx.Percentile(fs.execLat, p)
+}
+
+// FnResilience returns the function's cumulative init failures, execution
+// failures (crashes and timeouts; node evictions are excluded — they say
+// nothing about the flavor) and successful batches — the raw feed for a
+// driver's per-function circuit breaker.
+func (s *Simulator) FnResilience(id dag.NodeID) (initFails, execFails, successes int) {
+	fs, ok := s.fns[id]
+	if !ok {
+		panic(fmt.Sprintf("simulator: unknown function %q", id))
+	}
+	return fs.initFails, fs.execFails, fs.successes
+}
+
 // AccruedCost returns the cost accrued by still-live containers (billed
 // from their initialization start to now).
 func (s *Simulator) AccruedCost() float64 {
@@ -394,15 +534,28 @@ func (s *Simulator) schedule(e *event) {
 }
 
 // Run replays the trace through the simulator and returns the collected
-// statistics. The run ends when all requests have completed (or the safety
-// horizon of trace.Horizon + 600 s is reached).
-func (s *Simulator) Run(tr *trace.Trace) *RunStats {
+// statistics. The run ends when all requests have resolved — completed or
+// failed — (or the safety horizon of trace.Horizon + 600 s is reached). A
+// nil or empty trace returns ErrEmptyTrace.
+func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
+	if tr == nil || tr.Len() == 0 {
+		return nil, ErrEmptyTrace
+	}
 	for _, at := range tr.Arrivals {
 		s.schedule(&event{at: at, kind: evArrival})
 	}
 	s.horizon = tr.Horizon + 600
 	for w := s.cfg.Window; w <= tr.Horizon+s.cfg.Window; w += s.cfg.Window {
 		s.schedule(&event{at: w, kind: evWindow})
+	}
+	if s.cfg.Faults != nil {
+		for _, o := range s.cfg.Faults.Outages {
+			if o.End <= o.Start {
+				continue
+			}
+			s.schedule(&event{at: o.Start, kind: evNodeDown, cid: o.Node})
+			s.schedule(&event{at: o.End, kind: evNodeUp, cid: o.Node})
+		}
 	}
 	s.driver.Setup(s)
 
@@ -427,18 +580,42 @@ func (s *Simulator) Run(tr *trace.Trace) *RunStats {
 			s.onIdleTimeout(e.cid, e.epoch)
 		case evPrewarm:
 			s.onPrewarm(dag.NodeID(e.fn))
+		case evInitFail:
+			s.onInitFail(e.cid)
+		case evExecFail:
+			s.onExecFail(e.cid, e.epoch)
+		case evExecTimeout:
+			s.onExecTimeout(e.cid, e.epoch)
+		case evHedge:
+			s.onHedge(e.cid, e.epoch)
+		case evRetry:
+			s.onRetry(e.ni)
+		case evNodeDown:
+			s.onNodeDown(e.cid)
+		case evNodeUp:
+			s.onNodeUp(e.cid)
 		case evWindow:
 			s.counts = append(s.counts, s.arrivalsThisWindow)
 			s.arrivalsThisWindow = 0
 			s.driver.OnWindow(s, s.now)
 			s.samplePods()
 		}
-		if s.stats.Completed == outstanding && s.allIdle() && s.now > tr.Horizon {
+		if s.stats.Completed+s.stats.FailedInvocations >= outstanding && s.allIdle() && s.now > tr.Horizon {
 			break
 		}
 	}
 	s.finish()
-	return s.stats
+	return s.stats, nil
+}
+
+// MustRun is Run that panics on error, for callers that construct the
+// trace themselves and know it is non-empty.
+func (s *Simulator) MustRun(tr *trace.Trace) *RunStats {
+	st, err := s.Run(tr)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 func (s *Simulator) allIdle() bool {
@@ -468,6 +645,12 @@ func (s *Simulator) finish() {
 		if c := s.conts[id]; c != nil && c.state != cDead {
 			s.terminate(c)
 		}
+	}
+	// Requests that never resolved by the safety horizon (only possible
+	// under fault injection: work stranded behind a dead node or an
+	// exhausted queue) count as failed so availability reflects them.
+	if unresolved := s.nextInv - s.stats.Completed - s.stats.FailedInvocations; unresolved > 0 {
+		s.stats.FailedInvocations += unresolved
 	}
 }
 
@@ -606,10 +789,24 @@ func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *co
 		return c
 	}
 	c.node = node
-	dur := fs.spec.SampleInit(s.rng, cfg)
+	s.beginInit(c)
+	return c
+}
+
+// beginInit samples the initialization duration for a placed container and
+// schedules its completion — or, under fault injection, its crash partway
+// through. The duration sample always comes from the ground-truth RNG so
+// the fault-free stream is undisturbed.
+func (s *Simulator) beginInit(c *container) {
+	dur := c.fn.spec.SampleInit(s.rng, c.cfg)
+	if s.inj != nil {
+		if fail, frac := s.inj.InitOutcome(string(c.fn.id)); fail {
+			s.schedule(&event{at: s.now + dur*frac, kind: evInitFail, cid: c.id})
+			return
+		}
+	}
 	c.warmAt = s.now + dur
 	s.schedule(&event{at: c.warmAt, kind: evInitDone, cid: c.id})
-	return c
 }
 
 func (s *Simulator) onInitDone(cid int) {
@@ -625,6 +822,13 @@ func (s *Simulator) onInitDone(cid int) {
 		// request path.
 		s.stats.InitGated++
 		s.startBatch(c)
+		if c.state == cIdle {
+			// Only reachable under fault injection: every assigned member
+			// failed before the init completed, so the batch came up empty
+			// and the instance idles like a pre-warm.
+			s.armIdleTimer(c)
+			s.pump(fs)
+		}
 		return
 	}
 	// Pre-warmed and nothing waiting: idle with keep-alive timer.
@@ -632,15 +836,42 @@ func (s *Simulator) onInitDone(cid int) {
 	s.pump(fs)
 }
 
+// onInitFail handles an injected crash during initialization: the partial
+// init time is still billed (the provider charges for the attempt, Eq. 3),
+// assigned work returns to the queue, and pump relaunches — the natural
+// retry for a cold start.
+func (s *Simulator) onInitFail(cid int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cInitializing {
+		return
+	}
+	s.stats.InitFailures++
+	c.fn.initFails++
+	fs := c.fn
+	s.terminate(c)
+	s.pump(fs)
+}
+
 // startBatch moves assigned/queued work onto the container and runs it.
+// Members whose request already failed (retries exhausted elsewhere in the
+// DAG) are dropped rather than executed.
 func (s *Simulator) startBatch(c *container) {
 	fs := c.fn
 	d := fs.directive
-	batch := c.assigned
+	batch := c.assigned[:0]
+	for _, ni := range c.assigned {
+		if !ni.inv.failed {
+			batch = append(batch, ni)
+		}
+	}
 	c.assigned = nil
 	for len(batch) < d.Batch && len(fs.queue) > 0 {
-		batch = append(batch, fs.queue[0])
+		ni := fs.queue[0]
 		fs.queue = fs.queue[1:]
+		if ni.inv.failed {
+			continue
+		}
+		batch = append(batch, ni)
 	}
 	if len(batch) == 0 {
 		return
@@ -648,6 +879,7 @@ func (s *Simulator) startBatch(c *container) {
 	c.state = cBusy
 	c.batch = batch
 	c.idleEpoch++ // invalidate any pending idle timer
+	c.batchSeq++  // validates timeout/hedge/crash events for this batch
 	dur := fs.spec.SampleInference(s.rng, c.cfg, len(batch))
 	if s.cfg.GPUContention > 0 && c.cfg.Kind == hardware.GPU && c.node >= 0 {
 		others := s.cluster.usedGPUOnNode(c.node) - c.cfg.GPUShare
@@ -655,9 +887,31 @@ func (s *Simulator) startBatch(c *container) {
 			dur *= 1 + s.cfg.GPUContention*float64(others)/100
 		}
 	}
+	if s.inj != nil {
+		if f := s.inj.StragglerFactor(string(fs.id)); f > 1 {
+			dur *= f
+			s.stats.Stragglers++
+		}
+	}
+	fs.recordLatency(dur)
 	s.stats.Executions++
 	s.stats.BatchSum += len(batch)
-	s.schedule(&event{at: s.now + dur, kind: evExecDone, cid: c.id})
+	if s.inj != nil {
+		if fail, frac := s.inj.ExecOutcome(string(fs.id)); fail {
+			// The instance crashes partway through; the gateway's retry
+			// policy decides each member's fate in onExecFail.
+			s.schedule(&event{at: s.now + dur*frac, kind: evExecFail, cid: c.id, epoch: c.batchSeq})
+			return
+		}
+	}
+	s.schedule(&event{at: s.now + dur, kind: evExecDone, cid: c.id, epoch: c.batchSeq})
+	if t := d.Retry.Timeout; t > 0 && dur > t {
+		s.schedule(&event{at: s.now + t, kind: evExecTimeout, cid: c.id, epoch: c.batchSeq})
+	}
+	if h := d.HedgeDelay; h > 0 && len(batch) == 1 && dur > h &&
+		!batch[0].isHedge && !batch[0].hedged {
+		s.schedule(&event{at: s.now + h, kind: evHedge, cid: c.id, epoch: c.batchSeq})
+	}
 }
 
 func (s *Simulator) onExecDone(cid int) {
@@ -670,12 +924,22 @@ func (s *Simulator) onExecDone(cid int) {
 	c.state = cIdle
 	fs := c.fn
 
-	// Complete each node invocation and release successors.
+	// Complete each node invocation and release successors. A member whose
+	// request already failed, or whose node a hedge twin finished first, is
+	// discarded (first completion wins).
 	g := s.cfg.App.Graph
+	counted := false
 	for _, ni := range batch {
 		inv := ni.inv
-		if inv.done[ni.node] {
+		if inv.failed || inv.done[ni.node] {
 			continue
+		}
+		if ni.isHedge {
+			s.stats.HedgesWon++
+		}
+		if !counted {
+			fs.successes++
+			counted = true
 		}
 		inv.done[ni.node] = true
 		inv.remaining--
@@ -703,6 +967,185 @@ func (s *Simulator) onExecDone(cid int) {
 		s.armIdleTimer(c)
 	case coldstart.AlwaysOn:
 		// Stays resident; no timer.
+	}
+}
+
+// --- Failure handling ---------------------------------------------------
+
+// abortBatch terminates a container whose batch crashed, timed out or was
+// evicted, then routes each in-flight member through the retry policy.
+func (s *Simulator) abortBatch(c *container) {
+	members := c.batch
+	c.batch = nil
+	fs := c.fn
+	s.terminate(c)
+	for _, ni := range members {
+		s.retryMember(fs, ni)
+	}
+	s.pump(fs)
+}
+
+// onExecFail handles an injected crash mid-execution. The container dies
+// (its billed life still charged) and each batch member is individually
+// retried or failed.
+func (s *Simulator) onExecFail(cid, epoch int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch {
+		return
+	}
+	s.stats.ExecFailures++
+	c.fn.execFails++
+	s.abortBatch(c)
+}
+
+// onExecTimeout fires when a batch outlives the gateway's per-attempt
+// timeout. The hung instance is terminated — re-dispatching onto it would
+// just hang again — and the members retry elsewhere.
+func (s *Simulator) onExecTimeout(cid, epoch int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch {
+		return
+	}
+	s.stats.Timeouts++
+	c.fn.execFails++
+	s.abortBatch(c)
+}
+
+// retryMember routes one failed batch member through the function's retry
+// policy: re-enqueue after backoff while attempts remain, otherwise the
+// whole request fails. Hedge twins are never retried — the primary is
+// still running.
+func (s *Simulator) retryMember(fs *fnState, ni *nodeInv) {
+	if ni.inv.failed || ni.isHedge || ni.inv.done[ni.node] {
+		return
+	}
+	ni.attempts++
+	pol := fs.directive.Retry
+	if !pol.Allow(ni.attempts) {
+		s.failInvocation(ni.inv)
+		return
+	}
+	s.stats.Retries++
+	ni.hedged = false // a retried attempt may be hedged again
+	var u float64
+	if s.inj != nil {
+		u = s.inj.Jitter()
+	} else {
+		u = s.rng.Float64()
+	}
+	delay := pol.Backoff(ni.attempts, u)
+	if delay <= 0 {
+		ni.readyAt = s.now
+		s.enqueue(ni)
+		return
+	}
+	s.schedule(&event{at: s.now + delay, kind: evRetry, ni: ni, fn: string(fs.id)})
+}
+
+// failInvocation marks a request permanently failed and purges its
+// remaining members from every function queue so no further work is spent
+// on it.
+func (s *Simulator) failInvocation(inv *appInv) {
+	if inv.failed {
+		return
+	}
+	inv.failed = true
+	s.stats.FailedInvocations++
+	for _, fs := range s.fns {
+		if len(fs.queue) == 0 {
+			continue
+		}
+		q := fs.queue[:0]
+		for _, ni := range fs.queue {
+			if ni.inv != inv {
+				q = append(q, ni)
+			}
+		}
+		fs.queue = q
+	}
+}
+
+// onRetry re-enqueues a backed-off member once its delay elapses.
+func (s *Simulator) onRetry(ni *nodeInv) {
+	if ni == nil || ni.inv.failed || ni.inv.done[ni.node] {
+		return
+	}
+	ni.readyAt = s.now
+	s.enqueue(ni)
+}
+
+// onHedge duplicates a slow single-member execution onto a second warm
+// instance. The first completion wins (onExecDone's done-map dedup); the
+// loser's result is discarded.
+func (s *Simulator) onHedge(cid, epoch int) {
+	c := s.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch || len(c.batch) != 1 {
+		return
+	}
+	primary := c.batch[0]
+	if primary.inv.failed || primary.hedged || primary.isHedge || primary.inv.done[primary.node] {
+		return
+	}
+	h := s.pickIdle(c.fn)
+	if h == nil {
+		return // no spare warm instance: hedging never launches cold starts
+	}
+	primary.hedged = true
+	twin := &nodeInv{inv: primary.inv, node: primary.node, readyAt: s.now, isHedge: true}
+	s.stats.HedgesLaunched++
+	h.assigned = append(h.assigned, twin)
+	s.startBatch(h)
+}
+
+// onNodeDown begins a node outage: no new allocations land on the node and
+// every container on it is evicted, its in-flight work retried elsewhere.
+func (s *Simulator) onNodeDown(n int) {
+	if n < 0 || n >= s.cluster.len() || s.cluster.isDown(n) {
+		return
+	}
+	s.cluster.setDown(n, true)
+	s.stats.NodeDownEvents++
+	ids := make([]int, 0, len(s.conts))
+	for id, c := range s.conts {
+		if c.node == n && c.state != cDead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := s.conts[id]
+		if c == nil || c.state == cDead {
+			continue
+		}
+		s.stats.EvictedContainers++
+		members := c.batch
+		c.batch = nil
+		fs := c.fn
+		s.terminate(c)
+		for _, ni := range members {
+			s.retryMember(fs, ni)
+		}
+	}
+	// Re-dispatch displaced work in graph order for determinism.
+	for _, id := range s.cfg.App.Graph.Nodes() {
+		if fs := s.fns[id]; len(fs.queue) > 0 {
+			s.pump(fs)
+		}
+	}
+}
+
+// onNodeUp ends a node outage: the node accepts allocations again and any
+// capacity-blocked launches are placed.
+func (s *Simulator) onNodeUp(n int) {
+	if n < 0 || n >= s.cluster.len() || !s.cluster.isDown(n) {
+		return
+	}
+	s.cluster.setDown(n, false)
+	s.drainPendingLaunches()
+	for _, id := range s.cfg.App.Graph.Nodes() {
+		if fs := s.fns[id]; len(fs.queue) > 0 {
+			s.pump(fs)
+		}
 	}
 }
 
@@ -776,9 +1219,7 @@ func (s *Simulator) drainPendingLaunches() {
 			continue
 		}
 		c.node = node
-		dur := c.fn.spec.SampleInit(s.rng, c.cfg)
-		c.warmAt = s.now + dur
-		s.schedule(&event{at: c.warmAt, kind: evInitDone, cid: c.id})
+		s.beginInit(c)
 	}
 	s.pendingLaunch = remaining
 	// Placed launches can now accept queued work once warm; nothing to do

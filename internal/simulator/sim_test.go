@@ -37,8 +37,8 @@ func keepAliveDriver(cfg hardware.Config, ka float64) *staticDriver {
 func runPipeline(t *testing.T, d Driver, tr *trace.Trace, sla float64) *RunStats {
 	t.Helper()
 	app := apps.Pipeline(3)
-	sim := New(Config{App: app, SLA: sla, Seed: 1}, d)
-	return sim.Run(tr)
+	sim := MustNew(Config{App: app, SLA: sla, Seed: 1}, d)
+	return sim.MustRun(tr)
 }
 
 func TestAllRequestsComplete(t *testing.T) {
@@ -153,8 +153,8 @@ func TestOraclePrewarmHidesInit(t *testing.T) {
 	app := apps.Pipeline(3)
 	arr := []float64{30, 90}
 	tr := &trace.Trace{Horizon: 150, Arrivals: arr}
-	sim := New(Config{App: app, SLA: 30, Seed: 2}, &prewarmDriver{arrivals: arr})
-	st := sim.Run(tr)
+	sim := MustNew(Config{App: app, SLA: 30, Seed: 2}, &prewarmDriver{arrivals: arr})
+	st := sim.MustRun(tr)
 	if st.Completed != 2 {
 		t.Fatalf("completed = %d, want 2", st.Completed)
 	}
@@ -207,8 +207,8 @@ func TestScaleOutCapRespected(t *testing.T) {
 		arr[i] = 1
 	}
 	app := apps.Pipeline(1)
-	sim := New(Config{App: app, SLA: 300, Seed: 3}, d)
-	st := sim.Run(&trace.Trace{Horizon: 300, Arrivals: arr})
+	sim := MustNew(Config{App: app, SLA: 300, Seed: 3}, d)
+	st := sim.MustRun(&trace.Trace{Horizon: 300, Arrivals: arr})
 	if st.Completed != 10 {
 		t.Fatalf("completed = %d, want 10", st.Completed)
 	}
@@ -229,8 +229,8 @@ func TestDAGOrderingRespected(t *testing.T) {
 	// E2E >= longest path of inference times even fully warm.
 	app := apps.ImageQuery()
 	d := keepAliveDriver(cpu(4), 120)
-	sim := New(Config{App: app, SLA: 120, Seed: 4}, d)
-	st := sim.Run(&trace.Trace{Horizon: 200, Arrivals: []float64{1, 60}})
+	sim := MustNew(Config{App: app, SLA: 120, Seed: 4}, d)
+	st := sim.MustRun(&trace.Trace{Horizon: 200, Arrivals: []float64{1, 60}})
 	if st.Completed != 2 {
 		t.Fatalf("completed = %d, want 2", st.Completed)
 	}
@@ -263,8 +263,8 @@ func TestCapacityLimitBlocksLaunches(t *testing.T) {
 	for i := range arr {
 		arr[i] = 1
 	}
-	sim := New(Config{App: app, Cluster: cluster, SLA: 600, Seed: 5}, d)
-	st := sim.Run(&trace.Trace{Horizon: 600, Arrivals: arr})
+	sim := MustNew(Config{App: app, Cluster: cluster, SLA: 600, Seed: 5}, d)
+	st := sim.MustRun(&trace.Trace{Horizon: 600, Arrivals: arr})
 	if st.Completed != 8 {
 		t.Fatalf("completed = %d, want 8 (queued launches must drain)", st.Completed)
 	}

@@ -45,6 +45,20 @@ type RunStats struct {
 	InitGated       int // batches whose start waited on initialization
 	CapacityBlocked int // launches delayed by cluster capacity
 
+	// Resilience (all zero on fault-free runs).
+	InitFailures      int // injected crashes during initialization
+	ExecFailures      int // injected crashes during execution
+	Timeouts          int // gateway per-attempt timeouts fired
+	Stragglers        int // executions inflated by straggler injection
+	Retries           int // member re-dispatches after a failure
+	HedgesLaunched    int // duplicate executions started
+	HedgesWon         int // hedge twins that finished before the primary
+	FailedInvocations int // requests lost after exhausting retries
+	NodeDownEvents    int // node outages begun
+	EvictedContainers int // containers killed by node outages
+	BreakerTrips      int // circuit-breaker openings (driver-reported)
+	DegradedWindows   int // windows served on the degraded fallback plan
+
 	PodSamples []PodSample
 }
 
@@ -107,12 +121,39 @@ func (r *RunStats) LatencyPercentile(p float64) float64 {
 	return mathx.Percentile(r.E2E, p)
 }
 
+// Availability returns the fraction of requests that completed out of all
+// that resolved (completed + failed); 1 when nothing failed.
+func (r *RunStats) Availability() float64 {
+	total := r.Completed + r.FailedInvocations
+	if total == 0 {
+		return 1
+	}
+	return float64(r.Completed) / float64(total)
+}
+
+// resilienceActive reports whether any fault/recovery counter is non-zero;
+// fault-free summaries omit the resilience segment so their output is
+// byte-identical to pre-fault builds.
+func (r *RunStats) resilienceActive() bool {
+	return r.InitFailures > 0 || r.ExecFailures > 0 || r.Timeouts > 0 ||
+		r.Stragglers > 0 || r.Retries > 0 || r.HedgesLaunched > 0 ||
+		r.FailedInvocations > 0 || r.NodeDownEvents > 0 ||
+		r.BreakerTrips > 0 || r.DegradedWindows > 0
+}
+
 // Summary renders a human-readable digest for CLI output.
 func (r *RunStats) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "completed=%d cost=$%.4f violations=%.1f%% ", r.Completed, r.TotalCost, r.ViolationRate()*100)
 	fmt.Fprintf(&b, "p50=%.2fs p95=%.2fs p99=%.2fs ", r.LatencyPercentile(50), r.LatencyPercentile(95), r.LatencyPercentile(99))
 	fmt.Fprintf(&b, "inits=%d reinit/req=%.2f cpu:gpu=%.2f meanBatch=%.2f", r.Inits, r.ReinitFraction(), r.CPUGPURatio(), r.MeanBatch())
+	if r.resilienceActive() {
+		fmt.Fprintf(&b, "\navailability=%.2f%% failed=%d retries=%d timeouts=%d ",
+			r.Availability()*100, r.FailedInvocations, r.Retries, r.Timeouts)
+		fmt.Fprintf(&b, "crashes=%d/%d stragglers=%d hedges=%d/%d evicted=%d trips=%d degraded=%d",
+			r.InitFailures, r.ExecFailures, r.Stragglers, r.HedgesWon, r.HedgesLaunched,
+			r.EvictedContainers, r.BreakerTrips, r.DegradedWindows)
+	}
 	return b.String()
 }
 

@@ -163,8 +163,10 @@ func DefaultControllerOptions(seed int64) ControllerOptions {
 }
 
 // NewSimulator prepares the discrete-event serverless cluster for one
-// (application, driver) evaluation at the given SLA.
-func NewSimulator(app *Application, driver Driver, sla float64, seed int64) *Simulator {
+// (application, driver) evaluation at the given SLA. It returns a
+// *simulator.ConfigError when the configuration is invalid (nil app or
+// driver, negative SLA).
+func NewSimulator(app *Application, driver Driver, sla float64, seed int64) (*Simulator, error) {
 	return simulator.New(simulator.Config{App: app, SLA: sla, Seed: seed}, driver)
 }
 

@@ -80,8 +80,14 @@ func TestPublicSimulatorWithCustomDriver(t *testing.T) {
 		o.UseLSTM = false
 		return o
 	}())
-	sim := smiless.NewSimulator(app, drv, 3.0, 1)
-	st := sim.Run(&smiless.Trace{Horizon: 120, Arrivals: []float64{10, 50, 90}})
+	sim, err := smiless.NewSimulator(app, drv, 3.0, 1)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	st, err := sim.Run(&smiless.Trace{Horizon: 120, Arrivals: []float64{10, 50, 90}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if st.Completed != 3 {
 		t.Errorf("completed %d/3", st.Completed)
 	}
