@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race lint fmt bench
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Mirrors CI's lint job: vet, the repo's own analyzer suite, and gofmt.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/smilint ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

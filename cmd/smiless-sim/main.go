@@ -45,7 +45,7 @@ func main() {
 		p.App = *app
 		p.SLA = *sla
 		p.UseLSTM = *lstm
-		if *horizon != 1800 {
+		if *horizon != 1800 { //lint:allow floateq flag-default comparison: an untouched flag is bit-identical to its default
 			p.Horizon = *horizon
 		}
 		fmt.Println(experiments.Chaos(p).Table())

@@ -1,0 +1,96 @@
+// Command smilint runs the SMIless analyzer suite (internal/lint) over the
+// module: determinism (no wall clocks / global rand / goroutines in
+// //lint:deterministic packages), maporder (randomized map iteration must
+// not order appends, float sums or event scheduling), floateq (no exact
+// float equality outside tests) and unitsafety (no silent ms/sec mixing).
+//
+// Usage:
+//
+//	go run ./cmd/smilint ./...
+//	go run ./cmd/smilint -only determinism,maporder ./internal/simulator
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
+// finding with a trailing `//lint:allow <analyzer> <reason>`; stale or
+// malformed suppressions are findings themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smiless/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("smilint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: smilint [flags] [packages]\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "smilint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smilint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smilint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smilint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Position
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smilint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -28,6 +28,7 @@ import (
 	"smiless/internal/dag"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
+	"smiless/internal/units"
 )
 
 // FunctionSpec is the synthetic ground truth for one Table I function. The
@@ -153,8 +154,8 @@ func (f *FunctionSpec) TrueProfile(uncertainty float64) *perfmodel.Profile {
 		Function: f.Name,
 		CPUInf:   f.trueCPUModel(),
 		GPUInf:   f.trueGPUModel(),
-		CPUInit:  perfmodel.InitModel{Kind: hardware.CPU, Mu: cMean, Sigma: cStd, N: uncertainty},
-		GPUInit:  perfmodel.InitModel{Kind: hardware.GPU, Mu: gMean, Sigma: gStd, N: uncertainty},
+		CPUInit:  perfmodel.InitModel{Kind: hardware.CPU, Mu: units.Seconds(cMean), Sigma: units.Seconds(cStd), N: uncertainty},
+		GPUInit:  perfmodel.InitModel{Kind: hardware.GPU, Mu: units.Seconds(gMean), Sigma: units.Seconds(gStd), N: uncertainty},
 	}
 }
 

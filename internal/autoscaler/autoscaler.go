@@ -10,6 +10,8 @@
 // (GPU). Because I(B, ⋆) is strictly increasing in B, the largest feasible
 // batch per configuration is found by bisection (the paper's method); the
 // outer minimization scans the configuration catalog.
+//
+//lint:deterministic
 package autoscaler
 
 import (

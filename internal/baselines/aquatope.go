@@ -167,7 +167,7 @@ func (a *Aquatope) pick(id dag.NodeID) hardware.Config {
 	for _, o := range obs {
 		for _, cfg := range candidates {
 			f := features(cfg)
-			if f[0] == o.x[0] && f[1] == o.x[1] {
+			if f[0] == o.x[0] && f[1] == o.x[1] { //lint:allow floateq identity check: both sides come from the same features() table, never from arithmetic
 				tried[cfg] = true
 			}
 		}

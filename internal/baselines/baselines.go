@@ -19,6 +19,8 @@
 //   - OPT: an oracle with the true arrival times and ground-truth profiles,
 //     solving the static plan near-exactly (exhaustive search over shared
 //     functions, budget DP along branches) and pre-warming perfectly.
+//
+//lint:deterministic
 package baselines
 
 import (

@@ -23,11 +23,6 @@ func evalTrace(seed int64, horizon float64) *trace.Trace {
 	return trace.Diurnal(r, 0.25, 0.6, 300, horizon)
 }
 
-type runResult struct {
-	name  string
-	stats *simulator.RunStats
-}
-
 // runAll evaluates every system on the same app/trace/SLA.
 func runAll(t *testing.T, app func() *apps.Application, tr *trace.Trace, sla float64) map[string]*simulator.RunStats {
 	t.Helper()

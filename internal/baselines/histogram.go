@@ -90,9 +90,7 @@ func (b *HybridHistogram) OnWindow(sim *simulator.Simulator, now float64) {
 		if prev, ok := b.lastUse[id]; ok && last > prev {
 			b.hist[id].Observe(last - prev)
 		}
-		if last != b.lastUse[id] {
-			b.lastUse[id] = last
-		}
+		b.lastUse[id] = last
 		h := b.hist[id]
 		d := sim.GetDirective(id)
 		d.KeepAlive = h.KeepAliveFor()

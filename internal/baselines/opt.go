@@ -155,7 +155,7 @@ func (o *OPT) chainDP(chain []dag.NodeID, budget, it float64) (map[dag.NodeID]ha
 		bins = 400
 	}
 	step := budget / float64(bins)
-	if step == 0 {
+	if step <= 0 {
 		step = 1e-9
 	}
 	const inf = math.MaxFloat64 / 4
@@ -331,7 +331,7 @@ func (o *OPT) Setup(sim *simulator.Simulator) {
 func (o *OPT) OnWindow(sim *simulator.Simulator, now float64) {
 	w := sim.Window()
 	if o.winCounts == nil {
-		if o.maxInitT == 0 {
+		if o.maxInitT <= 0 {
 			o.maxInitT = o.maxInit()
 		}
 		n := 1

@@ -18,6 +18,8 @@
 //     dominates terminate-and-restart (IT·U ≤ (T+I)·U), so the pre-warm
 //     window is zero, the instance stays warm, contributing I to latency
 //     and IT·U(⋆) to cost per invocation.
+//
+//lint:deterministic
 package coldstart
 
 import (

@@ -10,6 +10,7 @@ import (
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/perfmodel"
+	"smiless/internal/units"
 )
 
 func cpu(cores int) hardware.Config { return hardware.Config{Kind: hardware.CPU, Cores: cores} }
@@ -116,8 +117,8 @@ func twoFnChain(t1, i1, t2, i2 float64) (*dag.Graph, map[dag.NodeID]*perfmodel.P
 		return &perfmodel.Profile{
 			CPUInf:  perfmodel.InferenceModel{Kind: hardware.CPU, A: 0, B: 0, G: ii},
 			GPUInf:  perfmodel.InferenceModel{Kind: hardware.GPU, A: 0, B: 0, G: ii / 5},
-			CPUInit: perfmodel.InitModel{Kind: hardware.CPU, Mu: ti, N: 0},
-			GPUInit: perfmodel.InitModel{Kind: hardware.GPU, Mu: ti * 3, N: 0},
+			CPUInit: perfmodel.InitModel{Kind: hardware.CPU, Mu: units.Seconds(ti), N: 0},
+			GPUInit: perfmodel.InitModel{Kind: hardware.GPU, Mu: units.Seconds(ti * 3), N: 0},
 		}
 	}
 	return g, map[dag.NodeID]*perfmodel.Profile{"F1": mk(t1, i1), "F2": mk(t2, i2)}

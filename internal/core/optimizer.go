@@ -462,10 +462,3 @@ func (o *Optimizer) refine(req Request, plan *coldstart.Plan) {
 	r.improve()
 	r.writeBack(plan)
 }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

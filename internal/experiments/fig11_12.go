@@ -49,7 +49,7 @@ func Fig11(p Fig11Params) *Fig11Result {
 	// the pre-warm finishes before the function's input arrives.
 	app := apps.ImageQuery()
 	tr := periodicTrace(p.Seed, 30, p.Horizon)
-	for _, n := range []float64{0, perfmodel.DefaultUncertainty} {
+	for i, n := range []float64{0, perfmodel.DefaultUncertainty} {
 		opts := profiler.DefaultOptions(p.Seed)
 		opts.Uncertainty = n
 		prof := profiler.New(metrics.NewStore(), opts)
@@ -65,7 +65,7 @@ func Fig11(p Fig11Params) *Fig11Result {
 		drv := controller.New(hardware.DefaultCatalog(), profiles, 2.0, co)
 		sim := simulator.MustNew(simulator.Config{App: app, SLA: 2.0, Seed: p.Seed}, drv)
 		st := sim.MustRun(tr)
-		if n == 0 {
+		if i == 0 {
 			out.ViolationsMean = st.ViolationRate()
 		} else {
 			out.ViolationsRobust = st.ViolationRate()

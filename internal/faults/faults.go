@@ -9,6 +9,8 @@
 // with all probabilities zero (or a nil plan) leaves a run bit-identical
 // to the fault-free build, and two runs with the same plan seed replay the
 // same failure schedule.
+//
+//lint:deterministic
 package faults
 
 import "math/rand"

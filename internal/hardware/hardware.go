@@ -124,7 +124,7 @@ func CPUOnlyCatalog() *Catalog {
 func (c *Catalog) sortByCost() {
 	sort.SliceStable(c.Configs, func(i, j int) bool {
 		ci, cj := c.Pricing.UnitCost(c.Configs[i]), c.Pricing.UnitCost(c.Configs[j])
-		if ci != cj {
+		if ci != cj { //lint:allow floateq comparator tie-break: exact equality decides when the config-name ordering applies
 			return ci < cj
 		}
 		return c.Configs[i].String() < c.Configs[j].String()

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) []*Directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return parseDirectives(fset, f, []byte(src))
+}
+
+func TestParseAllowDirective(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //lint:allow floateq exact tie-break ordering\n}\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	d := dirs[0]
+	if d.Verb != "allow" || d.Analyzer != "floateq" {
+		t.Errorf("parsed verb=%q analyzer=%q", d.Verb, d.Analyzer)
+	}
+	if d.Reason != "exact tie-break ordering" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if d.Line != "d.go:4" {
+		t.Errorf("trailing directive applies to %s, want d.go:4", d.Line)
+	}
+}
+
+func TestParseStandaloneDirectiveAppliesToNextLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:allow maporder sum is tolerance-checked\n\t_ = 1\n}\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	if dirs[0].Line != "d.go:5" {
+		t.Errorf("standalone directive applies to %s, want d.go:5", dirs[0].Line)
+	}
+}
+
+func TestParseDirectiveStripsWantMarker(t *testing.T) {
+	src := "package p\n\nvar x = 1 //lint:allow unitsafety migrating // want `stale`\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	if dirs[0].Reason != "migrating" {
+		t.Errorf("reason %q should not contain the want marker", dirs[0].Reason)
+	}
+}
+
+func TestDeterministicTag(t *testing.T) {
+	src := "// Package p models things.\n//\n//lint:deterministic\npackage p\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !hasDeterministicTag([]*ast.File{f}) {
+		t.Error("tag not detected")
+	}
+
+	plain := "package p\n"
+	g, err := parser.ParseFile(fset, "q.go", plain, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if hasDeterministicTag([]*ast.File{g}) {
+		t.Error("tag detected in untagged package")
+	}
+}
+
+func TestUnitOfName(t *testing.T) {
+	cases := map[string]unitClass{
+		"latencyMs":    unitMs,
+		"coldStartMs":  unitMs,
+		"budgetMillis": unitMs,
+		"ms":           unitMs,
+		"window_ms":    unitMs,
+		"Millisecond":  unitMs, // must not match the Second suffix
+		"Milliseconds": unitMs,
+		"slaSec":       unitSec,
+		"CPUSeconds":   unitSec,
+		"timeoutSecs":  unitSec,
+		"idle_sec":     unitSec,
+		"Second":       unitSec,
+		"keepAlive":    unitNone,
+		"params":       unitNone, // lowercase "ms" tail is not a unit suffix
+		"alarms":       unitNone,
+		"latencyP50":   unitNone,
+	}
+	for name, want := range cases {
+		if got := unitOfName(name); got != want {
+			t.Errorf("unitOfName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

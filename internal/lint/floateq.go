@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. After any arithmetic, exact float equality is a rounding accident;
+// compare with an explicit tolerance (mathx.ApproxEq) or restructure to an
+// ordered comparison. The rare sites where exactness is the point — heap
+// tie-breakers, sort comparators on values never derived from arithmetic,
+// unset-field sentinels that are only ever stored, never computed — carry a
+// //lint:allow floateq <reason> stating why.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on float operands outside *_test.go; use mathx.ApproxEq or ordered comparisons",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded: no runtime rounding involved
+			}
+			pass.Reportf(be.OpPos, "%s on floating-point operands: exact equality is a rounding accident after any arithmetic; use mathx.ApproxEq(x, y, tol), an ordered comparison, or //lint:allow floateq <reason> where exactness is intended", be.Op)
+			return true
+		})
+	}
+	return nil
+}

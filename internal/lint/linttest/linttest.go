@@ -1,0 +1,139 @@
+// Package linttest runs smilint analyzers against testdata fixtures, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture files
+// mark expected findings with trailing comments of the form
+//
+//	x := a // want `regexp` `another regexp`
+//
+// Each expectation must be matched by a diagnostic on its line, and every
+// diagnostic must be expected. Directive errors (stale or malformed
+// //lint:allow) participate too: append the marker to the directive line.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smiless/internal/lint"
+)
+
+// Run loads the fixture directory, applies the analyzers through the full
+// pipeline (including //lint:allow handling) and compares diagnostics with
+// the fixture's want-expectations.
+func Run(t *testing.T, fixtureDir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadFixture(fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Position.Filename != w.file || d.Position.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantMarker = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// collectWants extracts expectations from every comment in the fixture.
+func collectWants(pkg *lint.Package) ([]want, error) {
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns reads a sequence of quoted or backquoted regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in want: %s", s)
+			}
+			raw = s[1 : 1+end]
+			s = s[2+end:]
+		case '"':
+			// Find the closing unescaped quote and let strconv handle
+			// escapes.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in want: %s", s)
+			}
+			var err error
+			raw, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %w", s[:end+1], err)
+			}
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got: %s", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %w", raw, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+// Only non-test files are loaded: the determinism and float-hygiene
+// contracts bind production code, and test-only dependencies have no export
+// data without building test binaries.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Src maps each file name to its source bytes (directive handling needs
+	// raw lines).
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+	// Deterministic is set when any file carries a //lint:deterministic
+	// tag: the package promises identical behaviour for identical inputs,
+	// and the determinism analyzer enforces the promise.
+	Deterministic bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// goList invokes `go list -export -deps -json` for the patterns in dir and
+// decodes the JSON stream. -export compiles the transitive dependency set
+// so every import resolves to gc export data, which keeps type-checking
+// fast and fully offline.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Export,Dir,GoFiles,Imports,ImportMap,Standard,Name,DepOnly",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export files `go list -export`
+// produced, remapping vendored paths through each package's ImportMap.
+type exportImporter struct {
+	base    types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, pkgs []*listedPackage) *exportImporter {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return &exportImporter{base: imp.(types.ImporterFrom), exports: exports}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.base.Import(path)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.base.ImportFrom(path, dir, mode)
+}
+
+// Load lists, parses and type-checks the packages matching patterns,
+// resolved relative to dir (a directory inside a Go module). It returns the
+// matched packages only; dependencies are consumed as export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Name == "main" && lp.ImportPath == "" {
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses a listed package's non-test files and type-checks
+// them against export-data dependencies.
+func checkPackage(fset *token.FileSet, imp types.ImporterFrom, lp *listedPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       fset,
+		Src:        make(map[string][]byte, len(lp.GoFiles)),
+	}
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		pkg.Src[path] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Deterministic = hasDeterministicTag(pkg.Files)
+	conf := types.Config{
+		Importer: remappedImporter{imp: imp, importMap: lp.ImportMap},
+		Error:    func(error) {}, // collect what we can; first error returned below
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// LoadFixture parses and type-checks a single directory of Go files that is
+// NOT part of the module build (an analysistest-style testdata fixture).
+// Imports are resolved by asking `go list -export` for exactly the packages
+// the fixture imports, so fixtures may use the standard library and this
+// module's own packages.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{
+		ImportPath: "fixture/" + filepath.Base(dir),
+		Dir:        dir,
+		Fset:       fset,
+		Src:        make(map[string][]byte),
+	}
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		pkg.Src[path] = src
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in fixture %s", dir)
+	}
+	pkg.Deterministic = hasDeterministicTag(pkg.Files)
+
+	var imp types.ImporterFrom
+	if len(imports) > 0 {
+		root, err := moduleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(root, paths)
+		if err != nil {
+			return nil, err
+		}
+		imp = newExportImporter(fset, listed)
+	}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", dir, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// remappedImporter applies go list's ImportMap (vendoring, test variants)
+// before delegating to the export-data importer.
+type remappedImporter struct {
+	imp       types.ImporterFrom
+	importMap map[string]string
+}
+
+func (r remappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	return r.imp.Import(path)
+}

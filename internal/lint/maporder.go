@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose bodies leak Go's
+// randomized iteration order into results:
+//
+//   - appending to a slice declared outside the loop (element order varies),
+//   - accumulating into a floating-point variable declared outside the loop
+//     with += / -= / *= / /= (float addition is not associative, so the
+//     rounded sum varies run to run),
+//   - calling scheduling-shaped functions (schedule / enqueue / push / emit:
+//     event order varies).
+//
+// A loop that only collects keys and sorts the slice before use is the
+// idiomatic fix, so an append finding is suppressed when the slice is later
+// passed to a sort or slices call in the same statement block.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append, accumulate floats, or " +
+		"schedule events in randomized iteration order",
+	Run: runMapOrder,
+}
+
+// schedulingNames are callee names (lowercased) treated as order-sensitive
+// event emission.
+var schedulingNames = map[string]bool{
+	"schedule": true, "enqueue": true, "push": true, "emit": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+					continue
+				}
+				checkMapRangeBody(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody scans one map-range body; rest is the tail of the
+// enclosing statement block, searched for post-loop sorts.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges get their own findings via the block walk;
+			// still descend so sites inside nested non-map loops are seen.
+			return true
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, rest, n)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && schedulingNames[strings.ToLower(name)] {
+				pass.Reportf(n.Pos(), "%s called inside range over map: event order follows randomized map iteration; iterate keys in sorted order instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			obj := rootObject(pass.TypesInfo, lhs)
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if isFloat(pass.TypesInfo.TypeOf(lhs)) {
+				pass.Reportf(as.Pos(), "floating-point accumulation into %s inside range over map: addition order is randomized and changes the rounded sum; iterate keys in sorted order", obj.Name())
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(as.Lhs) <= i {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			obj := rootObject(pass.TypesInfo, as.Lhs[i])
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if sortedAfter(pass.TypesInfo, obj, rest) {
+				continue
+			}
+			pass.Reportf(as.Pos(), "appending to %s inside range over map: element order is randomized; collect into the slice and sort it before use, or iterate sorted keys", obj.Name())
+		}
+	}
+}
+
+// rootObject returns the object of the leftmost identifier of an lvalue
+// (x, x.f, x[i].g → x). For selector/index chains the root decides whether
+// the accumulation escapes the loop.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's span
+// (loop-local state cannot leak iteration order).
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeName extracts the called function or method name from a call.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether obj is mentioned inside a sort.* or slices.*
+// call in the statements following the loop — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, obj types.Object, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := selectorPackage(info, sel)
+			if !ok || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+// Package directives exercises //lint:allow parsing and staleness: wrong
+// analyzer names, missing reasons, unknown verbs and stale allows are all
+// diagnostics themselves, and an invalid allow never suppresses.
+package directives
+
+func comparisons(a, b float64) {
+	_ = a == b //lint:allow floateq exact sentinel comparison on unmodified inputs
+
+	_ = a == b //lint:allow nosuchanalyzer exactness is fine // want `unknown analyzer "nosuchanalyzer"` `== on floating-point operands`
+
+	_ = a != b //lint:allow floateq // want `missing reason` `!= on floating-point operands`
+
+	_ = a < b //lint:allow floateq ordered comparisons never trip floateq // want `stale //lint:allow floateq`
+
+	//lint:allow // want `missing analyzer name`
+	_ = a == b // want `== on floating-point operands`
+
+	//lint:frobnicate // want `unknown directive //lint:frobnicate`
+	_ = a != b // want `!= on floating-point operands`
+}
+
+// standalone directives apply to the next line.
+func standalone(x, y float64) bool {
+	//lint:allow floateq bit-pattern identity check on canonical constants
+	return x == y
+}

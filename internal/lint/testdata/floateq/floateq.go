@@ -1,0 +1,43 @@
+// Package floateq is a fixture for the float-equality analyzer.
+package floateq
+
+func compares(a, b float64, n, m int) bool {
+	if a == b { // want `== on floating-point operands`
+		return true
+	}
+	if a != b { // want `!= on floating-point operands`
+		return false
+	}
+	if n == m { // integers: exact equality is fine
+		return true
+	}
+	if a < b || a >= b { // ordered comparisons are fine
+		return true
+	}
+	return false
+}
+
+type pair struct{ x, y float64 }
+
+func fields(p pair) bool {
+	return p.x == p.y // want `== on floating-point operands`
+}
+
+func zeroSentinel(window float64) float64 {
+	if window == 0 { // want `== on floating-point operands`
+		window = 1
+	}
+	return window
+}
+
+func constFolded() bool {
+	return 1.5 == 3.0/2.0 // constant-folded: no runtime rounding
+}
+
+func allowed(at1, at2 float64) bool {
+	return at1 != at2 //lint:allow floateq exact tie-break on event timestamps never derived from arithmetic
+}
+
+func float32s(a, b float32) bool {
+	return a == b // want `== on floating-point operands`
+}

@@ -1,0 +1,7 @@
+package floateq
+
+// Test files are exempt: asserting exact equality against golden values is
+// legitimate in tests.
+func testOnlyCompare(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,80 @@
+// Package maporder is a fixture for the randomized-map-iteration analyzer.
+package maporder
+
+import "sort"
+
+type sched struct{}
+
+func (sched) schedule(at float64) {}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys inside range over map`
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceAppend(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total inside range over map`
+	}
+	return total
+}
+
+// intAccumulation is commutative and exact: fine in any order.
+func intAccumulation(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// loopLocal appends to a slice scoped to one iteration: order cannot leak.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var kept []int
+		for _, v := range vs {
+			if v > 0 {
+				kept = append(kept, v)
+			}
+		}
+		n += len(kept)
+	}
+	return n
+}
+
+func schedules(m map[string]float64, s sched) {
+	for _, at := range m {
+		s.schedule(at) // want `schedule called inside range over map`
+	}
+}
+
+func allowedAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v //lint:allow maporder sum feeds a tolerance-compared assertion only
+	}
+	return total
+}

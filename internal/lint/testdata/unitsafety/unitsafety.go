@@ -1,0 +1,70 @@
+// Package unitsafety is a fixture for the millisecond/second mixing
+// analyzer.
+package unitsafety
+
+import (
+	"time"
+
+	"smiless/internal/units"
+)
+
+func mixes(latencyMs, timeoutSec float64) float64 {
+	return latencyMs + timeoutSec // want `\+ mixes milliseconds and seconds`
+}
+
+func compares(initMs, slaSec float64) bool {
+	return initMs > slaSec // want `> mixes milliseconds and seconds`
+}
+
+func assigns(coldStartMs float64) {
+	var keepAliveSec float64
+	keepAliveSec = coldStartMs // want `assigning milliseconds value to seconds variable`
+	_ = keepAliveSec
+}
+
+func initializes(budgetSec float64) {
+	var warmupMs = budgetSec // want `initializing milliseconds variable warmupMs with seconds value`
+	_ = warmupMs
+}
+
+func bill(windowSec float64) float64 { return windowSec }
+
+func callMismatch(idleMs float64) float64 {
+	return bill(idleMs) // want `argument carries milliseconds but parameter windowSec expects seconds`
+}
+
+// manualConversion launders the unit through a constant factor: the
+// analyzer cannot prove the scale is right, but the intent is explicit.
+func manualConversion(waitMs float64) float64 {
+	waitSec := waitMs / 1000
+	return waitSec
+}
+
+// typedConversion is the preferred fix: cross the boundary through
+// units.Duration.
+func typedConversion(waitMs float64) float64 {
+	d := units.Millis(waitMs)
+	slaSec := d.Seconds()
+	return slaSec
+}
+
+// typedParam: units.Duration parameters reject millisecond raw floats.
+func typedParam(d units.Duration) float64 { return d.Seconds() }
+
+func callTyped(coldMs float64) float64 {
+	return typedParam(units.Millis(coldMs)) // conversion: fine
+}
+
+// sameUnit arithmetic is fine.
+func sameUnit(aSec, bSec float64) float64 {
+	return aSec + bSec
+}
+
+// stdlibDuration is already typed; no unit class attaches.
+func stdlibDuration(d time.Duration, budgetMs float64) bool {
+	return float64(d.Milliseconds()) > budgetMs
+}
+
+func allowed(xMs, ySec float64) float64 {
+	return xMs + ySec //lint:allow unitsafety legacy API mixes units; scheduled for typed migration
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSafety flags code that mixes millisecond- and second-valued raw
+// floats. A quantity's unit is inferred from its identifier suffix (Ms /
+// Millis vs Sec / Seconds, plus _ms / _sec forms) and from the typed unit
+// internal/units.Duration (always seconds-based). Mixing is reported at
+//
+//   - binary + - and comparisons whose operands carry different units,
+//   - assignments (including := and var decls) whose sides disagree,
+//   - call arguments whose unit disagrees with the parameter's name.
+//
+// Multiplying or dividing by a constant (the 1000 in a manual conversion)
+// launders the unit to unknown, so explicit conversions don't trip the
+// check — but the typed units.Duration with its Millis()/Seconds()
+// accessors is the preferred way to cross the boundary.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag arithmetic/assignments/calls mixing Ms- and Sec-suffixed float quantities; use units.Duration",
+	Run:  runUnitSafety,
+}
+
+type unitClass int
+
+const (
+	unitNone unitClass = iota
+	unitMs
+	unitSec
+)
+
+func (u unitClass) String() string {
+	switch u {
+	case unitMs:
+		return "milliseconds"
+	case unitSec:
+		return "seconds"
+	}
+	return "unknown"
+}
+
+// unitOfName infers a unit from an identifier's suffix.
+func unitOfName(name string) unitClass {
+	lower := strings.ToLower(name)
+	switch lower {
+	case "ms", "millis", "milliseconds":
+		return unitMs
+	case "sec", "secs", "second", "seconds":
+		return unitSec
+	}
+	// Millisecond forms first: "Millisecond" would otherwise match the
+	// "Second" suffix below.
+	for _, s := range []string{"_ms", "Ms", "Msec", "Millis", "Millisecond", "Milliseconds"} {
+		if strings.HasSuffix(name, s) {
+			return unitMs
+		}
+	}
+	for _, s := range []string{"_sec", "_secs", "_seconds", "Sec", "Secs", "Second", "Seconds"} {
+		if strings.HasSuffix(name, s) {
+			return unitSec
+		}
+	}
+	return unitNone
+}
+
+// isUnitsDuration reports whether t is internal/units.Duration (or a
+// pointer to it), the repo's typed seconds quantity.
+func isUnitsDuration(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/units") && obj.Name() == "Duration"
+}
+
+// isTimeDuration reports whether t is the standard library's time.Duration.
+func isTimeDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+func runUnitSafety(pass *Pass) error {
+	u := &unitChecker{pass: pass}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				u.checkBinary(n)
+			case *ast.AssignStmt:
+				u.checkAssign(n)
+			case *ast.ValueSpec:
+				u.checkValueSpec(n)
+			case *ast.CallExpr:
+				u.checkCall(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type unitChecker struct {
+	pass *Pass
+}
+
+// classOf infers the unit an expression carries.
+func (u *unitChecker) classOf(e ast.Expr) unitClass {
+	t := u.pass.TypesInfo.TypeOf(e)
+	if isUnitsDuration(t) {
+		return unitSec
+	}
+	if isTimeDuration(t) {
+		return unitNone // time.Duration is already a typed unit; safe by construction
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.ParenExpr:
+		return u.classOf(e.X)
+	case *ast.UnaryExpr:
+		return u.classOf(e.X)
+	case *ast.IndexExpr:
+		return u.classOf(e.X)
+	case *ast.CallExpr:
+		// A type conversion keeps the operand's unit — except converting
+		// into units.Duration, which is seconds by definition.
+		if tv, ok := u.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if isUnitsDuration(tv.Type) {
+				return unitSec
+			}
+			return u.classOf(e.Args[0])
+		}
+		if name, ok := calleeName(e); ok {
+			return unitOfName(name)
+		}
+		return unitNone
+	case *ast.BinaryExpr:
+		return u.classOfBinary(e)
+	}
+	return unitNone
+}
+
+func (u *unitChecker) classOfBinary(be *ast.BinaryExpr) unitClass {
+	x, y := u.classOf(be.X), u.classOf(be.Y)
+	switch be.Op {
+	case token.ADD, token.SUB:
+		if x == unitNone {
+			return y
+		}
+		if y == unitNone || y == x {
+			return x
+		}
+		return unitNone // mixed: reported at the operator by checkBinary
+	case token.MUL, token.QUO:
+		// A constant factor is how manual conversions are written
+		// (x / 1000); the result's unit is no longer knowable here.
+		if u.isConstant(be.X) || u.isConstant(be.Y) {
+			return unitNone
+		}
+		if x == unitNone {
+			return y
+		}
+		if y == unitNone {
+			return x
+		}
+		return unitNone
+	}
+	return unitNone
+}
+
+func (u *unitChecker) isConstant(e ast.Expr) bool {
+	tv, ok := u.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func (u *unitChecker) checkBinary(be *ast.BinaryExpr) {
+	if !unitMixOps[be.Op] {
+		return
+	}
+	x, y := u.classOf(be.X), u.classOf(be.Y)
+	if x != unitNone && y != unitNone && x != y {
+		u.pass.Reportf(be.OpPos, "%s mixes %s and %s: convert explicitly (units.Millis / units.Duration.Millis()) before combining", be.Op, x, y)
+	}
+}
+
+func (u *unitChecker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lhs, rhs := u.classOf(as.Lhs[i]), u.classOf(as.Rhs[i])
+		if lhs != unitNone && rhs != unitNone && lhs != rhs {
+			u.pass.Reportf(as.Pos(), "assigning %s value to %s variable: convert explicitly via units.Duration", rhs, lhs)
+		}
+	}
+}
+
+func (u *unitChecker) checkValueSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		lhs, rhs := unitOfName(name.Name), u.classOf(vs.Values[i])
+		if lhs != unitNone && rhs != unitNone && lhs != rhs {
+			u.pass.Reportf(vs.Pos(), "initializing %s variable %s with %s value: convert explicitly via units.Duration", lhs, name.Name, rhs)
+		}
+	}
+}
+
+func (u *unitChecker) checkCall(call *ast.CallExpr) {
+	tv, ok := u.pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversions handled in classOf
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi < 0 || pi >= params.Len() {
+			continue
+		}
+		want := unitOfName(params.At(pi).Name())
+		if isUnitsDuration(params.At(pi).Type()) {
+			want = unitSec
+		}
+		got := u.classOf(arg)
+		if want != unitNone && got != unitNone && want != got {
+			u.pass.Reportf(arg.Pos(), "argument carries %s but parameter %s expects %s: convert explicitly via units.Duration", got, params.At(pi).Name(), want)
+		}
+	}
+}

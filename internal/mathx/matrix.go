@@ -6,6 +6,8 @@
 // Everything is implemented on top of the standard library only; matrices
 // are small (profiling fits use tens of samples, GP kernels stay under a few
 // hundred points), so the straightforward O(n^3) algorithms are appropriate.
+//
+//lint:deterministic
 package mathx
 
 import (
@@ -76,7 +78,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for k := 0; k < m.Cols; k++ {
 			a := m.At(i, k)
-			if a == 0 {
+			if a == 0 { //lint:allow floateq exact-zero sparsity skip: an optimization, not a tolerance decision
 				continue
 			}
 			for j := 0; j < b.Cols; j++ {

@@ -13,10 +13,10 @@ var ErrNoRoot = errors.New("mathx: bisection bracket has no sign change")
 // whose modelled inference time still meets the latency budget.
 func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if flo == 0 { //lint:allow floateq exact-root early exit; near-roots are handled by the tol-width bracket below
 		return lo, nil
 	}
-	if fhi == 0 {
+	if fhi == 0 { //lint:allow floateq exact-root early exit; near-roots are handled by the tol-width bracket below
 		return hi, nil
 	}
 	if flo*fhi > 0 {
@@ -25,16 +25,16 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64,
 	for i := 0; i < maxIter && hi-lo > tol; i++ {
 		mid := (lo + hi) / 2
 		fm := f(mid)
-		if fm == 0 {
+		if fm == 0 { //lint:allow floateq exact-root early exit; near-roots are handled by the tol-width bracket
 			return mid, nil
 		}
+		// Only the low end's sign is consulted, so fhi needs no update.
 		if flo*fm < 0 {
-			hi, fhi = mid, fm
+			hi = mid
 		} else {
 			lo, flo = mid, fm
 		}
 	}
-	_ = fhi
 	return (lo + hi) / 2, nil
 }
 

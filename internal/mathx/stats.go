@@ -5,6 +5,19 @@ import (
 	"sort"
 )
 
+// ApproxEq reports whether a and b agree within tol, using an absolute
+// comparison near zero and a relative one otherwise. It is the comparison
+// the floateq analyzer (internal/lint) points float `==`/`!=` sites at:
+// outside of exact sentinel checks and comparator tie-breaks, two computed
+// floats should be compared with an explicit tolerance.
+func ApproxEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	return d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -111,7 +124,7 @@ func SMAPE(pred, truth []float64) float64 {
 	s := 0.0
 	for i := range pred {
 		denom := (math.Abs(pred[i]) + math.Abs(truth[i])) / 2
-		if denom == 0 {
+		if denom == 0 { //lint:allow floateq division guard: only an exact zero denominator is undefined
 			continue
 		}
 		s += math.Abs(pred[i]-truth[i]) / denom
@@ -128,7 +141,7 @@ func MAPE(pred, truth []float64) float64 {
 	n := 0
 	s := 0.0
 	for i := range pred {
-		if truth[i] == 0 {
+		if truth[i] == 0 { //lint:allow floateq division guard: only an exact zero truth value is undefined, and truth may be negative
 			continue
 		}
 		s += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
@@ -144,7 +157,7 @@ func MAPE(pred, truth []float64) float64 {
 // trace has VMR > 2. Returns 0 when the mean is zero.
 func VarianceToMeanRatio(xs []float64) float64 {
 	mu := Mean(xs)
-	if mu == 0 {
+	if mu == 0 { //lint:allow floateq division guard: only an exact zero mean is undefined, and the mean may be negative
 		return 0
 	}
 	return Variance(xs) / mu

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"smiless/internal/units"
 )
 
 // WriteText renders the store in the Prometheus text exposition format
@@ -39,7 +41,7 @@ func (s *Store) WriteText(w io.Writer) error {
 				if _, err := fmt.Fprintf(w, "%s%s %s %d\n",
 					n, labels,
 					strconv.FormatFloat(sm.Value, 'g', -1, 64),
-					int64(sm.Time*1000)); err != nil {
+					int64(units.Seconds(sm.Time).Millis())); err != nil {
 					return err
 				}
 			}
@@ -134,7 +136,7 @@ func parseSampleLine(line string) (name string, labels Labels, value, ts float64
 		if err != nil {
 			return "", nil, 0, 0, fmt.Errorf("bad timestamp %q", fields[1])
 		}
-		ts = float64(ms) / 1000
+		ts = units.Millis(float64(ms)).Seconds()
 	}
 	return name, labels, value, ts, nil
 }

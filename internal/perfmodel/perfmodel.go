@@ -13,14 +13,16 @@
 // (α, β) are not separately identifiable from timing data alone — only the
 // products λ·α and λ·β matter for prediction — so the fitted model stores
 // the reduced form.
+//
+//lint:deterministic
 package perfmodel
 
 import (
 	"fmt"
-	"math"
 
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
+	"smiless/internal/units"
 )
 
 // InferenceModel predicts inference latency (seconds) for one backend kind
@@ -129,35 +131,39 @@ func (m InferenceModel) SMAPE(samples []Sample) float64 {
 // rule.
 type InitModel struct {
 	Kind  hardware.Kind
-	Mu    float64 // mean measured initialization time
-	Sigma float64 // standard deviation across measurements
-	N     float64 // uncertainty multiplier (paper uses 3)
+	Mu    units.Duration // mean measured initialization time
+	Sigma units.Duration // standard deviation across measurements
+	N     float64        // uncertainty multiplier (paper uses 3, dimensionless)
 }
 
 // DefaultUncertainty is the paper's n in μ + n·σ; Fig. 11(a) shows n = 3
 // removes all SLA violations while the plain mean leaves 34%.
 const DefaultUncertainty = 3
 
-// FitInit computes an InitModel from raw cold-start duration measurements.
-func FitInit(kind hardware.Kind, durations []float64, n float64) (InitModel, error) {
+// FitInit computes an InitModel from cold-start duration measurements.
+func FitInit(kind hardware.Kind, durations []units.Duration, n float64) (InitModel, error) {
 	if len(durations) == 0 {
 		return InitModel{}, fmt.Errorf("perfmodel: no initialization samples")
 	}
+	raw := make([]float64, len(durations))
 	for i, d := range durations {
-		if d < 0 || math.IsNaN(d) {
-			return InitModel{}, fmt.Errorf("perfmodel: bad initialization sample %d: %v", i, d)
+		if !d.IsValid() {
+			return InitModel{}, fmt.Errorf("perfmodel: bad initialization sample %d: %v", i, float64(d))
 		}
+		raw[i] = d.Seconds()
 	}
 	return InitModel{
 		Kind:  kind,
-		Mu:    mathx.Mean(durations),
-		Sigma: mathx.Std(durations),
+		Mu:    units.Seconds(mathx.Mean(raw)),
+		Sigma: units.Seconds(mathx.Std(raw)),
 		N:     n,
 	}, nil
 }
 
 // Estimate returns the robust initialization-time estimate μ + n·σ.
-func (m InitModel) Estimate() float64 { return m.Mu + m.N*m.Sigma }
+func (m InitModel) Estimate() units.Duration {
+	return m.Mu + units.Seconds(m.N*m.Sigma.Seconds())
+}
 
 // Profile is the complete fitted profile of one function: inference and
 // initialization models for both backends. It is what the Offline Profiler
@@ -183,7 +189,7 @@ func (p *Profile) InferenceTime(cfg hardware.Config, batch int) float64 {
 // transfer and is typically much larger than CPU initialization.
 func (p *Profile) InitTime(cfg hardware.Config) float64 {
 	if cfg.Kind == hardware.CPU {
-		return p.CPUInit.Estimate()
+		return p.CPUInit.Estimate().Seconds()
 	}
-	return p.GPUInit.Estimate()
+	return p.GPUInit.Estimate().Seconds()
 }

@@ -7,6 +7,7 @@ import (
 
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
+	"smiless/internal/units"
 )
 
 func cpuCfg(cores int) hardware.Config { return hardware.Config{Kind: hardware.CPU, Cores: cores} }
@@ -109,17 +110,21 @@ func TestPredictMonotonicity(t *testing.T) {
 }
 
 func TestFitInit(t *testing.T) {
-	d := []float64{1, 1, 1, 1}
+	d := []units.Duration{1, 1, 1, 1}
 	m, err := FitInit(hardware.CPU, d, 3)
 	if err != nil {
 		t.Fatalf("FitInit: %v", err)
 	}
-	if m.Estimate() != 1 {
+	if m.Estimate().Seconds() != 1 {
 		t.Errorf("constant samples estimate = %v, want 1", m.Estimate())
 	}
 	d2 := []float64{0.8, 1.2, 1.0, 0.9, 1.1}
-	m2, _ := FitInit(hardware.CPU, d2, 3)
-	if m2.Estimate() <= mathx.Mean(d2) {
+	ds := make([]units.Duration, len(d2))
+	for i, v := range d2 {
+		ds[i] = units.Seconds(v)
+	}
+	m2, _ := FitInit(hardware.CPU, ds, 3)
+	if m2.Estimate().Seconds() <= mathx.Mean(d2) {
 		t.Error("mu+3sigma must exceed the mean for noisy samples")
 	}
 }
@@ -128,10 +133,10 @@ func TestFitInitErrors(t *testing.T) {
 	if _, err := FitInit(hardware.CPU, nil, 3); err == nil {
 		t.Error("empty init fit should fail")
 	}
-	if _, err := FitInit(hardware.CPU, []float64{-1}, 3); err == nil {
+	if _, err := FitInit(hardware.CPU, []units.Duration{-1}, 3); err == nil {
 		t.Error("negative sample should fail")
 	}
-	if _, err := FitInit(hardware.CPU, []float64{math.NaN()}, 3); err == nil {
+	if _, err := FitInit(hardware.CPU, []units.Duration{units.Seconds(math.NaN())}, 3); err == nil {
 		t.Error("NaN sample should fail")
 	}
 }

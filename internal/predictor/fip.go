@@ -58,9 +58,16 @@ func (f *FIP) Predict(history []float64) float64 {
 	// Extrapolate the truncated Fourier series one step ahead. The DFT
 	// basis is n-periodic, so t = n coincides with t = 0: the prediction is
 	// the low-pass reconstruction at the window start — the periodic-
-	// extension assumption at the heart of FIP.
-	pred := 0.0
+	// extension assumption at the heart of FIP. Harmonics are summed in
+	// index order: float addition is not associative, and summing in map
+	// order would make the prediction vary run to run.
+	kept := make([]int, 0, len(keep))
 	for k := range keep {
+		kept = append(kept, k)
+	}
+	sort.Ints(kept)
+	pred := 0.0
+	for _, k := range kept {
 		pred += real(spec[k]) / float64(n)
 	}
 	if pred < 0 {

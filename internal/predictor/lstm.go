@@ -10,6 +10,8 @@
 //
 // Everything, including LSTM backpropagation-through-time and the Adam
 // optimizer, is implemented from scratch on the standard library.
+//
+//lint:deterministic
 package predictor
 
 import (

@@ -19,6 +19,7 @@ import (
 	"smiless/internal/mathx"
 	"smiless/internal/metrics"
 	"smiless/internal/perfmodel"
+	"smiless/internal/units"
 )
 
 // Options configures a profiling campaign.
@@ -103,11 +104,11 @@ func (p *Profiler) ProfileFunction(name string, spec *apps.FunctionSpec, r *rand
 }
 
 // measureInit runs the initialization measurement loop for one backend.
-func (p *Profiler) measureInit(name string, spec *apps.FunctionSpec, cfg hardware.Config, r *rand.Rand) []float64 {
-	out := make([]float64, p.Opts.InitRepeats)
+func (p *Profiler) measureInit(name string, spec *apps.FunctionSpec, cfg hardware.Config, r *rand.Rand) []units.Duration {
+	out := make([]units.Duration, p.Opts.InitRepeats)
 	for i := range out {
-		out[i] = spec.SampleInit(r, cfg)
-		p.Store.Record("init_time", metrics.Labels{"fn": name, "kind": cfg.Kind.String()}, float64(i), out[i])
+		out[i] = units.Seconds(spec.SampleInit(r, cfg))
+		p.Store.Record("init_time", metrics.Labels{"fn": name, "kind": cfg.Kind.String()}, float64(i), out[i].Seconds())
 	}
 	return out
 }

@@ -1,0 +1,32 @@
+package simulator
+
+import (
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/mathx"
+	"smiless/internal/trace"
+)
+
+// BenchmarkRun measures a full fault-free simulation of a three-stage
+// pipeline under a diurnal trace — the hot path every experiment drives.
+func BenchmarkRun(b *testing.B) {
+	app := apps.Pipeline(3)
+	tr := trace.Diurnal(mathx.NewRand(7), 0.3, 0.5, 300, 600)
+	if tr.Len() == 0 {
+		b.Fatal("empty benchmark trace")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := &staticDriver{directive: func(dag.NodeID) Directive {
+			return Directive{
+				Config: cpu(4), Policy: coldstart.KeepAlive,
+				KeepAlive: 30, Batch: 4, Instances: 4,
+			}
+		}}
+		sim := MustNew(Config{App: app, SLA: 60, Seed: 1}, d)
+		sim.MustRun(tr)
+	}
+}

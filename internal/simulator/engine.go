@@ -9,9 +9,15 @@
 // pre-warm events; the simulator realizes them against sampled ground-truth
 // timings and accounts cost exactly as Eq. (3) does — billed
 // instance-seconds times unit cost.
+//
+//lint:deterministic
 package simulator
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"smiless/internal/units"
+)
 
 // eventKind discriminates simulator events.
 type eventKind int
@@ -32,9 +38,11 @@ const (
 	evNodeUp                       // node outage ends (cid = node index)
 )
 
-// event is one scheduled occurrence.
+// event is one scheduled occurrence. Timestamps are typed simulation time
+// (units.Duration since run start) so they cannot silently mix with raw
+// millisecond values.
 type event struct {
-	at   float64
+	at   units.Duration
 	seq  int // tie-breaker for determinism
 	kind eventKind
 	// container events (node index for evNodeDown/evNodeUp)
@@ -51,7 +59,7 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	if h[i].at != h[j].at { //lint:allow floateq exact tie-break: only bit-identical timestamps fall through to the seq ordering
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq

@@ -104,7 +104,7 @@ func BuildReport(system, app string, st *RunStats) Report {
 		r.CostByFunction = append(r.CostByFunction, FunctionCostEntry{Function: fn, Cost: c})
 	}
 	sort.Slice(r.CostByFunction, func(i, j int) bool {
-		if r.CostByFunction[i].Cost != r.CostByFunction[j].Cost {
+		if r.CostByFunction[i].Cost != r.CostByFunction[j].Cost { //lint:allow floateq comparator tie-break: exact equality decides when the name ordering applies
 			return r.CostByFunction[i].Cost > r.CostByFunction[j].Cost
 		}
 		return r.CostByFunction[i].Function < r.CostByFunction[j].Function

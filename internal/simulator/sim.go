@@ -15,6 +15,7 @@ import (
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/trace"
+	"smiless/internal/units"
 )
 
 // Directive is the per-function policy a Driver installs: the realized form
@@ -96,8 +97,8 @@ type container struct {
 	fn        *fnState
 	cfg       hardware.Config
 	state     int
-	initStart float64
-	warmAt    float64
+	initStart units.Duration
+	warmAt    units.Duration
 	idleEpoch int
 	batchSeq  int // validates in-flight timeout/hedge/failure events
 	node      int
@@ -150,7 +151,7 @@ func (f *fnState) liveCount() int {
 
 type appInv struct {
 	id        int
-	arrival   float64
+	arrival   units.Duration
 	pending   map[dag.NodeID]int // unfinished predecessor count
 	done      map[dag.NodeID]bool
 	remaining int
@@ -160,7 +161,7 @@ type appInv struct {
 type nodeInv struct {
 	inv     *appInv
 	node    dag.NodeID
-	readyAt float64
+	readyAt units.Duration
 
 	// Resilience state: how many times this member has failed (crash,
 	// timeout or eviction), whether a hedge twin has been launched for it,
@@ -216,7 +217,9 @@ type Simulator struct {
 	rng     *rand.Rand
 	cluster *clusterState
 
-	now    float64
+	// now and horizon are typed simulation time; the float64 driver-facing
+	// API (Now, OnWindow) converts at the boundary.
+	now    units.Duration
 	events eventHeap
 	seq    int
 
@@ -231,7 +234,7 @@ type Simulator struct {
 	arrivalTimes       []float64
 
 	stats   *RunStats
-	horizon float64
+	horizon units.Duration
 
 	// inj is non-nil only when Config.Faults enables injection; every
 	// fault code path is gated on it so fault-free runs are bit-compatible
@@ -269,10 +272,10 @@ func New(cfg Config, driver Driver) (*Simulator, error) {
 	if cfg.Window < 0 {
 		return nil, &ConfigError{Field: "Window", Reason: "must not be negative"}
 	}
-	if cfg.Window == 0 {
+	if cfg.Window <= 0 {
 		cfg.Window = 1
 	}
-	if cfg.SLA == 0 {
+	if cfg.SLA <= 0 {
 		cfg.SLA = 2
 	}
 	if cfg.Cluster.Nodes == nil {
@@ -329,8 +332,8 @@ func MustNew(cfg Config, driver Driver) *Simulator {
 
 // --- Driver-facing API -------------------------------------------------
 
-// Now returns the current simulation time.
-func (s *Simulator) Now() float64 { return s.now }
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now.Seconds() }
 
 // App returns the application under test.
 func (s *Simulator) App() *apps.Application { return s.cfg.App }
@@ -460,13 +463,31 @@ func (s *Simulator) FunctionCost(id dag.NodeID) float64 {
 	if !ok {
 		panic(fmt.Sprintf("simulator: unknown function %q", id))
 	}
+	// Accrual is summed in container-id order: float addition is not
+	// associative, and map-order summation would let the randomized
+	// iteration order perturb driver decisions fed by this value.
 	total := s.stats.CostPerFn[string(id)]
-	for _, c := range fs.containers {
+	for _, c := range sortedContainers(fs.containers) {
 		if c.state != cDead {
-			total += (s.now - c.initStart) * s.cfg.Pricing.UnitCost(c.cfg)
+			total += (s.now - c.initStart).Seconds() * s.cfg.Pricing.UnitCost(c.cfg)
 		}
 	}
 	return total
+}
+
+// sortedContainers returns a map's containers ordered by id, so that
+// floating-point accumulation over them is reproducible.
+func sortedContainers(m map[int]*container) []*container {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*container, len(ids))
+	for i, id := range ids {
+		out[i] = m[id]
+	}
+	return out
 }
 
 // Stats exposes the run statistics accumulated so far. Cost totals reflect
@@ -505,9 +526,9 @@ func (s *Simulator) FnResilience(id dag.NodeID) (initFails, execFails, successes
 // from their initialization start to now).
 func (s *Simulator) AccruedCost() float64 {
 	total := 0.0
-	for _, c := range s.conts {
+	for _, c := range sortedContainers(s.conts) {
 		if c.state != cDead {
-			total += (s.now - c.initStart) * s.cfg.Pricing.UnitCost(c.cfg)
+			total += (s.now - c.initStart).Seconds() * s.cfg.Pricing.UnitCost(c.cfg)
 		}
 	}
 	return total
@@ -521,8 +542,8 @@ func (s *Simulator) SchedulePrewarm(id dag.NodeID, at float64) {
 	if !ok {
 		panic(fmt.Sprintf("simulator: unknown function %q", id))
 	}
-	start := coldstart.PrewarmStart(s.now, at, fs.directive.PrewarmLead)
-	s.schedule(&event{at: start, kind: evPrewarm, fn: string(id)})
+	start := coldstart.PrewarmStart(s.now.Seconds(), at, fs.directive.PrewarmLead)
+	s.schedule(&event{at: units.Seconds(start), kind: evPrewarm, fn: string(id)})
 }
 
 // --- Run loop ----------------------------------------------------------
@@ -542,19 +563,19 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 		return nil, ErrEmptyTrace
 	}
 	for _, at := range tr.Arrivals {
-		s.schedule(&event{at: at, kind: evArrival})
+		s.schedule(&event{at: units.Seconds(at), kind: evArrival})
 	}
-	s.horizon = tr.Horizon + 600
+	s.horizon = units.Seconds(tr.Horizon + 600)
 	for w := s.cfg.Window; w <= tr.Horizon+s.cfg.Window; w += s.cfg.Window {
-		s.schedule(&event{at: w, kind: evWindow})
+		s.schedule(&event{at: units.Seconds(w), kind: evWindow})
 	}
 	if s.cfg.Faults != nil {
 		for _, o := range s.cfg.Faults.Outages {
 			if o.End <= o.Start {
 				continue
 			}
-			s.schedule(&event{at: o.Start, kind: evNodeDown, cid: o.Node})
-			s.schedule(&event{at: o.End, kind: evNodeUp, cid: o.Node})
+			s.schedule(&event{at: units.Seconds(o.Start), kind: evNodeDown, cid: o.Node})
+			s.schedule(&event{at: units.Seconds(o.End), kind: evNodeUp, cid: o.Node})
 		}
 	}
 	s.driver.Setup(s)
@@ -566,7 +587,7 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 			break
 		}
 		if e.at < s.now-1e-9 {
-			panic(fmt.Sprintf("simulator: time travel %.6f -> %.6f", s.now, e.at))
+			panic(fmt.Sprintf("simulator: time travel %.6f -> %.6f", s.now.Seconds(), e.at.Seconds()))
 		}
 		s.now = e.at
 		switch e.kind {
@@ -597,10 +618,10 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 		case evWindow:
 			s.counts = append(s.counts, s.arrivalsThisWindow)
 			s.arrivalsThisWindow = 0
-			s.driver.OnWindow(s, s.now)
+			s.driver.OnWindow(s, s.now.Seconds())
 			s.samplePods()
 		}
-		if s.stats.Completed+s.stats.FailedInvocations >= outstanding && s.allIdle() && s.now > tr.Horizon {
+		if s.stats.Completed+s.stats.FailedInvocations >= outstanding && s.allIdle() && s.now.Seconds() > tr.Horizon {
 			break
 		}
 	}
@@ -658,7 +679,7 @@ func (s *Simulator) finish() {
 
 func (s *Simulator) onArrival() {
 	s.arrivalsThisWindow++
-	s.arrivalTimes = append(s.arrivalTimes, s.now)
+	s.arrivalTimes = append(s.arrivalTimes, s.now.Seconds())
 	g := s.cfg.App.Graph
 	inv := &appInv{
 		id:        s.nextInv,
@@ -675,7 +696,7 @@ func (s *Simulator) onArrival() {
 	for _, id := range g.Nodes() {
 		fs := s.fns[id]
 		if fs.directive.PrewarmOnArrival && len(g.Predecessors(id)) > 0 {
-			s.SchedulePrewarm(id, s.now+fs.directive.PathOffset)
+			s.SchedulePrewarm(id, s.now.Seconds()+fs.directive.PathOffset)
 		}
 	}
 	// Entry function becomes ready immediately.
@@ -801,11 +822,11 @@ func (s *Simulator) beginInit(c *container) {
 	dur := c.fn.spec.SampleInit(s.rng, c.cfg)
 	if s.inj != nil {
 		if fail, frac := s.inj.InitOutcome(string(c.fn.id)); fail {
-			s.schedule(&event{at: s.now + dur*frac, kind: evInitFail, cid: c.id})
+			s.schedule(&event{at: s.now + units.Seconds(dur*frac), kind: evInitFail, cid: c.id})
 			return
 		}
 	}
-	c.warmAt = s.now + dur
+	c.warmAt = s.now + units.Seconds(dur)
 	s.schedule(&event{at: c.warmAt, kind: evInitDone, cid: c.id})
 }
 
@@ -900,17 +921,17 @@ func (s *Simulator) startBatch(c *container) {
 		if fail, frac := s.inj.ExecOutcome(string(fs.id)); fail {
 			// The instance crashes partway through; the gateway's retry
 			// policy decides each member's fate in onExecFail.
-			s.schedule(&event{at: s.now + dur*frac, kind: evExecFail, cid: c.id, epoch: c.batchSeq})
+			s.schedule(&event{at: s.now + units.Seconds(dur*frac), kind: evExecFail, cid: c.id, epoch: c.batchSeq})
 			return
 		}
 	}
-	s.schedule(&event{at: s.now + dur, kind: evExecDone, cid: c.id, epoch: c.batchSeq})
+	s.schedule(&event{at: s.now + units.Seconds(dur), kind: evExecDone, cid: c.id, epoch: c.batchSeq})
 	if t := d.Retry.Timeout; t > 0 && dur > t {
-		s.schedule(&event{at: s.now + t, kind: evExecTimeout, cid: c.id, epoch: c.batchSeq})
+		s.schedule(&event{at: s.now + units.Seconds(t), kind: evExecTimeout, cid: c.id, epoch: c.batchSeq})
 	}
 	if h := d.HedgeDelay; h > 0 && len(batch) == 1 && dur > h &&
 		!batch[0].isHedge && !batch[0].hedged {
-		s.schedule(&event{at: s.now + h, kind: evHedge, cid: c.id, epoch: c.batchSeq})
+		s.schedule(&event{at: s.now + units.Seconds(h), kind: evHedge, cid: c.id, epoch: c.batchSeq})
 	}
 }
 
@@ -1039,7 +1060,7 @@ func (s *Simulator) retryMember(fs *fnState, ni *nodeInv) {
 		s.enqueue(ni)
 		return
 	}
-	s.schedule(&event{at: s.now + delay, kind: evRetry, ni: ni, fn: string(fs.id)})
+	s.schedule(&event{at: s.now + units.Seconds(delay), kind: evRetry, ni: ni, fn: string(fs.id)})
 }
 
 // failInvocation marks a request permanently failed and purges its
@@ -1162,7 +1183,7 @@ func (s *Simulator) armIdleTimer(c *container) {
 		ka = 10 * s.cfg.Window
 	}
 	c.idleEpoch++
-	s.schedule(&event{at: s.now + ka, kind: evIdleTimeout, cid: c.id, epoch: c.idleEpoch})
+	s.schedule(&event{at: s.now + units.Seconds(ka), kind: evIdleTimeout, cid: c.id, epoch: c.idleEpoch})
 }
 
 func (s *Simulator) onIdleTimeout(cid, epoch int) {
@@ -1199,7 +1220,7 @@ func (s *Simulator) terminate(c *container) {
 			}
 		}
 	}
-	life := s.now - c.initStart
+	life := (s.now - c.initStart).Seconds()
 	cost := life * s.cfg.Pricing.UnitCost(c.cfg)
 	s.stats.addCost(string(c.fn.id), c.cfg, life, cost)
 	delete(c.fn.containers, c.id)
@@ -1227,13 +1248,13 @@ func (s *Simulator) drainPendingLaunches() {
 }
 
 func (s *Simulator) completeInvocation(inv *appInv) {
-	e2e := s.now - inv.arrival
+	e2e := (s.now - inv.arrival).Seconds()
 	s.stats.Completed++
-	if inv.arrival < s.cfg.StatsAfter {
+	if inv.arrival.Seconds() < s.cfg.StatsAfter {
 		return // measurement warm-up: not part of the reported statistics
 	}
 	s.stats.E2E = append(s.stats.E2E, e2e)
-	s.stats.E2EArrival = append(s.stats.E2EArrival, inv.arrival)
+	s.stats.E2EArrival = append(s.stats.E2EArrival, inv.arrival.Seconds())
 	if e2e > s.cfg.SLA {
 		s.stats.Violations++
 	}
@@ -1276,7 +1297,7 @@ func (s *Simulator) samplePods() {
 		}
 	}
 	s.stats.PodSamples = append(s.stats.PodSamples, PodSample{
-		Time: s.now, CPU: cpuPods, GPU: gpuPods,
+		Time: s.now.Seconds(), CPU: cpuPods, GPU: gpuPods,
 		Arrivals: s.lastWindowCount(),
 	})
 }

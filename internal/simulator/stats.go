@@ -99,8 +99,8 @@ func (r *RunStats) ReinitFraction() float64 {
 // CPUGPURatio returns billed CPU seconds over billed GPU seconds (Fig. 9a);
 // +Inf when no GPU time was billed.
 func (r *RunStats) CPUGPURatio() float64 {
-	if r.GPUSeconds == 0 {
-		if r.CPUSeconds == 0 {
+	if r.GPUSeconds <= 0 {
+		if r.CPUSeconds <= 0 {
 			return 0
 		}
 		return math.Inf(1)
@@ -164,7 +164,7 @@ func (r *RunStats) TopCostFunctions() []string {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		if r.CostPerFn[names[i]] != r.CostPerFn[names[j]] {
+		if r.CostPerFn[names[i]] != r.CostPerFn[names[j]] { //lint:allow floateq comparator tie-break: exact equality decides when the name ordering applies
 			return r.CostPerFn[names[i]] > r.CostPerFn[names[j]]
 		}
 		return names[i] < names[j]

@@ -1,0 +1,62 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConversionsRoundTrip(t *testing.T) {
+	d := Millis(1500)
+	if d.Seconds() != 1.5 {
+		t.Errorf("Millis(1500).Seconds() = %v, want 1.5", d.Seconds())
+	}
+	if Seconds(2).Millis() != 2000 {
+		t.Errorf("Seconds(2).Millis() = %v, want 2000", Seconds(2).Millis())
+	}
+	if Micros(250).Seconds() != 0.00025 {
+		t.Errorf("Micros(250).Seconds() = %v, want 0.00025", Micros(250).Seconds())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Seconds(1), Seconds(2)
+	if a.Min(b) != a || b.Min(a) != a {
+		t.Error("Min should return the smaller duration")
+	}
+	if a.Max(b) != b || b.Max(a) != b {
+		t.Error("Max should return the larger duration")
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	for _, tc := range []struct {
+		d    Duration
+		want bool
+	}{
+		{Seconds(0), true},
+		{Seconds(1.5), true},
+		{Seconds(-0.001), false},
+		{Seconds(math.NaN()), false},
+		{Seconds(math.Inf(1)), false},
+	} {
+		if got := tc.d.IsValid(); got != tc.want {
+			t.Errorf("IsValid(%v) = %v, want %v", float64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	for _, tc := range []struct {
+		d    Duration
+		want string
+	}{
+		{Seconds(0), "0s"},
+		{Micros(5), "5µs"},
+		{Millis(12), "12ms"},
+		{Seconds(3.25), "3.25s"},
+	} {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", float64(tc.d), got, tc.want)
+		}
+	}
+}
