@@ -4,8 +4,9 @@
 // Usage:
 //
 //	smiless-sim -app WL2 -system SMIless -horizon 1800 -sla 2
-//	smiless-sim -app WL3 -system IceBreaker -trace bursty
+//	smiless-sim -app WL3 -system IceBreaker -workload bursty
 //	smiless-sim -app WL2 -faults 0.05 -outage         # fault-injected run
+//	smiless-sim -app WL1 -trace out.json              # Chrome/Perfetto trace
 //	smiless-sim -chaos                                 # full resilience sweep
 package main
 
@@ -21,6 +22,7 @@ import (
 	"smiless/internal/metrics"
 	"smiless/internal/simulator"
 	"smiless/internal/trace"
+	"smiless/internal/tracing"
 )
 
 func main() {
@@ -30,7 +32,8 @@ func main() {
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
 	seed := flag.Int64("seed", 1, "random seed")
 	lstm := flag.Bool("lstm", false, "enable LSTM predictors in SMIless variants")
-	traceKind := flag.String("trace", "azure", "workload: azure, diurnal, poisson, bursty")
+	traceKind := flag.String("workload", "azure", "workload: azure, diurnal, poisson, bursty")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
 	rate := flag.Float64("rate", 0.2, "mean rate for poisson/diurnal traces (req/s)")
 	jsonOut := flag.String("json", "", "also write a JSON run report to this file")
 	faultRate := flag.Float64("faults", 0, "base failure rate: init-crash prob = rate, exec-crash = 0.6*rate, straggler = rate (0 = fault-free)")
@@ -92,10 +95,28 @@ func main() {
 		UseLSTM: *lstm,
 		Faults:  plan,
 	}
+	var rec *tracing.Recorder
+	if *traceOut != "" {
+		rec = tracing.NewRecorder(params.App.Graph)
+		params.Recorder = rec
+	}
 	st := experiments.RunSystem(experiments.SystemName(*system), params, tr)
 
-	fmt.Printf("system=%s app=%s trace=%s requests=%d\n", *system, *app, *traceKind, tr.Len())
+	fmt.Printf("system=%s app=%s workload=%s requests=%d\n", *system, *app, *traceKind, tr.Len())
 	fmt.Println(st.Summary())
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f, *horizon); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s (%d requests, %d container spans)\n", *traceOut, len(rec.Requests()), len(rec.ContainerSpans()))
+	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {

@@ -105,15 +105,23 @@ func (s *Scaler) Decide(prof *perfmodel.Profile, g int, it, is float64) (Plan, e
 	return best, nil
 }
 
-// Fallback returns the latency-minimal plan (fastest configuration, batch
-// 1, one instance per invocation) used when Decide finds the budget
-// unreachable: scale out instead of up (§V-B2).
+// Fallback returns the plan minimizing time-to-first-result from cold —
+// InitTime + InferenceTime at batch 1, one instance per invocation — used
+// when Decide finds the budget unreachable: scale out instead of up (§V-B2).
+// The fallback fires exactly when fresh instances must be launched, so a
+// flavor's cold start counts in full; ranking by warm inference alone used
+// to pick GPU shares whose initialization dwarfs the burst (contradicting
+// DecideReactive, which is why bursts lean CPU). Plan.Latency remains the
+// warm per-batch inference time of the chosen configuration.
 func (s *Scaler) Fallback(prof *perfmodel.Profile, g int, it float64) Plan {
 	best := Plan{}
+	bestCold := 0.0
 	for i, cfg := range s.Catalog.Configs {
 		lat := prof.InferenceTime(cfg, 1)
-		if i == 0 || lat < best.Latency {
+		cold := prof.InitTime(cfg) + lat
+		if i == 0 || cold < bestCold {
 			best = Plan{Config: cfg, Batch: 1, Instances: g, Latency: lat}
+			bestCold = cold
 		}
 	}
 	best.CostRate = float64(best.Instances) * it * s.Catalog.UnitCost(best.Config)

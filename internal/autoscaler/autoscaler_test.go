@@ -8,6 +8,7 @@ import (
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/perfmodel"
+	"smiless/internal/units"
 )
 
 func trsProfile() *perfmodel.Profile {
@@ -72,11 +73,51 @@ func TestFallbackFastest(t *testing.T) {
 	if p.Instances != 5 || p.Batch != 1 {
 		t.Errorf("fallback plan %+v, want 5 instances batch 1", p)
 	}
-	// Must be the latency-minimal config.
+	// Must minimize time-to-first-result from cold: the fallback launches
+	// fresh instances, so initialization counts in full.
+	cold := prof.InitTime(p.Config) + prof.InferenceTime(p.Config, 1)
 	for _, cfg := range s.Catalog.Configs {
-		if prof.InferenceTime(cfg, 1) < p.Latency {
-			t.Errorf("config %v is faster than fallback %v", cfg, p.Config)
+		if c := prof.InitTime(cfg) + prof.InferenceTime(cfg, 1); c < cold {
+			t.Errorf("config %v serves from cold in %.3fs, beating fallback %v (%.3fs)", cfg, c, p.Config, cold)
 		}
+	}
+	if p.Latency != prof.InferenceTime(p.Config, 1) { //lint:allow floateq Latency must be exactly the profile's warm prediction
+		t.Errorf("Latency %v, want warm inference time %v", p.Latency, prof.InferenceTime(p.Config, 1))
+	}
+}
+
+// TestFallbackCountsColdStart is the regression test for the reactive
+// scale-out bug: Fallback ranked configs by warm inference time only, so a
+// GPU share that is warm-fastest but pays a long cold start won, even though
+// every instance the fallback launches IS a cold start. With a hand-built
+// profile where the GPU config infers in 0.1 s after 8 s of initialization
+// and the CPU config infers in 0.5 s after 0.4 s, the fallback must lean CPU
+// (§V-B2, Fig. 14b).
+func TestFallbackCountsColdStart(t *testing.T) {
+	cpu := hardware.Config{Kind: hardware.CPU, Cores: 4}
+	gpu := hardware.Config{Kind: hardware.GPU, GPUShare: 50}
+	cat := &hardware.Catalog{
+		Configs: []hardware.Config{gpu, cpu},
+		Pricing: hardware.Pricing{CPUPerCoreHour: 0.04, GPUPerHour: 0.9},
+	}
+	prof := &perfmodel.Profile{
+		Function: "synthetic",
+		// 2/4 cores + 0 => 0.5 s warm on the 4-core config.
+		CPUInf: perfmodel.InferenceModel{Kind: hardware.CPU, A: 2},
+		// 5/50 share + 0 => 0.1 s warm on the 50% GPU share.
+		GPUInf:  perfmodel.InferenceModel{Kind: hardware.GPU, A: 5},
+		CPUInit: perfmodel.InitModel{Kind: hardware.CPU, Mu: units.Seconds(0.4), N: 0},
+		GPUInit: perfmodel.InitModel{Kind: hardware.GPU, Mu: units.Seconds(8), N: 0},
+	}
+	s := New(cat)
+	p := s.Fallback(prof, 3, 1.0)
+	if p.Config != cpu {
+		t.Fatalf("fallback chose %v (cold-serves in %.2fs); want %v (cold-serves in %.2fs)",
+			p.Config, prof.InitTime(p.Config)+prof.InferenceTime(p.Config, 1),
+			cpu, prof.InitTime(cpu)+prof.InferenceTime(cpu, 1))
+	}
+	if p.Latency != prof.InferenceTime(cpu, 1) { //lint:allow floateq Latency must be exactly the profile's warm prediction
+		t.Errorf("Latency %v, want chosen config's warm inference %v", p.Latency, prof.InferenceTime(cpu, 1))
 	}
 }
 

@@ -165,6 +165,10 @@ type Evaluation struct {
 // over source-to-sink paths of the path sums.
 //
 // Cost: the per-function costs (Eq. 3) summed over all functions.
+// On any error the zero Evaluation is returned: an earlier revision
+// returned the partially-summed value alongside the error, and a caller
+// that consulted the Evaluation without checking the error consumed a
+// half-summed cost as if it were complete.
 func Evaluate(g *dag.Graph, profiles map[dag.NodeID]*perfmodel.Profile, plan *Plan, pricing hardware.Pricing, it float64, batch int) (Evaluation, error) {
 	ev := Evaluation{PerFunction: make(map[dag.NodeID]float64, g.Len())}
 	// Per-node path latency contribution and cost.
@@ -172,15 +176,15 @@ func Evaluate(g *dag.Graph, profiles map[dag.NodeID]*perfmodel.Profile, plan *Pl
 	for _, id := range g.Nodes() {
 		prof, ok := profiles[id]
 		if !ok {
-			return ev, fmt.Errorf("coldstart: no profile for %q", id)
+			return Evaluation{}, fmt.Errorf("coldstart: no profile for %q", id)
 		}
 		cfg, ok := plan.Configs[id]
 		if !ok || cfg.IsZero() {
-			return ev, fmt.Errorf("coldstart: no config for %q", id)
+			return Evaluation{}, fmt.Errorf("coldstart: no config for %q", id)
 		}
 		d, ok := plan.Decisions[id]
 		if !ok {
-			return ev, fmt.Errorf("coldstart: no decision for %q", id)
+			return Evaluation{}, fmt.Errorf("coldstart: no decision for %q", id)
 		}
 		t := prof.InitTime(cfg)
 		i := prof.InferenceTime(cfg, batch)

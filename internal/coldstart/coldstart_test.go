@@ -221,21 +221,43 @@ func TestEvaluateDAGLongestPath(t *testing.T) {
 }
 
 func TestEvaluateErrors(t *testing.T) {
+	// Every error path must return the zero Evaluation: F1 is fully
+	// specified, so a partially-summed result would carry its cost and a
+	// non-nil PerFunction map — a caller ignoring the error would consume a
+	// half-summed plan evaluation as if it were complete.
+	assertZero := func(ev Evaluation, what string) {
+		t.Helper()
+		if ev.CostPerInvocation != 0 || ev.E2ELatency != 0 || ev.PerFunction != nil { //lint:allow floateq zero value must be exact
+			t.Errorf("%s: Evaluate returned partial result %+v, want zero Evaluation", what, ev)
+		}
+	}
 	g, profiles := twoFnChain(1, 0.5, 0.8, 0.3)
 	plan := NewPlan()
 	plan.Configs["F1"] = cpu(4)
 	// Missing config for F2.
 	plan.Decisions["F1"] = Decision{}
 	plan.Decisions["F2"] = Decision{}
-	if _, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1); err == nil {
+	ev, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1)
+	if err == nil {
 		t.Error("missing config should error")
 	}
-	// Missing profile.
+	assertZero(ev, "missing config")
+	// Missing decision for F2.
 	plan.Configs["F2"] = cpu(4)
+	delete(plan.Decisions, "F2")
+	ev, err = Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1)
+	if err == nil {
+		t.Error("missing decision should error")
+	}
+	assertZero(ev, "missing decision")
+	// Missing profile.
+	plan.Decisions["F2"] = Decision{}
 	delete(profiles, "F2")
-	if _, err := Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1); err == nil {
+	ev, err = Evaluate(g, profiles, plan, hardware.DefaultPricing, 10, 1)
+	if err == nil {
 		t.Error("missing profile should error")
 	}
+	assertZero(ev, "missing profile")
 }
 
 func TestPrewarmStart(t *testing.T) {

@@ -8,6 +8,7 @@ package controller
 
 import (
 	"math"
+	"strconv"
 
 	"smiless/internal/autoscaler"
 	"smiless/internal/coldstart"
@@ -19,6 +20,7 @@ import (
 	"smiless/internal/perfmodel"
 	"smiless/internal/predictor"
 	"smiless/internal/simulator"
+	"smiless/internal/tracing"
 )
 
 // Options configures the SMIless controller.
@@ -148,17 +150,41 @@ func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
 		Batch:    1,
 	})
 	if err != nil {
+		s.traceReoptimize(sim, it, core.Result{}, false)
 		if s.plan == nil {
 			s.degrade(sim, it)
 		}
 		return
 	}
+	s.traceReoptimize(sim, it, res, true)
 	s.degraded = false
 	s.plan = res.Plan
 	s.planIT = it
 	s.planITMean = s.itMean
 	s.computePlanGeometry(sim)
 	s.installPlan(sim, it)
+}
+
+// traceReoptimize records a "reoptimize" instant on the attached span
+// recorder, if any. Only deterministic search statistics are exported —
+// never PathStats.Nanos, which is wall-clock and would perturb replay.
+func (s *SMIless) traceReoptimize(sim *simulator.Simulator, it float64, res core.Result, ok bool) {
+	rec := sim.TraceRecorder()
+	if rec == nil {
+		return
+	}
+	args := []tracing.KV{
+		{Key: "ok", Val: strconv.FormatBool(ok)},
+		{Key: "plan_it_s", Val: strconv.FormatFloat(it, 'g', 6, 64)},
+	}
+	if ok {
+		args = append(args,
+			tracing.KV{Key: "feasible", Val: strconv.FormatBool(res.Feasible)},
+			tracing.KV{Key: "nodes_explored", Val: strconv.Itoa(res.NodesExplored)},
+			tracing.KV{Key: "paths", Val: strconv.Itoa(len(res.Paths))},
+		)
+	}
+	rec.AddInstant(sim.Now(), "reoptimize", args)
 }
 
 // computePlanGeometry derives critical-path offsets, per-function inference
@@ -645,6 +671,15 @@ func (s *SMIless) OnWindow(sim *simulator.Simulator, now float64) {
 				}
 			}
 		}
+	}
+
+	if rec := sim.TraceRecorder(); rec != nil {
+		rec.AddInstant(now, "window", []tracing.KV{
+			{Key: "it_s", Val: strconv.FormatFloat(it, 'g', 6, 64)},
+			{Key: "bursting", Val: strconv.FormatBool(s.bursting)},
+			{Key: "degraded", Val: strconv.FormatBool(s.degraded)},
+			{Key: "idle", Val: strconv.FormatBool(s.idleMode)},
+		})
 	}
 }
 

@@ -7,8 +7,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"smiless/internal/coldstart"
 	"smiless/internal/dag"
@@ -45,6 +47,28 @@ type Result struct {
 	// NodesExplored counts search-tree nodes visited (Fig. 16a measures
 	// this against the chain length).
 	NodesExplored int
+	// Paths holds per-decomposed-path search traces, in decomposition
+	// order (Fig. 16 instrumentation).
+	Paths []PathStats
+}
+
+// PathStats traces the search over one decomposed simple path.
+type PathStats struct {
+	// Length is the number of functions on the path.
+	Length int
+	// Explored counts search-tree nodes visited for this path (including
+	// the root probe).
+	Explored int
+	// PerLayer[i] counts children generated while committing the i-th
+	// function; the root probe belongs to no layer. Empty when the root
+	// (all cost-minimal) was already feasible.
+	PerLayer []int
+	// Feasible reports whether this path's search met the SLA.
+	Feasible bool
+	// Nanos is the wall-clock duration of this path's search goroutine.
+	// It is measurement-only: feeding it back into planning, or into any
+	// replayed output, would break determinism.
+	Nanos int64
 }
 
 // Optimizer is the Strategy Optimizer. The zero value is not usable;
@@ -77,13 +101,22 @@ type candidate struct {
 // an M/M/1-style sojourn is I/(1−ρ). The closed-form path model otherwise
 // ignores queueing entirely, which makes near-saturated cheap configs look
 // deceptively attractive — the situation of Fig. 5(c), which the paper
-// resolves by scaling up or batching. Utilization is clamped at 0.9 so
-// saturated candidates stay finite (and hopeless) rather than infinite.
+// resolves by scaling up or batching.
+//
+// A candidate with ρ ≥ 1 is overloaded: arrivals outpace service, its queue
+// grows without bound, and no finite sojourn exists — it returns +Inf so the
+// search can never score it as feasible. (An earlier revision clamped ρ at
+// 0.9, scoring an overloaded config as merely 10× its inference time, which
+// let it win under loose SLAs.) Near-saturated but stable candidates,
+// ρ ∈ [0.9, 1), keep the 0.9 clamp so model noise cannot explode them.
 func QueueAwareLatency(infer, itMean float64) float64 {
 	if itMean <= 0 {
 		return infer
 	}
 	rho := infer / itMean
+	if rho >= 1 {
+		return math.Inf(1)
+	}
 	if rho > 0.9 {
 		rho = 0.9
 	}
@@ -278,6 +311,8 @@ type chainResult struct {
 	configs  map[dag.NodeID]candidate
 	feasible bool
 	explored int
+	perLayer []int
+	nanos    int64
 }
 
 // optimizeChain runs the top-K path search on one simple path (sequence of
@@ -329,11 +364,14 @@ func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult,
 		k = 1
 	}
 	beam := []beamEntry{{}}
+	perLayer := make([]int, 0, n)
 	for layer := 0; layer < n; layer++ {
 		var next []beamEntry
+		perLayer = append(perLayer, 0)
 		for _, b := range beam {
 			for _, c := range cands[layer] {
 				explored++
+				perLayer[layer]++
 				lat := b.lat + c.infer
 				if lat+minLatSuffix[layer+1] > req.SLA {
 					continue // infeasible even with fastest suffix
@@ -351,7 +389,7 @@ func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult,
 		}
 		if len(next) == 0 {
 			// SLA unreachable: return best effort (all fastest).
-			out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: false, explored: explored}
+			out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: false, explored: explored, perLayer: perLayer}
 			for i, id := range chain {
 				out.configs[id] = fast[i]
 			}
@@ -364,7 +402,7 @@ func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult,
 		beam = next
 	}
 	best := beam[0]
-	out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: true, explored: explored}
+	out := chainResult{configs: make(map[dag.NodeID]candidate, n), feasible: true, explored: explored, perLayer: perLayer}
 	for i, id := range chain {
 		out.configs[id] = best.assign[i]
 	}
@@ -395,18 +433,28 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 		wg.Add(1)
 		go func(pi int, p []dag.NodeID) {
 			defer wg.Done()
+			start := time.Now()
 			results[pi], errs[pi] = o.optimizeChain(p, req)
+			results[pi].nanos = time.Since(start).Nanoseconds()
 		}(pi, p)
 	}
 	wg.Wait()
 	explored := 0
 	feasible := true
+	pstats := make([]PathStats, len(paths))
 	for pi := range paths {
 		if errs[pi] != nil {
 			return Result{}, errs[pi]
 		}
 		explored += results[pi].explored
 		feasible = feasible && results[pi].feasible
+		pstats[pi] = PathStats{
+			Length:   len(paths[pi]),
+			Explored: results[pi].explored,
+			PerLayer: results[pi].perLayer,
+			Feasible: results[pi].feasible,
+			Nanos:    results[pi].nanos,
+		}
 	}
 
 	// Combine: a function on several paths may have received different
@@ -445,6 +493,7 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 		Eval:          ev,
 		Feasible:      feasible && ev.E2ELatency <= req.SLA,
 		NodesExplored: explored,
+		Paths:         pstats,
 	}, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"smiless/internal/dag"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
+	"smiless/internal/units"
 )
 
 func profilesFor(app *apps.Application) map[dag.NodeID]*perfmodel.Profile {
@@ -321,5 +322,98 @@ func TestLowRateFavorsPrewarm(t *testing.T) {
 		if d.Window <= 0 {
 			t.Errorf("%s: non-positive pre-warm window %v", id, d.Window)
 		}
+	}
+}
+
+// TestOverloadedCandidateExcluded is the regression test for the ρ ≥ 1 bug:
+// QueueAwareLatency used to clamp utilization at 0.9, scoring a config whose
+// sustained arrivals outpace its service rate as merely 10× its inference
+// time — so under a loose SLA the overloaded cheap config won the search
+// even though its queue grows without bound. It must now score +Inf and
+// never be chosen.
+func TestOverloadedCandidateExcluded(t *testing.T) {
+	if !math.IsInf(QueueAwareLatency(2.0, 1.0), 1) {
+		t.Fatalf("rho=2: got %v, want +Inf", QueueAwareLatency(2.0, 1.0))
+	}
+	if !math.IsInf(QueueAwareLatency(1.0, 1.0), 1) {
+		t.Fatalf("rho=1: got %v, want +Inf", QueueAwareLatency(1.0, 1.0))
+	}
+	// Near-saturated but stable candidates stay finite (0.9 clamp).
+	if v := QueueAwareLatency(0.95, 1.0); math.IsInf(v, 1) || v <= 0.95 {
+		t.Fatalf("rho=0.95: got %v, want finite inflated latency", v)
+	}
+
+	// One function, two flavors: a cheap 1-core config that needs 2 s per
+	// inference against a 1 s mean inter-arrival time (ρ = 2, overloaded)
+	// and an 8-core config that is stable at ρ = 0.25. The SLA of 25 s is
+	// loose enough that the clamped score 2/(1−0.9) = 20 s used to pass.
+	g := dag.New()
+	g.MustAddNode("f", "m")
+	cheap := hardware.Config{Kind: hardware.CPU, Cores: 1}
+	fast := hardware.Config{Kind: hardware.CPU, Cores: 8}
+	cat := &hardware.Catalog{
+		Configs: []hardware.Config{cheap, fast},
+		Pricing: hardware.Pricing{CPUPerCoreHour: 0.04, GPUPerHour: 0.9},
+	}
+	prof := &perfmodel.Profile{
+		Function: "f",
+		CPUInf:   perfmodel.InferenceModel{Kind: hardware.CPU, A: 2}, // 2 s @1 core, 0.25 s @8
+		CPUInit:  perfmodel.InitModel{Kind: hardware.CPU, Mu: units.Seconds(1), N: 3},
+		GPUInf:   perfmodel.InferenceModel{Kind: hardware.GPU, A: 100},
+		GPUInit:  perfmodel.InitModel{Kind: hardware.GPU, Mu: units.Seconds(5), N: 3},
+	}
+	o := New(cat)
+	res, err := o.Optimize(Request{
+		Graph:    g,
+		Profiles: map[dag.NodeID]*perfmodel.Profile{"f": prof},
+		SLA:      25, IT: 1, ITMean: 1, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("a stable candidate exists; the problem is feasible")
+	}
+	if res.Plan.Configs["f"] == cheap {
+		t.Fatalf("optimizer chose the overloaded 1-core config (queue grows without bound); want %v", fast)
+	}
+}
+
+// TestPathStatsAccounting checks the Fig. 16 search-trace hooks: per-path
+// stats are present, their explored counts reconcile with the total and the
+// per-layer breakdown, and path lengths match the decomposition.
+func TestPathStatsAccounting(t *testing.T) {
+	app := apps.Pipeline(4)
+	o := New(hardware.DefaultCatalog())
+	res, err := o.Optimize(Request{
+		Graph: app.Graph, Profiles: profilesFor(app), SLA: 3, IT: 0.2, Batch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != len(app.Graph.Decompose()) {
+		t.Fatalf("got %d path stats, want %d", len(res.Paths), len(app.Graph.Decompose()))
+	}
+	total := 0
+	for i, ps := range res.Paths {
+		total += ps.Explored
+		if ps.Length != len(app.Graph.Decompose()[i]) {
+			t.Errorf("path %d: length %d, want %d", i, ps.Length, len(app.Graph.Decompose()[i]))
+		}
+		layerSum := 0
+		for _, n := range ps.PerLayer {
+			layerSum += n
+		}
+		// Root probe plus per-layer children; a root-feasible path has no
+		// layers at all.
+		if len(ps.PerLayer) > 0 && ps.Explored != 1+layerSum {
+			t.Errorf("path %d: explored %d, want 1+sum(perLayer)=%d", i, ps.Explored, 1+layerSum)
+		}
+		if ps.Nanos < 0 {
+			t.Errorf("path %d: negative search duration %d", i, ps.Nanos)
+		}
+	}
+	if total != res.NodesExplored {
+		t.Errorf("sum of per-path explored %d != NodesExplored %d", total, res.NodesExplored)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"smiless/internal/perfmodel"
 	"smiless/internal/simulator"
 	"smiless/internal/trace"
+	"smiless/internal/tracing"
 )
 
 // Table is a rendered experiment result: a header plus rows of cells.
@@ -93,6 +94,10 @@ type RunParams struct {
 	// Faults optionally injects failures (crashes, stragglers, node
 	// outages) into the run; nil evaluates the fault-free substrate.
 	Faults *faults.Plan
+	// Recorder optionally attaches a span recorder to the run so per-phase
+	// critical-path attribution and Chrome trace export are available; nil
+	// runs untraced (bit-identical to a traced run's statistics).
+	Recorder *tracing.Recorder
 }
 
 // buildDriver constructs the driver for a system name.
@@ -150,6 +155,9 @@ func RunSystem(name SystemName, p RunParams, tr *trace.Trace) *simulator.RunStat
 		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
 		Faults: p.Faults,
 	}, drv)
+	if p.Recorder != nil {
+		sim.AttachRecorder(p.Recorder)
+	}
 	return sim.MustRun(tr)
 }
 

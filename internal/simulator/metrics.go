@@ -1,6 +1,10 @@
 package simulator
 
-import "smiless/internal/metrics"
+import (
+	"sort"
+
+	"smiless/internal/metrics"
+)
 
 // RecordMetrics exports the run's headline and resilience counters into a
 // metrics store at time t (typically the end of the run), under the given
@@ -28,4 +32,29 @@ func (r *RunStats) RecordMetrics(store *metrics.Store, labels metrics.Labels, t 
 	rec("smiless_evicted_containers_total", float64(r.EvictedContainers))
 	rec("smiless_breaker_trips_total", float64(r.BreakerTrips))
 	rec("smiless_degraded_windows_total", float64(r.DegradedWindows))
+
+	// Critical-path attribution (all zero unless the run was traced).
+	rec("smiless_queue_on_path_seconds_total", r.QueueOnPathSeconds)
+	rec("smiless_init_on_path_seconds_total", r.InitOnPathSeconds)
+	rec("smiless_exec_on_path_seconds_total", r.ExecOnPathSeconds)
+	rec("smiless_retry_on_path_seconds_total", r.RetryOnPathSeconds)
+	for _, fn := range sortedViolationFns(r.ViolationByFn) {
+		fl := metrics.Labels{}
+		for k, v := range labels {
+			fl[k] = v
+		}
+		fl["function"] = fn
+		store.Record("smiless_sla_violations_attributed_total", fl, t, float64(r.ViolationByFn[fn]))
+	}
+}
+
+// sortedViolationFns returns the attribution map's keys in sorted order so
+// metric emission is deterministic.
+func sortedViolationFns(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for fn := range m {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
 }

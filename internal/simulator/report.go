@@ -51,8 +51,25 @@ type Report struct {
 	BreakerTrips      int     `json:"breaker_trips,omitempty"`
 	DegradedWindows   int     `json:"degraded_windows,omitempty"`
 
+	// Critical-path attribution (zero and omitted unless the run was traced
+	// with internal/tracing): per-phase seconds summed over the measured
+	// requests' critical paths, and SLA violations attributed to the blamed
+	// function. Untraced runs serialize byte-identically to pre-tracing
+	// builds.
+	QueueOnPathSeconds   float64                  `json:"queue_on_path_seconds,omitempty"`
+	InitOnPathSeconds    float64                  `json:"init_on_path_seconds,omitempty"`
+	ExecOnPathSeconds    float64                  `json:"exec_on_path_seconds,omitempty"`
+	RetryOnPathSeconds   float64                  `json:"retry_on_path_seconds,omitempty"`
+	ViolationsByFunction []FunctionViolationEntry `json:"violations_by_function,omitempty"`
+
 	// CostByFunction is sorted by descending cost for stable output.
 	CostByFunction []FunctionCostEntry `json:"cost_by_function"`
+}
+
+// FunctionViolationEntry attributes SLA violations to one function.
+type FunctionViolationEntry struct {
+	Function   string `json:"function"`
+	Violations int    `json:"violations"`
 }
 
 // FunctionCostEntry attributes cost to one function.
@@ -99,6 +116,21 @@ func BuildReport(system, app string, st *RunStats) Report {
 		r.EvictedContainers = st.EvictedContainers
 		r.BreakerTrips = st.BreakerTrips
 		r.DegradedWindows = st.DegradedWindows
+	}
+	r.QueueOnPathSeconds = st.QueueOnPathSeconds
+	r.InitOnPathSeconds = st.InitOnPathSeconds
+	r.ExecOnPathSeconds = st.ExecOnPathSeconds
+	r.RetryOnPathSeconds = st.RetryOnPathSeconds
+	if len(st.ViolationByFn) > 0 {
+		fns := make([]string, 0, len(st.ViolationByFn))
+		for fn := range st.ViolationByFn {
+			fns = append(fns, fn)
+		}
+		sort.Strings(fns)
+		for _, fn := range fns {
+			r.ViolationsByFunction = append(r.ViolationsByFunction,
+				FunctionViolationEntry{Function: fn, Violations: st.ViolationByFn[fn]})
+		}
 	}
 	for fn, c := range st.CostPerFn {
 		r.CostByFunction = append(r.CostByFunction, FunctionCostEntry{Function: fn, Cost: c})

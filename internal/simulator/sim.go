@@ -15,6 +15,7 @@ import (
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/trace"
+	"smiless/internal/tracing"
 	"smiless/internal/units"
 )
 
@@ -169,6 +170,10 @@ type nodeInv struct {
 	attempts int
 	hedged   bool
 	isHedge  bool
+
+	// span is the member's trace span when a recorder is attached (nil
+	// otherwise; all NodeSpan methods are nil-safe).
+	span *tracing.NodeSpan
 }
 
 // Config parameterizes a simulation run.
@@ -240,6 +245,11 @@ type Simulator struct {
 	// fault code path is gated on it so fault-free runs are bit-compatible
 	// with builds that predate the subsystem.
 	inj injector
+
+	// rec is the optional span recorder (internal/tracing). Like inj, every
+	// emission is gated on it being non-nil and the recorder only observes,
+	// so traced and untraced runs are bit-compatible.
+	rec *tracing.Recorder
 }
 
 // ConfigError reports an invalid Config field passed to New.
@@ -494,6 +504,15 @@ func sortedContainers(m map[int]*container) []*container {
 // terminated containers only; add AccruedCost for live instances.
 func (s *Simulator) Stats() *RunStats { return s.stats }
 
+// AttachRecorder installs a span recorder for the run. Call before Run;
+// attaching mid-run would leave earlier requests untraced. A nil recorder
+// detaches tracing.
+func (s *Simulator) AttachRecorder(r *tracing.Recorder) { s.rec = r }
+
+// TraceRecorder returns the attached span recorder, or nil when the run is
+// untraced. Drivers use it to emit decision-window instants.
+func (s *Simulator) TraceRecorder() *tracing.Recorder { return s.rec }
+
 // FaultsEnabled reports whether fault injection is active for this run.
 // Drivers gate their resilience machinery (retry directives, hedging,
 // circuit breakers) on it so fault-free runs stay bit-compatible.
@@ -689,6 +708,9 @@ func (s *Simulator) onArrival() {
 		remaining: g.Len(),
 	}
 	s.nextInv++
+	if s.rec != nil {
+		s.rec.BeginRequest(inv.id, s.now.Seconds())
+	}
 	for _, id := range g.Nodes() {
 		inv.pending[id] = len(g.Predecessors(id))
 	}
@@ -707,6 +729,9 @@ func (s *Simulator) onArrival() {
 
 // enqueue adds a ready node invocation and attempts dispatch.
 func (s *Simulator) enqueue(ni *nodeInv) {
+	if s.rec != nil && ni.span == nil {
+		ni.span = s.rec.BeginNode(ni.inv.id, string(ni.node), s.now.Seconds(), ni.isHedge)
+	}
 	fs := s.fns[ni.node]
 	fs.queue = append(fs.queue, ni)
 	s.pump(fs)
@@ -719,7 +744,7 @@ func (s *Simulator) pump(fs *fnState) {
 		d := fs.directive
 		// 1. An idle warm container.
 		if c := s.pickIdle(fs); c != nil {
-			s.startBatch(c)
+			s.startBatch(c, tracing.PhaseQueue)
 			continue
 		}
 		// 2. Busy warm containers absorb small overlaps: joining the next
@@ -819,6 +844,9 @@ func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *co
 // through. The duration sample always comes from the ground-truth RNG so
 // the fault-free stream is undisturbed.
 func (s *Simulator) beginInit(c *container) {
+	if s.rec != nil {
+		s.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), s.now.Seconds(), c.prewarmed)
+	}
 	dur := c.fn.spec.SampleInit(s.rng, c.cfg)
 	if s.inj != nil {
 		if fail, frac := s.inj.InitOutcome(string(c.fn.id)); fail {
@@ -838,11 +866,14 @@ func (s *Simulator) onInitDone(cid int) {
 	c.state = cIdle
 	s.stats.WarmStarts++
 	fs := c.fn
+	if s.rec != nil {
+		s.rec.EndInit(c.id, s.now.Seconds(), len(c.assigned) > 0, false)
+	}
 	if len(c.assigned) > 0 {
 		// Work waited for this initialization: the cold start was on the
 		// request path.
 		s.stats.InitGated++
-		s.startBatch(c)
+		s.startBatch(c, tracing.PhaseColdInit)
 		if c.state == cIdle {
 			// Only reachable under fault injection: every assigned member
 			// failed before the init completed, so the batch came up empty
@@ -875,8 +906,10 @@ func (s *Simulator) onInitFail(cid int) {
 
 // startBatch moves assigned/queued work onto the container and runs it.
 // Members whose request already failed (retries exhausted elsewhere in the
-// DAG) are dropped rather than executed.
-func (s *Simulator) startBatch(c *container) {
+// DAG) are dropped rather than executed. cause classifies, for tracing, the
+// wait each member just finished: a cold initialization the batch was gated
+// on, a batch rotation on a busy instance, or plain queueing.
+func (s *Simulator) startBatch(c *container, cause tracing.Phase) {
 	fs := c.fn
 	d := fs.directive
 	batch := c.assigned[:0]
@@ -901,6 +934,14 @@ func (s *Simulator) startBatch(c *container) {
 	c.batch = batch
 	c.idleEpoch++ // invalidate any pending idle timer
 	c.batchSeq++  // validates timeout/hedge/crash events for this batch
+	if s.rec != nil {
+		now := s.now.Seconds()
+		for _, ni := range batch {
+			ni.span.Dispatch(now, cause, c.initStart.Seconds(), c.id,
+				c.cfg.String(), d.Policy.String(), len(batch))
+		}
+		s.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), now, len(batch))
+	}
 	dur := fs.spec.SampleInference(s.rng, c.cfg, len(batch))
 	if s.cfg.GPUContention > 0 && c.cfg.Kind == hardware.GPU && c.node >= 0 {
 		others := s.cluster.usedGPUOnNode(c.node) - c.cfg.GPUShare
@@ -944,6 +985,9 @@ func (s *Simulator) onExecDone(cid int) {
 	c.batch = nil
 	c.state = cIdle
 	fs := c.fn
+	if s.rec != nil {
+		s.rec.EndExec(c.id, s.now.Seconds(), false)
+	}
 
 	// Complete each node invocation and release successors. A member whose
 	// request already failed, or whose node a hedge twin finished first, is
@@ -953,8 +997,10 @@ func (s *Simulator) onExecDone(cid int) {
 	for _, ni := range batch {
 		inv := ni.inv
 		if inv.failed || inv.done[ni.node] {
+			ni.span.Finish(s.now.Seconds(), false)
 			continue
 		}
+		ni.span.Finish(s.now.Seconds(), true)
 		if ni.isHedge {
 			s.stats.HedgesWon++
 		}
@@ -977,7 +1023,7 @@ func (s *Simulator) onExecDone(cid int) {
 
 	// More queued work? Keep the instance busy.
 	if len(fs.queue) > 0 {
-		s.startBatch(c)
+		s.startBatch(c, tracing.PhaseBatchWait)
 		return
 	}
 	// Apply the cold-start policy.
@@ -999,6 +1045,9 @@ func (s *Simulator) abortBatch(c *container) {
 	members := c.batch
 	c.batch = nil
 	fs := c.fn
+	for _, ni := range members {
+		ni.span.Fail(s.now.Seconds())
+	}
 	s.terminate(c)
 	for _, ni := range members {
 		s.retryMember(fs, ni)
@@ -1060,6 +1109,7 @@ func (s *Simulator) retryMember(fs *fnState, ni *nodeInv) {
 		s.enqueue(ni)
 		return
 	}
+	ni.span.Backoff(s.now.Seconds(), s.now.Seconds()+delay)
 	s.schedule(&event{at: s.now + units.Seconds(delay), kind: evRetry, ni: ni, fn: string(fs.id)})
 }
 
@@ -1072,6 +1122,9 @@ func (s *Simulator) failInvocation(inv *appInv) {
 	}
 	inv.failed = true
 	s.stats.FailedInvocations++
+	if s.rec != nil {
+		s.rec.FailRequest(inv.id, s.now.Seconds())
+	}
 	for _, fs := range s.fns {
 		if len(fs.queue) == 0 {
 			continue
@@ -1113,9 +1166,12 @@ func (s *Simulator) onHedge(cid, epoch int) {
 	}
 	primary.hedged = true
 	twin := &nodeInv{inv: primary.inv, node: primary.node, readyAt: s.now, isHedge: true}
+	if s.rec != nil {
+		twin.span = s.rec.BeginNode(primary.inv.id, string(primary.node), s.now.Seconds(), true)
+	}
 	s.stats.HedgesLaunched++
 	h.assigned = append(h.assigned, twin)
-	s.startBatch(h)
+	s.startBatch(h, tracing.PhaseQueue)
 }
 
 // onNodeDown begins a node outage: no new allocations land on the node and
@@ -1142,6 +1198,9 @@ func (s *Simulator) onNodeDown(n int) {
 		members := c.batch
 		c.batch = nil
 		fs := c.fn
+		for _, ni := range members {
+			ni.span.Fail(s.now.Seconds())
+		}
 		s.terminate(c)
 		for _, ni := range members {
 			s.retryMember(fs, ni)
@@ -1202,6 +1261,9 @@ func (s *Simulator) terminate(c *container) {
 	if c.state == cDead {
 		return
 	}
+	if s.rec != nil {
+		s.rec.ContainerGone(c.id, s.now.Seconds())
+	}
 	// Requeue any assigned-but-unstarted work.
 	if len(c.assigned) > 0 {
 		c.fn.queue = append(c.assigned, c.fn.queue...)
@@ -1250,6 +1312,10 @@ func (s *Simulator) drainPendingLaunches() {
 func (s *Simulator) completeInvocation(inv *appInv) {
 	e2e := (s.now - inv.arrival).Seconds()
 	s.stats.Completed++
+	var bd tracing.Breakdown
+	if s.rec != nil {
+		bd = s.rec.CompleteRequest(inv.id, s.now.Seconds())
+	}
 	if inv.arrival.Seconds() < s.cfg.StatsAfter {
 		return // measurement warm-up: not part of the reported statistics
 	}
@@ -1257,6 +1323,18 @@ func (s *Simulator) completeInvocation(inv *appInv) {
 	s.stats.E2EArrival = append(s.stats.E2EArrival, inv.arrival.Seconds())
 	if e2e > s.cfg.SLA {
 		s.stats.Violations++
+		if s.rec != nil && bd.Blamed != "" {
+			if s.stats.ViolationByFn == nil {
+				s.stats.ViolationByFn = make(map[string]int)
+			}
+			s.stats.ViolationByFn[bd.Blamed]++
+		}
+	}
+	if s.rec != nil {
+		s.stats.QueueOnPathSeconds += bd.Phases[tracing.PhaseQueue] + bd.Phases[tracing.PhaseBatchWait]
+		s.stats.InitOnPathSeconds += bd.Phases[tracing.PhaseColdInit]
+		s.stats.ExecOnPathSeconds += bd.Phases[tracing.PhaseExec]
+		s.stats.RetryOnPathSeconds += bd.Phases[tracing.PhaseFailedAttempt] + bd.Phases[tracing.PhaseBackoff]
 	}
 }
 

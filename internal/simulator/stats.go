@@ -38,12 +38,28 @@ type RunStats struct {
 	Violations int
 
 	// Container lifecycle.
-	Inits           int // container initializations (Fig. 9b numerator)
-	WarmStarts      int // inits that completed
+	Inits int // container initializations (Fig. 9b numerator)
+	// WarmStarts counts initializations that ran to completion — containers
+	// that became warm — NOT dispatches served by an already-warm instance.
+	// For warm-hit accounting subtract InitGated from Executions instead.
+	WarmStarts      int
 	Executions      int // batches run
 	BatchSum        int // total invocations across batches
 	InitGated       int // batches whose start waited on initialization
 	CapacityBlocked int // launches delayed by cluster capacity
+
+	// Critical-path attribution (zero unless a tracing recorder was
+	// attached). Each completed measured request's end-to-end latency is
+	// decomposed along its critical path; these accumulate the per-phase
+	// seconds across requests. Queue includes batch wait; Retry includes
+	// failed attempts and backoff.
+	QueueOnPathSeconds float64
+	InitOnPathSeconds  float64
+	ExecOnPathSeconds  float64
+	RetryOnPathSeconds float64
+	// ViolationByFn attributes each measured SLA violation to the function
+	// the critical-path pass blamed. Nil unless traced.
+	ViolationByFn map[string]int
 
 	// Resilience (all zero on fault-free runs).
 	InitFailures      int // injected crashes during initialization

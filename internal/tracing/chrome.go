@@ -1,0 +1,271 @@
+package tracing
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export. The format is the Trace Event JSON the
+// chrome://tracing and Perfetto UIs load: an object with a "traceEvents"
+// array of events, timestamps ("ts") and durations ("dur") in microseconds.
+// Lanes:
+//
+//   - pid 0 "markers": instant events (decision windows, re-plans).
+//   - pid 1 "cluster": one thread per container, carrying its
+//     initialization and batch-execution spans.
+//   - pid 1000+reqID "request N": thread 0 is the request's root span;
+//     thread i+1 is DAG function i's phase segments; hedge twins get a
+//     parallel lane so overlapping attempts never malform the nesting.
+//
+// Everything is emitted in allocation order from slices — no map iteration —
+// and floats are formatted with fixed rules, so a seeded run exports
+// byte-identical JSON every time.
+
+const (
+	pidMarkers = 0
+	pidCluster = 1
+	pidRequest = 1000 // + request id
+)
+
+// hedgeLaneOffset separates hedge-twin lanes from primary lanes inside a
+// request process.
+const hedgeLaneOffset = 1000
+
+// usec renders a simulation time (seconds) as trace microseconds.
+func usec(sec float64) string {
+	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+}
+
+// secs renders a duration in seconds for args payloads.
+func secs(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (cw *chromeWriter) raw(s string) {
+	if cw.err != nil {
+		return
+	}
+	_, cw.err = cw.w.WriteString(s)
+}
+
+// event begins one trace event object; the caller appends fields via field*
+// and closes with close(). Field order is fixed by call order.
+func (cw *chromeWriter) begin() {
+	if cw.first {
+		cw.first = false
+		cw.raw("\n")
+	} else {
+		cw.raw(",\n")
+	}
+	cw.raw("{")
+}
+
+func (cw *chromeWriter) sep(firstField bool) {
+	if !firstField {
+		cw.raw(",")
+	}
+}
+
+func (cw *chromeWriter) fieldStr(name, val string, firstField bool) {
+	cw.sep(firstField)
+	cw.raw(strconv.Quote(name) + ":" + strconv.Quote(val))
+}
+
+func (cw *chromeWriter) fieldRaw(name, val string, firstField bool) {
+	cw.sep(firstField)
+	cw.raw(strconv.Quote(name) + ":" + val)
+}
+
+func (cw *chromeWriter) end() { cw.raw("}") }
+
+// meta emits a metadata event naming a process or thread.
+func (cw *chromeWriter) meta(kind string, pid, tid int, name string) {
+	cw.begin()
+	cw.fieldStr("name", kind, true)
+	cw.fieldStr("ph", "M", false)
+	cw.fieldRaw("pid", strconv.Itoa(pid), false)
+	cw.fieldRaw("tid", strconv.Itoa(tid), false)
+	cw.raw(`,"args":{"name":` + strconv.Quote(name) + `}`)
+	cw.end()
+}
+
+// complete emits an "X" (complete) event. args holds ordered key/value
+// attribute pairs, all string-valued.
+func (cw *chromeWriter) complete(name, cat string, pid, tid int, start, end float64, args []KV) {
+	cw.begin()
+	cw.fieldStr("name", name, true)
+	cw.fieldStr("cat", cat, false)
+	cw.fieldStr("ph", "X", false)
+	cw.fieldRaw("pid", strconv.Itoa(pid), false)
+	cw.fieldRaw("tid", strconv.Itoa(tid), false)
+	cw.fieldRaw("ts", usec(start), false)
+	cw.fieldRaw("dur", usec(end-start), false)
+	cw.argsObj(args)
+	cw.end()
+}
+
+// instant emits an "i" (instant) event with global scope.
+func (cw *chromeWriter) instant(name string, pid, tid int, t float64, args []KV) {
+	cw.begin()
+	cw.fieldStr("name", name, true)
+	cw.fieldStr("cat", "marker", false)
+	cw.fieldStr("ph", "i", false)
+	cw.fieldStr("s", "g", false)
+	cw.fieldRaw("pid", strconv.Itoa(pid), false)
+	cw.fieldRaw("tid", strconv.Itoa(tid), false)
+	cw.fieldRaw("ts", usec(t), false)
+	cw.argsObj(args)
+	cw.end()
+}
+
+func (cw *chromeWriter) argsObj(args []KV) {
+	if len(args) == 0 {
+		return
+	}
+	cw.raw(`,"args":{`)
+	for i, kv := range args {
+		if i > 0 {
+			cw.raw(",")
+		}
+		cw.raw(strconv.Quote(kv.Key) + ":" + strconv.Quote(kv.Val))
+	}
+	cw.raw("}")
+}
+
+// WriteChromeTrace exports the full recording as Chrome trace-event JSON.
+// end clamps any span still open when the run stopped. Output is
+// deterministic: same recording, same bytes.
+func (r *Recorder) WriteChromeTrace(w io.Writer, end float64) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw, first: true}
+	cw.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+
+	cw.meta("process_name", pidMarkers, 0, "markers")
+	cw.meta("process_name", pidCluster, 0, "cluster")
+
+	// Cluster track: one thread per container, named at first appearance.
+	namedCont := make(map[int]bool)
+	for _, cs := range r.conts {
+		if !namedCont[cs.Container] {
+			namedCont[cs.Container] = true
+			cw.meta("thread_name", pidCluster, cs.Container, "c"+strconv.Itoa(cs.Container)+" "+cs.Fn)
+		}
+		name := "exec"
+		if cs.Kind == ContainerInit {
+			if cs.Prewarmed {
+				name = "prewarm-init"
+			} else {
+				name = "init"
+			}
+		}
+		stop := cs.End
+		if cs.Open {
+			stop = end
+		}
+		args := []KV{
+			{Key: "fn", Val: cs.Fn},
+			{Key: "config", Val: cs.Config},
+		}
+		if cs.Kind == ContainerInit {
+			args = append(args,
+				KV{Key: "prewarmed", Val: strconv.FormatBool(cs.Prewarmed)},
+				KV{Key: "gated", Val: strconv.FormatBool(cs.Gated)})
+		} else {
+			args = append(args, KV{Key: "batch", Val: strconv.Itoa(cs.Batch)})
+		}
+		if cs.Failed {
+			args = append(args, KV{Key: "failed", Val: "true"})
+		}
+		cw.complete(name, "container", pidCluster, cs.Container, cs.Start, stop, args)
+	}
+
+	// Request tracks.
+	for _, rt := range r.requests {
+		if rt == nil {
+			continue
+		}
+		pid := pidRequest + rt.ID
+		cw.meta("process_name", pid, 0, "request "+strconv.Itoa(rt.ID))
+		cw.meta("thread_name", pid, 0, "request")
+
+		stop := rt.End
+		if !rt.Done && !rt.Failed {
+			stop = end
+		}
+		rootName := "request"
+		if rt.Failed {
+			rootName = "request (failed)"
+		}
+		rootArgs := []KV{{Key: "e2e_s", Val: secs(stop - rt.Arrival)}}
+		if bd := rt.Breakdown; bd != nil {
+			path := ""
+			for i, n := range bd.Path {
+				if i > 0 {
+					path += " > "
+				}
+				path += n
+			}
+			rootArgs = append(rootArgs,
+				KV{Key: "critical_path", Val: path},
+				KV{Key: "blamed", Val: bd.Blamed})
+			for p := Phase(0); p < NumPhases; p++ {
+				if bd.Phases[p] > 0 {
+					rootArgs = append(rootArgs, KV{Key: p.String() + "_s", Val: secs(bd.Phases[p])})
+				}
+			}
+		}
+		cw.complete(rootName, "request", pid, 0, rt.Arrival, stop, rootArgs)
+
+		namedLane := make(map[int]bool)
+		for _, sp := range rt.Nodes {
+			idx, ok := r.nodeIdx[sp.Node]
+			if !ok {
+				continue
+			}
+			lane := idx + 1
+			laneName := sp.Node
+			if sp.IsHedge {
+				lane += hedgeLaneOffset
+				laneName += " (hedge)"
+			}
+			if !namedLane[lane] {
+				namedLane[lane] = true
+				cw.meta("thread_name", pid, lane, laneName)
+			}
+			spanArgs := []KV{
+				{Key: "fn", Val: sp.Node},
+				{Key: "config", Val: sp.Config},
+				{Key: "policy", Val: sp.Policy},
+				{Key: "attempts", Val: strconv.Itoa(sp.Attempts)},
+				{Key: "container", Val: strconv.Itoa(sp.Container)},
+				{Key: "batch", Val: strconv.Itoa(sp.Batch)},
+				{Key: "hedge", Val: strconv.FormatBool(sp.IsHedge)},
+				{Key: "won", Val: strconv.FormatBool(sp.Won)},
+			}
+			for _, seg := range sp.Segs {
+				cw.complete(seg.Phase.String(), "phase", pid, lane, seg.Start, seg.End, spanArgs)
+			}
+			if sp.execOpen {
+				cw.complete(PhaseExec.String(), "phase", pid, lane, sp.execStart, end, spanArgs)
+			}
+		}
+	}
+
+	// Markers.
+	for _, in := range r.instants {
+		cw.instant(in.Name, pidMarkers, 0, in.Time, in.Args)
+	}
+
+	cw.raw("\n]}\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}

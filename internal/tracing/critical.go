@@ -1,0 +1,207 @@
+package tracing
+
+// Breakdown attributes one completed request's end-to-end latency to typed
+// phases along its critical path: the chain of (function, member) spans from
+// the last-finishing sink back through, at each step, the predecessor whose
+// completion released the node. By construction the phase durations sum to
+// End − Arrival (gap-filling closes any uncovered stretch as queue time), so
+// the attribution reconciles with the simulator's recorded E2E latency.
+type Breakdown struct {
+	Req     int
+	Arrival float64
+	End     float64
+	// E2E is End − Arrival.
+	E2E float64
+	// Phases is the per-phase on-path time, indexed by Phase.
+	Phases [NumPhases]float64
+	// Path is the critical path, source to sink, as function names.
+	Path []string
+	// Blamed is the function charged with the request's latency overhead:
+	// the path node with the most non-execution on-path time, falling back
+	// to the largest execution time when the path carries no overhead.
+	// Ties resolve to the node closest to the source. A request that
+	// violates its SLA is attributed to this function.
+	Blamed string
+}
+
+// OnPathOverhead returns the non-execution on-path time: everything except
+// PhaseExec.
+func (b *Breakdown) OnPathOverhead() float64 {
+	total := 0.0
+	for p := Phase(0); p < NumPhases; p++ {
+		if p != PhaseExec {
+			total += b.Phases[p]
+		}
+	}
+	return total
+}
+
+// PhaseSum returns the sum of all phase durations (which reconciles with
+// E2E up to float addition order).
+func (b *Breakdown) PhaseSum() float64 {
+	total := 0.0
+	for p := Phase(0); p < NumPhases; p++ {
+		total += b.Phases[p]
+	}
+	return total
+}
+
+// nodeMembers collects a request's member spans for one node in creation
+// order (primary first, hedge twin after).
+func nodeMembers(rt *RequestTrace, idx int, nodes []string) []*NodeSpan {
+	name := nodes[idx]
+	var out []*NodeSpan
+	for _, sp := range rt.Nodes {
+		if sp.Node == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// winner returns the member span whose completion advanced the request, or
+// nil when the node never completed.
+func winner(members []*NodeSpan) *NodeSpan {
+	for _, sp := range members {
+		if sp.Won {
+			return sp
+		}
+	}
+	return nil
+}
+
+// cover accumulates the phase decomposition of the interval [from, to] from
+// the members' segments (in member creation order, segments in time order),
+// clipping to the interval and filling uncovered stretches as PhaseQueue.
+// An open execution segment (a hedged primary still running when the twin
+// won) is treated as extending to the interval end.
+func cover(members []*NodeSpan, from, to float64, phases *[NumPhases]float64) {
+	cursor := from
+	for _, sp := range members {
+		for _, seg := range sp.Segs {
+			addClipped(phases, seg.Phase, seg.Start, seg.End, &cursor, to)
+		}
+		if sp.execOpen {
+			addClipped(phases, PhaseExec, sp.execStart, to, &cursor, to)
+		}
+	}
+	if cursor < to {
+		phases[PhaseQueue] += to - cursor
+	}
+}
+
+// addClipped credits the part of [start, end] that lies inside
+// [*cursor, limit] to phase ph and advances the cursor.
+func addClipped(phases *[NumPhases]float64, ph Phase, start, end float64, cursor *float64, limit float64) {
+	if start < *cursor {
+		start = *cursor
+	}
+	if end > limit {
+		end = limit
+	}
+	if end <= start {
+		return
+	}
+	if start > *cursor {
+		// Uncovered stretch before this segment: queueing by default.
+		phases[PhaseQueue] += start - *cursor
+	}
+	phases[ph] += end - start
+	*cursor = end
+}
+
+// criticalPath walks one completed request's span tree and produces its
+// attribution. The walk starts at the won span with the latest End (the
+// completion that resolved the request) and, at each node, follows the
+// predecessor whose winning span finished last — exactly the dependency
+// that gated the node's readiness. Ties resolve to the earliest-created
+// span, which is deterministic.
+func (r *Recorder) criticalPath(rt *RequestTrace) Breakdown {
+	bd := Breakdown{Req: rt.ID, Arrival: rt.Arrival, End: rt.End, E2E: rt.End - rt.Arrival}
+
+	// Sink: the winning span with the latest End over all nodes.
+	sink := -1
+	sinkEnd := 0.0
+	for i := range r.nodes {
+		if w := winner(nodeMembers(rt, i, r.nodes)); w != nil && (sink < 0 || w.End > sinkEnd) {
+			sink = i
+			sinkEnd = w.End
+		}
+	}
+	if sink < 0 {
+		// Nothing completed (only possible for a failed request): the whole
+		// latency is unattributable; report it as queue time.
+		bd.Phases[PhaseQueue] = bd.E2E
+		return bd
+	}
+
+	// Walk back to a source, collecting the path in reverse.
+	var rev []int
+	cur := sink
+	for {
+		rev = append(rev, cur)
+		next := -1
+		nextEnd := 0.0
+		for _, p := range r.preds[cur] {
+			if w := winner(nodeMembers(rt, p, r.nodes)); w != nil && (next < 0 || w.End > nextEnd) {
+				next = p
+				nextEnd = w.End
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+
+	// Attribute each on-path node's interval [ready, end], where ready is
+	// the critical predecessor's finish (or arrival at the source). Using
+	// the predecessor's End rather than the node's own FirstReady keeps the
+	// intervals contiguous, so the phase sums telescope to E2E.
+	bd.Path = make([]string, 0, len(rev))
+	perNode := make([][NumPhases]float64, len(rev))
+	ready := rt.Arrival
+	for i := len(rev) - 1; i >= 0; i-- {
+		idx := rev[i]
+		members := nodeMembers(rt, idx, r.nodes)
+		w := winner(members)
+		cover(members, ready, w.End, &perNode[i])
+		for p := Phase(0); p < NumPhases; p++ {
+			bd.Phases[p] += perNode[i][p]
+		}
+		bd.Path = append(bd.Path, r.nodes[idx])
+		ready = w.End
+	}
+
+	// Blame: most non-exec on-path time; pure-exec paths blame the largest
+	// execution. Iterating source→sink with strict > resolves ties to the
+	// node closest to the source.
+	bestOver, bestExec := 0.0, 0.0
+	blameOver, blameExec := -1, -1
+	for i := len(rev) - 1; i >= 0; i-- {
+		pi := len(rev) - 1 - i // position along Path (source first)
+		over := 0.0
+		for p := Phase(0); p < NumPhases; p++ {
+			if p != PhaseExec {
+				over += perNode[i][p]
+			}
+		}
+		if over > bestOver {
+			bestOver = over
+			blameOver = pi
+		}
+		if perNode[i][PhaseExec] > bestExec {
+			bestExec = perNode[i][PhaseExec]
+			blameExec = pi
+		}
+	}
+	switch {
+	case blameOver >= 0:
+		bd.Blamed = bd.Path[blameOver]
+	case blameExec >= 0:
+		bd.Blamed = bd.Path[blameExec]
+	case len(bd.Path) > 0:
+		bd.Blamed = bd.Path[0]
+	}
+	return bd
+}

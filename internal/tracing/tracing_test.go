@@ -1,0 +1,205 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"smiless/internal/dag"
+)
+
+func chain2(t *testing.T) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	g.MustAddNode("a", "m")
+	g.MustAddNode("b", "m")
+	g.MustAddEdge("a", "b")
+	return g
+}
+
+// TestCriticalPathReconciles walks a hand-built two-node request — queue,
+// unhidden cold init, exec on "a", batch wait and exec on "b" — and checks
+// the critical-path phases sum exactly to the E2E latency.
+func TestCriticalPathReconciles(t *testing.T) {
+	r := NewRecorder(chain2(t))
+	r.BeginRequest(0, 10)
+
+	a := r.BeginNode(0, "a", 10, false)
+	// Waited 10→12 in queue, then on a container whose init started at 11.
+	a.Dispatch(13, PhaseColdInit, 11, 1, "cpu4", "keepalive", 1)
+	a.Finish(15, true)
+
+	b := r.BeginNode(0, "b", 15, false)
+	b.Dispatch(16, PhaseBatchWait, 0, 2, "gpu20", "prewarm", 2)
+	b.Finish(18, true)
+
+	bd := r.CompleteRequest(0, 18)
+	if got, want := bd.E2E, 8.0; got != want {
+		t.Fatalf("E2E = %v, want %v", got, want)
+	}
+	if diff := math.Abs(bd.PhaseSum() - bd.E2E); diff > 1e-9 {
+		t.Fatalf("phase sum %v does not reconcile with E2E %v (diff %v)", bd.PhaseSum(), bd.E2E, diff)
+	}
+	// Dispatch split the wait at max(waitStart, initStart) = 11.
+	if got := bd.Phases[PhaseQueue]; got != 1 {
+		t.Errorf("queue = %v, want 1", got)
+	}
+	if got := bd.Phases[PhaseColdInit]; got != 2 {
+		t.Errorf("cold-init = %v, want 2", got)
+	}
+	if got := bd.Phases[PhaseBatchWait]; got != 1 {
+		t.Errorf("batch-wait = %v, want 1", got)
+	}
+	if got := bd.Phases[PhaseExec]; got != 4 {
+		t.Errorf("exec = %v, want 4", got)
+	}
+	if len(bd.Path) != 2 || bd.Path[0] != "a" || bd.Path[1] != "b" {
+		t.Errorf("path = %v, want [a b]", bd.Path)
+	}
+	// "a" carries 3s of overhead vs "b"'s 1s.
+	if bd.Blamed != "a" {
+		t.Errorf("blamed = %q, want a", bd.Blamed)
+	}
+}
+
+// TestHedgeCoverage checks that when a hedge twin wins, the node interval is
+// still fully covered: the primary's still-open execution is clipped to the
+// winner's end as exec time, with no double counting.
+func TestHedgeCoverage(t *testing.T) {
+	g := dag.New()
+	g.MustAddNode("a", "m")
+	r := NewRecorder(g)
+	r.BeginRequest(0, 0)
+
+	prim := r.BeginNode(0, "a", 0, false)
+	prim.Dispatch(1, PhaseQueue, 0, 1, "cpu4", "keepalive", 1)
+	// Primary stalls (straggler); hedge launches at 3 and wins at 5.
+	hedge := r.BeginNode(0, "a", 3, true)
+	hedge.Dispatch(3, PhaseQueue, 0, 2, "cpu4", "keepalive", 1)
+	hedge.Finish(5, true)
+
+	bd := r.CompleteRequest(0, 5)
+	if diff := math.Abs(bd.PhaseSum() - bd.E2E); diff > 1e-9 {
+		t.Fatalf("phase sum %v != E2E %v", bd.PhaseSum(), bd.E2E)
+	}
+	// Primary: queue [0,1], exec (open) clipped [1,5] → but the hedge's
+	// segments come after in creation order and are fully shadowed.
+	if got, want := bd.Phases[PhaseExec], 4.0; got != want {
+		t.Errorf("exec = %v, want %v", got, want)
+	}
+	if got, want := bd.Phases[PhaseQueue], 1.0; got != want {
+		t.Errorf("queue = %v, want %v", got, want)
+	}
+}
+
+// TestRetryPhases checks that failed attempts and backoff show up as their
+// own phases and still reconcile.
+func TestRetryPhases(t *testing.T) {
+	g := dag.New()
+	g.MustAddNode("a", "m")
+	r := NewRecorder(g)
+	r.BeginRequest(0, 0)
+
+	sp := r.BeginNode(0, "a", 0, false)
+	sp.Dispatch(1, PhaseQueue, 0, 1, "cpu4", "keepalive", 1)
+	sp.Fail(2) // attempt crashed after 1s
+	sp.Backoff(2, 4)
+	sp.Dispatch(5, PhaseQueue, 0, 3, "cpu4", "keepalive", 1)
+	sp.Finish(7, true)
+
+	bd := r.CompleteRequest(0, 7)
+	if diff := math.Abs(bd.PhaseSum() - bd.E2E); diff > 1e-9 {
+		t.Fatalf("phase sum %v != E2E %v", bd.PhaseSum(), bd.E2E)
+	}
+	if got := bd.Phases[PhaseFailedAttempt]; got != 1 {
+		t.Errorf("failed-attempt = %v, want 1", got)
+	}
+	if got := bd.Phases[PhaseBackoff]; got != 2 {
+		t.Errorf("backoff = %v, want 2", got)
+	}
+	if got := bd.Phases[PhaseQueue]; got != 2 {
+		t.Errorf("queue = %v, want 2", got)
+	}
+	if got := bd.Phases[PhaseExec]; got != 2 {
+		t.Errorf("exec = %v, want 2", got)
+	}
+	if sp.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", sp.Attempts)
+	}
+}
+
+// TestChromeExportValidAndDeterministic checks the exporter emits valid JSON
+// and that exporting the same recording twice is byte-identical.
+func TestChromeExportValidAndDeterministic(t *testing.T) {
+	r := NewRecorder(chain2(t))
+	r.BeginInit(1, "a", "cpu4", 0, true)
+	r.EndInit(1, 4, true, false)
+	r.BeginRequest(0, 2)
+	a := r.BeginNode(0, "a", 2, false)
+	a.Dispatch(4, PhaseColdInit, 0, 1, "cpu4", "prewarm", 1)
+	r.BeginExec(1, "a", "cpu4", 4, 1)
+	a.Finish(6, true)
+	r.EndExec(1, 6, false)
+	b := r.BeginNode(0, "b", 6, false)
+	b.Dispatch(6, PhaseQueue, 0, 2, "gpu20", "keepalive", 1)
+	b.Finish(9, true)
+	r.CompleteRequest(0, 9)
+	r.AddInstant(10, "window", []KV{{Key: "it", Val: "1"}})
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteChromeTrace(&buf1, 12); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := r.WriteChromeTrace(&buf2, 12); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two exports of the same recording differ")
+	}
+	if !json.Valid(buf1.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf1.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	phases, metas, instants := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] == "phase" {
+				phases++
+			}
+		case "M":
+			metas++
+		case "i":
+			instants++
+		}
+	}
+	if phases == 0 || metas == 0 || instants != 1 {
+		t.Fatalf("unexpected event mix: phases=%d metas=%d instants=%d", phases, metas, instants)
+	}
+}
+
+// TestFailedRequestBreakdown checks a request that never completes still
+// yields a reconciling (all-queue) breakdown instead of panicking.
+func TestFailedRequestBreakdown(t *testing.T) {
+	r := NewRecorder(chain2(t))
+	r.BeginRequest(0, 0)
+	sp := r.BeginNode(0, "a", 0, false)
+	sp.Dispatch(1, PhaseQueue, 0, 1, "cpu4", "keepalive", 1)
+	sp.Fail(2)
+	r.FailRequest(0, 2)
+	// CompleteRequest is never called for failed requests in the simulator;
+	// exercise criticalPath directly for robustness.
+	bd := r.criticalPath(r.request(0))
+	if diff := math.Abs(bd.PhaseSum() - bd.E2E); diff > 1e-9 {
+		t.Fatalf("phase sum %v != E2E %v", bd.PhaseSum(), bd.E2E)
+	}
+}
