@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench
+.PHONY: all build test race lint fmt bench bench-opt
 
 all: build test lint
 
@@ -26,3 +26,10 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Optimizer search benches (sequential vs parallel vs cached) as JSON, with
+# derived speedup ratios. No -short: skipIfShort would skip every bench.
+bench-opt:
+	$(GO) test -bench 'BenchmarkOptimizer/' -benchtime 20x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_optimizer.json
+	@echo "wrote BENCH_optimizer.json"

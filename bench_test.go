@@ -10,11 +10,13 @@
 package smiless_test
 
 import (
+	"fmt"
 	"testing"
 
 	"smiless/internal/apps"
 	"smiless/internal/autoscaler"
 	"smiless/internal/core"
+	"smiless/internal/dag"
 	"smiless/internal/experiments"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
@@ -158,6 +160,7 @@ func BenchmarkFig16SearchOverhead(b *testing.B) {
 	app := apps.Pipeline(12)
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	opt := core.New(hardware.DefaultCatalog())
+	opt.Cache = nil // every iteration must pay the full search
 	req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 10, Batch: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -226,6 +229,7 @@ func BenchmarkAblationDecompose(b *testing.B) {
 	app := apps.VoiceAssistant()
 	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
 	opt := core.New(hardware.DefaultCatalog())
+	opt.Cache = nil // every iteration must pay the full search
 	req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -251,6 +255,89 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizer is the parallel-search speedup evidence: the same
+// co-optimization problem in three modes per workload — sequential (one
+// worker, no cache: the pre-parallelization baseline), parallel (full
+// worker pool, no cache) and cached (full pool plus the memoized evaluation
+// cache, warm after the first iteration). cmd/benchjson derives per-app
+// parallel/sequential and cached/sequential speedup ratios from the
+// `mode=` sub-bench names into BENCH_optimizer.json (`make bench-opt`, or
+// the CI bench job's artifact).
+func BenchmarkOptimizer(b *testing.B) {
+	skipIfShort(b)
+	workloads := []struct {
+		name string
+		app  *apps.Application
+		it   float64
+	}{
+		{"ImageQuery", apps.ImageQuery(), 15},
+		{"VoiceAssistant", apps.VoiceAssistant(), 15},
+		{"Pipeline12", apps.Pipeline(12), 10},
+		// FanOut8x4 is the parallelism showcase: 8 balanced branches of
+		// depth 4, so no single path Amdahl-bounds the fan-out the way the
+		// paper DAGs' dominant paths do.
+		{"FanOut8x4", fanOutApp(8, 4), 15},
+	}
+	modes := []struct {
+		name  string
+		setup func() *core.Optimizer
+	}{
+		{"sequential", func() *core.Optimizer {
+			o := core.New(hardware.DefaultCatalog())
+			o.Parallelism = 1
+			o.Cache = nil
+			return o
+		}},
+		{"parallel", func() *core.Optimizer {
+			o := core.New(hardware.DefaultCatalog())
+			o.Cache = nil
+			return o
+		}},
+		{"cached", func() *core.Optimizer { return core.New(hardware.DefaultCatalog()) }},
+	}
+	for _, wl := range workloads {
+		profiles := wl.app.TrueProfiles(perfmodel.DefaultUncertainty)
+		req := core.Request{Graph: wl.app.Graph, Profiles: profiles, SLA: 2.0, IT: wl.it, Batch: 1}
+		for _, m := range modes {
+			b.Run("app="+wl.name+"/mode="+m.name, func(b *testing.B) {
+				opt := m.setup()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := opt.Optimize(req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// fanOutApp builds a wide synthetic workload: one OD entry fanning out into
+// `branches` chains of `depth` Table I functions.
+func fanOutApp(branches, depth int) *apps.Application {
+	g := dag.New()
+	specs := map[dag.NodeID]*apps.FunctionSpec{}
+	names := []string{"IR", "FR", "HAP", "DB", "NER", "TM", "TRS", "TG"}
+	root := dag.NodeID("entry")
+	g.MustAddNode(root, apps.Functions["OD"].Model)
+	specs[root] = apps.Functions["OD"]
+	for br := 0; br < branches; br++ {
+		prev := root
+		for d := 0; d < depth; d++ {
+			id := dag.NodeID(fmt.Sprintf("b%dd%d", br, d))
+			fn := apps.Functions[names[(br+d)%len(names)]]
+			g.MustAddNode(id, fn.Model)
+			specs[id] = fn
+			g.MustAddEdge(prev, id)
+			prev = id
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return &apps.Application{Name: fmt.Sprintf("FanOut-%dx%d", branches, depth), Graph: g, Specs: specs}
+}
+
 // BenchmarkOptimizerTopK contrasts top-1 with a wider beam.
 func BenchmarkOptimizerTopK(b *testing.B) {
 	skipIfShort(b)
@@ -259,6 +346,7 @@ func BenchmarkOptimizerTopK(b *testing.B) {
 	for _, k := range []int{1, 3} {
 		b.Run(map[int]string{1: "top1", 3: "top3"}[k], func(b *testing.B) {
 			opt := core.New(hardware.DefaultCatalog())
+			opt.Cache = nil // every iteration must pay the full search
 			opt.TopK = k
 			req := core.Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 10, Batch: 1}
 			for i := 0; i < b.N; i++ {

@@ -34,12 +34,29 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// Speedup compares one benchmark variant against the `mode=sequential`
+// baseline sharing its name prefix. Derived for every benchmark whose
+// sub-bench name carries a `/mode=<variant>` segment (the convention
+// BenchmarkOptimizer uses), so CI artifacts record the parallel-search and
+// cache speedups as first-class numbers.
+type Speedup struct {
+	// Name is the benchmark name up to (excluding) the /mode= segment.
+	Name string `json:"name"`
+	// Mode is the compared variant ("parallel", "cached", ...).
+	Mode     string  `json:"mode"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	Baseline float64 `json:"baseline_ns_per_op"`
+	// Speedup is Baseline/NsPerOp: >1 means the variant is faster.
+	Speedup float64 `json:"speedup"`
+}
+
 // Document is the artifact schema.
 type Document struct {
-	GOOS   string   `json:"goos,omitempty"`
-	GOARCH string   `json:"goarch,omitempty"`
-	CPU    string   `json:"cpu,omitempty"`
-	Benchs []Result `json:"benchmarks"`
+	GOOS     string    `json:"goos,omitempty"`
+	GOARCH   string    `json:"goarch,omitempty"`
+	CPU      string    `json:"cpu,omitempty"`
+	Benchs   []Result  `json:"benchmarks"`
+	Speedups []Speedup `json:"speedups,omitempty"`
 }
 
 func main() {
@@ -96,7 +113,57 @@ func parse(r io.Reader) (*Document, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	doc.Speedups = deriveSpeedups(doc.Benchs)
 	return doc, nil
+}
+
+// trimProcSuffix strips the trailing "-<GOMAXPROCS>" go test appends to
+// benchmark names ("BenchmarkOptimizer/mode=parallel-8").
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// deriveSpeedups pairs every /mode= variant with its sequential baseline.
+// Results keep input order; variants without a baseline (or with zero
+// timings) are skipped rather than reported as garbage ratios.
+func deriveSpeedups(benchs []Result) []Speedup {
+	const marker = "/mode="
+	type key struct{ pkg, prefix string }
+	base := make(map[key]float64)
+	for _, r := range benchs {
+		name := trimProcSuffix(r.Name)
+		if i := strings.Index(name, marker); i >= 0 && name[i+len(marker):] == "sequential" {
+			base[key{r.Package, name[:i]}] = r.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, r := range benchs {
+		name := trimProcSuffix(r.Name)
+		i := strings.Index(name, marker)
+		if i < 0 {
+			continue
+		}
+		mode := name[i+len(marker):]
+		if mode == "sequential" {
+			continue
+		}
+		b, ok := base[key{r.Package, name[:i]}]
+		if !ok || b <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name: name[:i], Mode: mode,
+			NsPerOp: r.NsPerOp, Baseline: b, Speedup: b / r.NsPerOp,
+		})
+	}
+	return out
 }
 
 // parseLine parses one "BenchmarkName-8  N  V unit  V unit ..." line.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: smiless
+cpu: Intel(R) Xeon(R)
+BenchmarkOptimizer/app=WL2/mode=sequential-8   	50	60000 ns/op
+BenchmarkOptimizer/app=WL2/mode=parallel-8     	50	20000 ns/op
+BenchmarkOptimizer/app=WL2/mode=cached-8       	50	6000 ns/op	12 hits/op
+BenchmarkOptimizer/app=WL3/mode=parallel-8     	50	1000 ns/op
+BenchmarkSimulatorThroughput-8                 	10	500000 ns/op	2048 B/op	17 allocs/op
+PASS
+ok  	smiless	1.2s
+`
+
+func TestParseAndDeriveSpeedups(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Errorf("headers not parsed: %q/%q", doc.GOOS, doc.GOARCH)
+	}
+	if len(doc.Benchs) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(doc.Benchs))
+	}
+	if doc.Benchs[2].Extra["hits/op"] != 12 {
+		t.Errorf("custom metric lost: %+v", doc.Benchs[2].Extra)
+	}
+	if doc.Benchs[4].BytesPerOp != 2048 || doc.Benchs[4].AllocsOp != 17 {
+		t.Errorf("benchmem fields lost: %+v", doc.Benchs[4])
+	}
+
+	// WL2 has a baseline → two speedups; WL3 has none → skipped; the
+	// throughput bench has no /mode= segment → skipped.
+	if len(doc.Speedups) != 2 {
+		t.Fatalf("derived %d speedups, want 2: %+v", len(doc.Speedups), doc.Speedups)
+	}
+	par, cached := doc.Speedups[0], doc.Speedups[1]
+	if par.Name != "BenchmarkOptimizer/app=WL2" || par.Mode != "parallel" || par.Speedup != 3.0 {
+		t.Errorf("parallel speedup wrong: %+v", par)
+	}
+	if cached.Mode != "cached" || cached.Speedup != 10.0 || cached.Baseline != 60000 {
+		t.Errorf("cached speedup wrong: %+v", cached)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":            "BenchmarkX",
+		"BenchmarkX/mode=par-16":  "BenchmarkX/mode=par",
+		"BenchmarkX/mode=top-1":   "BenchmarkX/mode=top", // ambiguous by design: go test's own suffix
+		"BenchmarkX/mode=cached":  "BenchmarkX/mode=cached",
+		"BenchmarkName-with-text": "BenchmarkName-with-text",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -34,7 +34,10 @@ func main() {
 	fmt.Printf("%-12s %-10s %-8s %-8s %-8s %-10s\n", "system", "cost ($)", "viol %", "p50 (s)", "p99 (s)", "reinit/req")
 	var smilessCost float64
 	for _, sys := range systems {
-		st := smiless.Evaluate(sys, smiless.AmberAlert(), tr, sla, 7, false)
+		st, err := smiless.Evaluate(sys, smiless.AmberAlert(), tr, sla, smiless.WithSeed(7))
+		if err != nil {
+			panic(err)
+		}
 		if sys == smiless.SystemSMIless {
 			smilessCost = st.TotalCost
 		}

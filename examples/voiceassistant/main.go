@@ -35,12 +35,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	drv := smiless.NewSMIless(smiless.DefaultCatalog(), profiles, sla, func() smiless.ControllerOptions {
-		o := smiless.DefaultControllerOptions(3)
-		o.UseLSTM = false // the 2-minute lead-in is too short to train LSTMs
-		return o
-	}())
-	sim, err := smiless.NewSimulator(app, drv, sla, 3)
+	// WithLSTM stays off: the 2-minute lead-in is too short to train LSTMs.
+	drv := smiless.NewSMIless(smiless.DefaultCatalog(), profiles, sla, smiless.WithSeed(3))
+	sim, err := smiless.NewSimulator(app, drv, sla, smiless.WithSeed(3))
 	if err != nil {
 		panic(err)
 	}

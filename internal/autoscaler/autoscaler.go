@@ -47,11 +47,14 @@ type Scaler struct {
 	Catalog *hardware.Catalog
 	// MaxBatch bounds the batch size (DefaultMaxBatch when zero).
 	MaxBatch int
+	// memo caches solver outcomes on exact argument bits (see memo.go); nil
+	// (zero-value Scaler) solves every call.
+	memo *memo
 }
 
-// New returns a Scaler over the catalog.
+// New returns a Scaler over the catalog with an attached decision memo.
 func New(cat *hardware.Catalog) *Scaler {
-	return &Scaler{Catalog: cat, MaxBatch: DefaultMaxBatch}
+	return &Scaler{Catalog: cat, MaxBatch: DefaultMaxBatch, memo: newMemo()}
 }
 
 // Decide chooses the cost-minimal (config, batch) pair that serves g
@@ -60,6 +63,17 @@ func New(cat *hardware.Catalog) *Scaler {
 // meet is even at batch size 1 — the caller should then fall back to the
 // fastest configuration via Fallback.
 func (s *Scaler) Decide(prof *perfmodel.Profile, g int, it, is float64) (Plan, error) {
+	key := decideKey{prof: prof, g: g, it: it, bound: is, maxBatch: s.MaxBatch}
+	if e, ok := s.memo.lookup(key); ok {
+		return e.plan, e.err
+	}
+	p, err := s.decide(prof, g, it, is)
+	s.memo.store(key, decideEntry{plan: p, err: err})
+	return p, err
+}
+
+// decide is the uncached Eq. (7)/(8) solve behind Decide.
+func (s *Scaler) decide(prof *perfmodel.Profile, g int, it, is float64) (Plan, error) {
 	if g <= 0 {
 		return Plan{}, fmt.Errorf("autoscaler: non-positive invocation count %d", g)
 	}
@@ -114,6 +128,17 @@ func (s *Scaler) Decide(prof *perfmodel.Profile, g int, it, is float64) (Plan, e
 // DecideReactive, which is why bursts lean CPU). Plan.Latency remains the
 // warm per-batch inference time of the chosen configuration.
 func (s *Scaler) Fallback(prof *perfmodel.Profile, g int, it float64) Plan {
+	key := decideKey{prof: prof, g: g, it: it, bound: -1, maxBatch: s.MaxBatch}
+	if e, ok := s.memo.lookup(key); ok {
+		return e.plan
+	}
+	p := s.fallback(prof, g, it)
+	s.memo.store(key, decideEntry{plan: p})
+	return p
+}
+
+// fallback is the uncached scan behind Fallback.
+func (s *Scaler) fallback(prof *perfmodel.Profile, g int, it float64) Plan {
 	best := Plan{}
 	bestCold := 0.0
 	for i, cfg := range s.Catalog.Configs {
@@ -144,6 +169,17 @@ func (s *Scaler) DecideOrFallback(prof *perfmodel.Profile, g int, it, is float64
 // (typically GPUs, §IV-A1) are ruled out unless their speed compensates.
 // This is why scale-out under sudden bursts leans on CPUs (Fig. 14b).
 func (s *Scaler) DecideReactive(prof *perfmodel.Profile, g int, it, budget float64) (Plan, error) {
+	key := decideKey{prof: prof, g: g, it: it, bound: budget, maxBatch: s.MaxBatch, reactive: true}
+	if e, ok := s.memo.lookup(key); ok {
+		return e.plan, e.err
+	}
+	p, err := s.decideReactive(prof, g, it, budget)
+	s.memo.store(key, decideEntry{plan: p, err: err})
+	return p, err
+}
+
+// decideReactive is the uncached solve behind DecideReactive.
+func (s *Scaler) decideReactive(prof *perfmodel.Profile, g int, it, budget float64) (Plan, error) {
 	if g <= 0 {
 		return Plan{}, fmt.Errorf("autoscaler: non-positive invocation count %d", g)
 	}

@@ -1,0 +1,116 @@
+package autoscaler
+
+import (
+	"sync"
+
+	"smiless/internal/perfmodel"
+)
+
+// The Auto-scaler's Eq. (7)/(8) solves repeat heavily during burst windows:
+// the controller asks the same (profile, G, window, budget) question for
+// every function of the DAG, every window, and G and the window length take
+// few distinct values. The memo below caches solves on the exact argument
+// bits — no quantization, so a hit returns the byte-identical Plan the solver
+// would have produced and enabling the memo can never change a decision.
+// Eviction is whole-clear at a size cap, mirroring core.EvalCache.
+
+// maxMemoEntries bounds the decision memo; overflow clears the memo
+// wholesale (deterministic, and the working set rebuilds within a window).
+const maxMemoEntries = 4096
+
+// DecisionStats counts decision-memo hits and misses. All lookups happen on
+// the simulator's single-threaded decision path, so the counters are
+// deterministic for a given run.
+type DecisionStats struct {
+	Hits, Misses int
+}
+
+// HitRate returns hits/(hits+misses), or 0 when nothing was looked up.
+func (s DecisionStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// decideKey identifies one solver call. The profile pointer stands in for
+// the (function, fitted model) identity — profiles are built once per run
+// and shared by reference. bound is `is` for Decide, `budget` for
+// DecideReactive, and -1 for Fallback (which has no latency constraint).
+type decideKey struct {
+	prof     *perfmodel.Profile
+	g        int
+	it       float64
+	bound    float64
+	maxBatch int
+	reactive bool
+}
+
+type decideEntry struct {
+	plan Plan
+	err  error
+}
+
+// memo is the decision cache. The zero value is unusable; New attaches one.
+// A Scaler built without New simply solves every call (memoLookup misses).
+type memo struct {
+	mu      sync.Mutex
+	entries map[decideKey]decideEntry
+	stats   DecisionStats
+}
+
+func newMemo() *memo {
+	return &memo{entries: make(map[decideKey]decideEntry)}
+}
+
+// lookup returns the memoized outcome for key, if present.
+func (m *memo) lookup(key decideKey) (decideEntry, bool) {
+	if m == nil {
+		return decideEntry{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if ok {
+		m.stats.Hits++
+	} else {
+		m.stats.Misses++
+	}
+	return e, ok
+}
+
+// store memoizes one outcome. Errors are cached too: the solver is a pure
+// function of its arguments, so an infeasible point stays infeasible.
+func (m *memo) store(key decideKey, e decideEntry) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.entries) >= maxMemoEntries {
+		m.entries = make(map[decideKey]decideEntry)
+	}
+	m.entries[key] = e
+}
+
+// MemoStats returns the cumulative decision-memo hit/miss counters (zero
+// when the Scaler was built without New).
+func (s *Scaler) MemoStats() DecisionStats {
+	if s.memo == nil {
+		return DecisionStats{}
+	}
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	return s.memo.stats
+}
+
+// ResetMemo drops every memoized decision and zeroes the counters.
+func (s *Scaler) ResetMemo() {
+	if s.memo == nil {
+		return
+	}
+	s.memo.mu.Lock()
+	defer s.memo.mu.Unlock()
+	s.memo.entries = make(map[decideKey]decideEntry)
+	s.memo.stats = DecisionStats{}
+}

@@ -155,6 +155,17 @@ type Evaluation struct {
 	PerFunction map[dag.NodeID]float64
 }
 
+// Clone deep-copies the Evaluation so memoizing callers (core.EvalCache)
+// can hand out copies whose PerFunction map is safe to mutate.
+func (e Evaluation) Clone() Evaluation {
+	out := e
+	out.PerFunction = make(map[dag.NodeID]float64, len(e.PerFunction))
+	for k, v := range e.PerFunction {
+		out.PerFunction[k] = v
+	}
+	return out
+}
+
 // Evaluate computes the closed-form E2E latency and per-invocation cost of a
 // plan over an application DAG, given fitted profiles, the predicted
 // inter-arrival time, and the batch size (1 unless the Auto-scaler batches).

@@ -41,6 +41,17 @@ type Options struct {
 	SLAMargin float64
 	// Seed drives predictor initialization.
 	Seed int64
+	// Parallelism bounds the Strategy Optimizer's path-search worker pool
+	// during windowed re-planning (core.Optimizer.Parallelism): 0 uses
+	// every available core, 1 forces the sequential inline search. The
+	// resulting plans are byte-identical either way; only the wall-clock
+	// stall of the decision loop changes.
+	Parallelism int
+	// DisableEvalCache detaches the optimizer's memoized evaluation cache
+	// (core.EvalCache). Plans are identical with or without it; disabling
+	// only removes the cross-window amortization, so this exists for A/B
+	// overhead measurements.
+	DisableEvalCache bool
 }
 
 // DefaultOptions returns the full SMIless configuration.
@@ -104,14 +115,22 @@ type SMIless struct {
 	degradedSince int // windows spent degraded, for periodic re-optimization
 }
 
-// New builds the SMIless controller.
+// New builds the SMIless controller. Windowed re-optimization runs on the
+// parallel Optimize entry point: the worker-pool width follows
+// opts.Parallelism and the memoized evaluation cache persists across
+// windows, so re-planning does not stall the decision loop.
 func New(cat *hardware.Catalog, profiles map[dag.NodeID]*perfmodel.Profile, sla float64, opts Options) *SMIless {
+	opt := core.New(cat)
+	opt.Parallelism = opts.Parallelism
+	if opts.DisableEvalCache {
+		opt.Cache = nil
+	}
 	return &SMIless{
 		Catalog:  cat,
 		Profiles: profiles,
 		SLA:      sla,
 		Opts:     opts,
-		opt:      core.New(cat),
+		opt:      opt,
 		scaler:   autoscaler.New(cat),
 	}
 }
@@ -182,6 +201,13 @@ func (s *SMIless) traceReoptimize(sim *simulator.Simulator, it float64, res core
 			tracing.KV{Key: "feasible", Val: strconv.FormatBool(res.Feasible)},
 			tracing.KV{Key: "nodes_explored", Val: strconv.Itoa(res.NodesExplored)},
 			tracing.KV{Key: "paths", Val: strconv.Itoa(len(res.Paths))},
+			// Search-machinery stats (Fig. 16 overhead accounting). All are
+			// deterministic: cache traffic is counted on sequential sections
+			// of Optimize only.
+			tracing.KV{Key: "workers", Val: strconv.Itoa(res.Search.Workers)},
+			tracing.KV{Key: "cache_hits", Val: strconv.Itoa(res.Search.Cache.Hits())},
+			tracing.KV{Key: "cache_misses", Val: strconv.Itoa(res.Search.Cache.Misses())},
+			tracing.KV{Key: "from_cache", Val: strconv.FormatBool(res.Search.FromCache)},
 		)
 	}
 	rec.AddInstant(sim.Now(), "reoptimize", args)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+// TestCacheDoesNotChangeResults drives a varied request sequence — the
+// drifting operating points a windowed controller produces — through a
+// cached and a cacheless optimizer and requires identical plans throughout.
+func TestCacheDoesNotChangeResults(t *testing.T) {
+	for _, app := range apps.All() {
+		t.Run(app.Name, func(t *testing.T) {
+			profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+			cached := New(hardware.DefaultCatalog())
+			plain := New(hardware.DefaultCatalog())
+			plain.Cache = nil
+
+			its := []float64{10, 10.03, 9.98, 10, 45, 45.1, 10, 300, 45, 10.01}
+			for i, it := range its {
+				req := Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: it, Batch: 1}
+				want, err1 := plain.Optimize(req)
+				got, err2 := cached.Optimize(req)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("step %d (IT=%v): errors %v / %v", i, it, err1, err2)
+				}
+				if d := diffResult(app.Graph, want, got); d != "" {
+					t.Fatalf("step %d (IT=%v): cached result diverged: %s", i, it, d)
+				}
+			}
+
+			stats := cached.Cache.Stats()
+			if stats.Hits() == 0 {
+				t.Error("repeated operating points produced no cache hits")
+			}
+			if stats.Misses() == 0 {
+				t.Error("cache reports no misses — counters are not being recorded")
+			}
+			if stats.PlanHits == 0 {
+				t.Error("re-asked operating points never hit the plan-level memo")
+			}
+			if rate := stats.HitRate(); rate <= 0 || rate >= 1 {
+				t.Errorf("hit rate %v not in (0,1)", rate)
+			}
+		})
+	}
+}
+
+// TestFromCacheFlag checks the plan-level memo's visible behavior: a repeat
+// call is flagged FromCache, returns a deep copy, and a Reset forgets it.
+func TestFromCacheFlag(t *testing.T) {
+	app := apps.ImageQuery()
+	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	req := Request{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 20, Batch: 1}
+	o := New(hardware.DefaultCatalog())
+
+	first, err := o.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Search.FromCache {
+		t.Error("first call claims to be served from cache")
+	}
+	second, err := o.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Search.FromCache {
+		t.Error("second identical call not served from plan cache")
+	}
+	if d := diffResult(app.Graph, first, second); d != "" {
+		t.Errorf("cached replay differs from original: %s", d)
+	}
+	// The replay must be an independent copy: mutating it cannot poison the
+	// cache.
+	for id := range second.Plan.Configs {
+		second.Eval.PerFunction[id] = -1
+	}
+	third, err := o.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range third.Eval.PerFunction {
+		if c < 0 {
+			t.Fatalf("mutating a cached result poisoned the cache (node %s)", id)
+		}
+	}
+
+	o.Cache.Reset()
+	if s := o.Cache.Stats(); s.Hits()+s.Misses() != 0 {
+		t.Errorf("Reset left counters at %+v", s)
+	}
+	fourth, err := o.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Search.FromCache {
+		t.Error("call after Reset still served from cache")
+	}
+}
+
+// TestQuantizeIT pins the grid's contract: idempotent, monotone, within the
+// advertised relative step, and a pass-through for non-positive inputs.
+func TestQuantizeIT(t *testing.T) {
+	for _, it := range []float64{1e-6, 0.1, 1, 9.999, 10, 10.02, 60, 3600, 1e6} {
+		q := QuantizeIT(it)
+		if math.Abs(q-it)/it > 0.006 {
+			t.Errorf("QuantizeIT(%v) = %v: relative error beyond the 2^(1/128) step", it, q)
+		}
+		if QuantizeIT(q) != q {
+			t.Errorf("QuantizeIT not idempotent at %v", it)
+		}
+	}
+	// Points within half a grid step of an on-grid value snap to it — the
+	// property that makes the cache hit across a controller's drifting
+	// window predictions.
+	q := QuantizeIT(10.0)
+	if QuantizeIT(q*1.0005) != q || QuantizeIT(q*0.9995) != q {
+		t.Error("±0.05% perturbations quantize apart; grid too fine to be useful")
+	}
+	if QuantizeIT(10.0) == QuantizeIT(11.0) {
+		t.Error("10.0 and 11.0 quantize together; grid too coarse to be sound")
+	}
+	for _, it := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		q := QuantizeIT(it)
+		if !(q == it || (math.IsNaN(it) && math.IsNaN(q))) {
+			t.Errorf("QuantizeIT(%v) = %v, want pass-through", it, q)
+		}
+	}
+}
+
+// TestCacheGuardsProfileIdentity ensures a cache shared across applications
+// or refitted profiles can never serve a stale plan: the guards compare
+// profile pointers, so a different profile set misses.
+func TestCacheGuardsProfileIdentity(t *testing.T) {
+	app := apps.ImageQuery()
+	o := New(hardware.DefaultCatalog())
+	req := Request{Graph: app.Graph, Profiles: app.TrueProfiles(perfmodel.DefaultUncertainty), SLA: 2.0, IT: 20, Batch: 1}
+	if _, err := o.Optimize(req); err != nil {
+		t.Fatal(err)
+	}
+	// Same graph, same operating point, freshly built (≠ pointer) profiles.
+	req.Profiles = app.TrueProfiles(perfmodel.DefaultUncertainty)
+	res, err := o.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Search.FromCache {
+		t.Error("plan cache hit across distinct profile sets: guard failed")
+	}
+}

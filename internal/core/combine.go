@@ -29,17 +29,32 @@ func (o *Optimizer) OptimizeWithPaperCombine(req Request) (Result, error) {
 	if err := req.Graph.Validate(); err != nil {
 		return Result{}, fmt.Errorf("core: invalid graph: %w", err)
 	}
+	req.IT = QuantizeIT(req.IT)
+	req.ITMean = QuantizeIT(req.ITMean)
+	var stats CacheStats
+	table, err := o.resolveCandidates(req, &stats)
+	if err != nil {
+		return Result{}, err
+	}
 	paths := req.Graph.Decompose()
 	results := make([]chainResult, len(paths))
 	errs := make([]error, len(paths))
+	workers := o.workers(len(paths))
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	for pi, p := range paths {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(pi int, p []dag.NodeID) {
+		go func() {
 			defer wg.Done()
-			results[pi], errs[pi] = o.optimizeChain(p, req)
-		}(pi, p)
+			for pi := range idx {
+				results[pi], errs[pi] = o.optimizeChain(paths[pi], req, table)
+			}
+		}()
 	}
+	for pi := range paths {
+		idx <- pi
+	}
+	close(idx)
 	wg.Wait()
 	explored := 0
 	feasible := true
@@ -73,8 +88,7 @@ func (o *Optimizer) OptimizeWithPaperCombine(req Request) (Result, error) {
 		// latency remains within the SLA.
 		cands := make(map[dag.NodeID][]candidate, req.Graph.Len())
 		for _, id := range req.Graph.Nodes() {
-			byCost, _ := o.nodeCandidates(req.Profiles[id], req.IT, req.ITMean, req.SLA, req.Batch)
-			cands[id] = byCost
+			cands[id] = table[id].byCost
 		}
 		ev := newRefiner(req.Graph, cands, plan, req.SLA)
 		for _, sub := range req.Graph.ParallelSubstructures() {
@@ -101,6 +115,7 @@ func (o *Optimizer) OptimizeWithPaperCombine(req Request) (Result, error) {
 		Eval:          evRes,
 		Feasible:      feasible && evRes.E2ELatency <= req.SLA,
 		NodesExplored: explored,
+		Search:        SearchStats{Workers: workers, Cache: stats},
 	}, nil
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -50,6 +51,23 @@ type Result struct {
 	// Paths holds per-decomposed-path search traces, in decomposition
 	// order (Fig. 16 instrumentation).
 	Paths []PathStats
+	// Search summarizes this call's search machinery: worker-pool width and
+	// evaluation-cache hit/miss counters. All values are deterministic for
+	// a given Optimizer call sequence.
+	Search SearchStats
+}
+
+// SearchStats instruments one Optimize call (Fig. 16 overhead accounting).
+type SearchStats struct {
+	// Workers is the worker-pool width the path fan-out actually used
+	// (1 = sequential inline search).
+	Workers int
+	// Cache holds this call's evaluation-cache hit/miss counters, all
+	// levels. Zero when no cache is attached.
+	Cache CacheStats
+	// FromCache reports that the entire Result was served from the
+	// plan-level memo without running any search.
+	FromCache bool
 }
 
 // PathStats traces the search over one decomposed simple path.
@@ -78,12 +96,38 @@ type Optimizer struct {
 	// TopK is the beam width of the path search; the paper evaluates K = 1
 	// and notes larger K trades search time for marginal cost gains.
 	TopK int
+	// Parallelism bounds the path-search worker pool: decomposed simple
+	// paths are searched concurrently by at most this many workers (§V-C2).
+	// Zero means runtime.GOMAXPROCS(0); 1 forces the sequential inline
+	// search. Whatever the width, per-path results are merged in
+	// decomposition order, so the resulting Plan is byte-identical to the
+	// sequential search.
+	Parallelism int
+	// Cache memoizes analytical evaluations across Optimize calls (see
+	// EvalCache). New attaches a fresh cache; set nil to disable. Disabling
+	// never changes results, only recomputation cost.
+	Cache *EvalCache
 }
 
 // New returns an Optimizer over the given hardware catalog with top-1
-// search.
+// search, an attached evaluation cache, and the default worker-pool width.
 func New(cat *hardware.Catalog) *Optimizer {
-	return &Optimizer{Catalog: cat, TopK: 1}
+	return &Optimizer{Catalog: cat, TopK: 1, Cache: NewEvalCache()}
+}
+
+// workers resolves the effective worker-pool width for n paths.
+func (o *Optimizer) workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // candidate is one per-function configuration option with its adaptive
@@ -165,6 +209,34 @@ func (o *Optimizer) nodeCandidates(prof *perfmodel.Profile, it, itMean, sla floa
 		}
 	}
 	return byCost, fastest
+}
+
+// resolveCandidates builds the per-function candidate table for one request:
+// every node's cost-ascending candidate vector and latency-minimal entry,
+// computed once and shared read-only by all path searches and the
+// refinement pass. Resolution runs sequentially in topological order —
+// before the worker pool fans out — so cache hit/miss counters are
+// deterministic. With a cache attached, previously seen (profile, quantized
+// IT, quantized mean IT, SLA, batch) points are served from the memo.
+func (o *Optimizer) resolveCandidates(req Request, stats *CacheStats) (map[dag.NodeID]nodeCands, error) {
+	out := make(map[dag.NodeID]nodeCands, req.Graph.Len())
+	for _, id := range req.Graph.TopoSort() {
+		prof, ok := req.Profiles[id]
+		if !ok {
+			return nil, fmt.Errorf("core: no profile for %q", id)
+		}
+		compute := func() nodeCands {
+			byCost, fastest := o.nodeCandidates(prof, req.IT, req.ITMean, req.SLA, req.Batch)
+			return nodeCands{byCost: byCost, fastest: fastest}
+		}
+		if o.Cache != nil {
+			key := candKey{prof: prof, qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch}
+			out[id] = o.Cache.candidates(key, stats, compute)
+		} else {
+			out[id] = compute()
+		}
+	}
+	return out, nil
 }
 
 // refiner holds the indexed state of the local search: nodes are numbered
@@ -317,17 +389,19 @@ type chainResult struct {
 
 // optimizeChain runs the top-K path search on one simple path (sequence of
 // functions). Latency along a chain is the sum of inference times (adaptive
-// pre-warming hides initialization, Eq. 5).
-func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult, error) {
+// pre-warming hides initialization, Eq. 5). The candidate table is shared
+// read-only across concurrently searched paths; all mutable search state
+// (beam, per-layer counters, scratch) is local to this call.
+func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request, table map[dag.NodeID]nodeCands) (chainResult, error) {
 	n := len(chain)
 	cands := make([][]candidate, n)
 	fast := make([]candidate, n)
 	for i, id := range chain {
-		prof, ok := req.Profiles[id]
+		nc, ok := table[id]
 		if !ok {
-			return chainResult{}, fmt.Errorf("core: no profile for %q", id)
+			return chainResult{}, fmt.Errorf("core: no candidates for %q", id)
 		}
-		cands[i], fast[i] = o.nodeCandidates(prof, req.IT, req.ITMean, req.SLA, req.Batch)
+		cands[i], fast[i] = nc.byCost, nc.fastest
 	}
 	// minLatSuffix[i] = minimal achievable latency of functions i..n-1.
 	minLatSuffix := make([]float64, n+1)
@@ -410,9 +484,18 @@ func (o *Optimizer) optimizeChain(chain []dag.NodeID, req Request) (chainResult,
 }
 
 // Optimize solves the full co-optimization problem for an application DAG:
-// decompose into simple paths, search each in parallel, then combine
-// per-path solutions (fastest-inference wins on shared functions) and run a
+// decompose into simple paths, fan the per-path searches out across a
+// bounded worker pool, then combine per-path solutions in decomposition
+// order (fastest-inference wins on shared functions) and run a
 // cost-reduction pass that downgrades functions while the SLA still holds.
+//
+// Determinism: the inter-arrival times are snapped onto the cache grid
+// first (QuantizeIT), candidate resolution and all cache traffic run
+// sequentially before the fan-out, each path search touches only its own
+// slot of the result vector, and the merge walks slots in index order — so
+// the returned Plan is byte-identical whatever the pool width and whether
+// the cache is enabled, disabled, warm or cold. Only PathStats.Nanos (a
+// measurement-only wall-clock reading) varies between runs.
 func (o *Optimizer) Optimize(req Request) (Result, error) {
 	if req.Batch < 1 {
 		req.Batch = 1
@@ -423,22 +506,64 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 	if err := req.Graph.Validate(); err != nil {
 		return Result{}, fmt.Errorf("core: invalid graph: %w", err)
 	}
+	req.IT = QuantizeIT(req.IT)
+	req.ITMean = QuantizeIT(req.ITMean)
+
+	var stats CacheStats
+	var pkey planKey
+	var graphSig string
+	var guard []*perfmodel.Profile
+	if o.Cache != nil {
+		pkey = planKey{qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch, topK: o.TopK}
+		graphSig = graphSignature(req.Graph)
+		guard = profileGuard(req.Graph, req.Profiles)
+		if res, ok := o.Cache.lookupPlan(pkey, graphSig, guard, &stats); ok {
+			res.Search = SearchStats{Cache: stats, FromCache: true}
+			return res, nil
+		}
+	}
+
+	table, err := o.resolveCandidates(req, &stats)
+	if err != nil {
+		return Result{}, err
+	}
 	paths := req.Graph.Decompose()
 
-	// Strategy Optimizer runs per-path searches in parallel (§V-C2).
+	// Strategy Optimizer fans the per-path searches out across a bounded
+	// worker pool (§V-C2). Each worker owns the result slot of the path
+	// index it drew, and the merge below consumes slots in index order.
 	results := make([]chainResult, len(paths))
 	errs := make([]error, len(paths))
-	var wg sync.WaitGroup
-	for pi, p := range paths {
-		wg.Add(1)
-		go func(pi int, p []dag.NodeID) {
-			defer wg.Done()
-			start := time.Now()
-			results[pi], errs[pi] = o.optimizeChain(p, req)
-			results[pi].nanos = time.Since(start).Nanoseconds()
-		}(pi, p)
+	workers := o.workers(len(paths))
+	searchPath := func(pi int) {
+		start := time.Now()
+		results[pi], errs[pi] = o.optimizeChain(paths[pi], req, table)
+		results[pi].nanos = time.Since(start).Nanoseconds()
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for pi := range paths {
+			searchPath(pi)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for pi := range idx {
+					searchPath(pi)
+				}
+			}()
+		}
+		for pi := range paths {
+			idx <- pi
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Ordered merge: path results are folded in decomposition order.
 	explored := 0
 	feasible := true
 	pstats := make([]PathStats, len(paths))
@@ -478,34 +603,49 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 		// Refinement: the greedy walk can over-commit latency budget to a
 		// cheap upstream function, forcing expensive downstream configs.
 		// Local search repairs this while the SLA still holds.
-		o.refine(req, plan)
+		o.refine(req, plan, table)
 	}
 	bill := req.ITMean
 	if bill <= 0 {
 		bill = req.IT
 	}
-	ev, err := coldstart.Evaluate(req.Graph, req.Profiles, plan, o.Catalog.Pricing, bill, req.Batch)
+	computeEval := func() (coldstart.Evaluation, error) {
+		return coldstart.Evaluate(req.Graph, req.Profiles, plan, o.Catalog.Pricing, bill, req.Batch)
+	}
+	var ev coldstart.Evaluation
+	if o.Cache != nil {
+		ekey := evalKey{sig: planSignature(req.Graph, plan), qbill: bill, batch: req.Batch}
+		ev, err = o.Cache.evaluate(req.Graph, req.Profiles, ekey, &stats, computeEval)
+	} else {
+		ev, err = computeEval()
+	}
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Plan:          plan,
 		Eval:          ev,
 		Feasible:      feasible && ev.E2ELatency <= req.SLA,
 		NodesExplored: explored,
 		Paths:         pstats,
-	}, nil
+		Search:        SearchStats{Workers: workers, Cache: stats},
+	}
+	if o.Cache != nil {
+		o.Cache.storePlan(pkey, graphSig, guard, res, &stats)
+		res.Search.Cache = stats
+	}
+	return res, nil
 }
 
 // refine runs a deterministic local search from the greedy solution: plain
 // downgrade passes interleaved with coupled moves that make one function
 // faster (freeing latency budget) and then re-downgrade the rest, accepted
 // only when the total cost strictly decreases. The SLA holds at every step.
-func (o *Optimizer) refine(req Request, plan *coldstart.Plan) {
+// It reuses the shared candidate table resolved before the fan-out.
+func (o *Optimizer) refine(req Request, plan *coldstart.Plan, table map[dag.NodeID]nodeCands) {
 	cands := make(map[dag.NodeID][]candidate, req.Graph.Len())
 	for _, id := range req.Graph.Nodes() {
-		byCost, _ := o.nodeCandidates(req.Profiles[id], req.IT, req.ITMean, req.SLA, req.Batch)
-		cands[id] = byCost
+		cands[id] = table[id].byCost
 	}
 	r := newRefiner(req.Graph, cands, plan, req.SLA)
 	r.improve()

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/perfmodel"
+)
+
+// diffResult compares everything that must be byte-identical between a
+// sequential and a parallel (or cached) search: the plan, the evaluation,
+// feasibility, and the search-tree traces. The measurement-only Nanos and
+// the Search machinery stats are excluded by design. Returns "" when equal.
+func diffResult(g *dag.Graph, a, b Result) string {
+	if sa, sb := planSignature(g, a.Plan), planSignature(g, b.Plan); sa != sb {
+		return fmt.Sprintf("plan signatures differ:\n  a: %s\n  b: %s", sa, sb)
+	}
+	if a.Eval.E2ELatency != b.Eval.E2ELatency || a.Eval.CostPerInvocation != b.Eval.CostPerInvocation {
+		return fmt.Sprintf("evaluations differ: (%v, %v) vs (%v, %v)",
+			a.Eval.E2ELatency, a.Eval.CostPerInvocation, b.Eval.E2ELatency, b.Eval.CostPerInvocation)
+	}
+	if len(a.Eval.PerFunction) != len(b.Eval.PerFunction) {
+		return fmt.Sprintf("per-function cost maps differ in size: %d vs %d",
+			len(a.Eval.PerFunction), len(b.Eval.PerFunction))
+	}
+	for _, id := range g.Nodes() {
+		if a.Eval.PerFunction[id] != b.Eval.PerFunction[id] {
+			return fmt.Sprintf("per-function cost differs at %s: %v vs %v",
+				id, a.Eval.PerFunction[id], b.Eval.PerFunction[id])
+		}
+	}
+	if a.Feasible != b.Feasible {
+		return fmt.Sprintf("feasibility differs: %v vs %v", a.Feasible, b.Feasible)
+	}
+	if a.NodesExplored != b.NodesExplored {
+		return fmt.Sprintf("nodes explored differ: %d vs %d", a.NodesExplored, b.NodesExplored)
+	}
+	if len(a.Paths) != len(b.Paths) {
+		return fmt.Sprintf("path traces differ in count: %d vs %d", len(a.Paths), len(b.Paths))
+	}
+	for i := range a.Paths {
+		pa, pb := a.Paths[i], b.Paths[i]
+		if pa.Length != pb.Length || pa.Explored != pb.Explored || pa.Feasible != pb.Feasible {
+			return fmt.Sprintf("path %d traces differ: %+v vs %+v", i, pa, pb)
+		}
+		if len(pa.PerLayer) != len(pb.PerLayer) {
+			return fmt.Sprintf("path %d layer traces differ: %v vs %v", i, pa.PerLayer, pb.PerLayer)
+		}
+		for j := range pa.PerLayer {
+			if pa.PerLayer[j] != pb.PerLayer[j] {
+				return fmt.Sprintf("path %d layer %d differs: %d vs %d", i, j, pa.PerLayer[j], pb.PerLayer[j])
+			}
+		}
+	}
+	return ""
+}
+
+// TestParallelMatchesSequential is the tentpole's regression guard: at any
+// worker-pool width, with the cache cold or warm, Optimize must return the
+// byte-identical result the sequential cacheless search returns — across
+// all three paper applications plus a deep chain.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := append(apps.All(), apps.Pipeline(12))
+	for _, app := range cases {
+		t.Run(app.Name, func(t *testing.T) {
+			profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+			for _, req := range []Request{
+				{Graph: app.Graph, Profiles: profiles, SLA: 2.0, IT: 15, Batch: 1},
+				{Graph: app.Graph, Profiles: profiles, SLA: 3.5, IT: 120, ITMean: 150, Batch: 1},
+				{Graph: app.Graph, Profiles: profiles, SLA: 0.8, IT: 2, Batch: 4},
+			} {
+				seq := New(hardware.DefaultCatalog())
+				seq.Parallelism = 1
+				seq.Cache = nil
+				want, errSeq := seq.Optimize(req)
+
+				par := New(hardware.DefaultCatalog())
+				par.Parallelism = 8
+				for pass, label := range []string{"cold cache", "warm cache"} {
+					got, errPar := par.Optimize(req)
+					if (errSeq == nil) != (errPar == nil) {
+						t.Fatalf("SLA=%v IT=%v %s: error mismatch: %v vs %v", req.SLA, req.IT, label, errSeq, errPar)
+					}
+					if errSeq != nil {
+						continue
+					}
+					if d := diffResult(app.Graph, want, got); d != "" {
+						t.Errorf("SLA=%v IT=%v %s: parallel diverged from sequential: %s", req.SLA, req.IT, label, d)
+					}
+					if pass == 1 && !got.Search.FromCache {
+						t.Errorf("SLA=%v IT=%v: second identical call not served from plan cache", req.SLA, req.IT)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerWidthsAgree sweeps pool widths on the widest paper DAG.
+func TestWorkerWidthsAgree(t *testing.T) {
+	app := apps.VoiceAssistant()
+	profiles := app.TrueProfiles(perfmodel.DefaultUncertainty)
+	req := Request{Graph: app.Graph, Profiles: profiles, SLA: 2.5, IT: 30, Batch: 1}
+	base := New(hardware.DefaultCatalog())
+	base.Parallelism = 1
+	base.Cache = nil
+	want, err := base.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 2, 3, 5, 16} {
+		o := New(hardware.DefaultCatalog())
+		o.Parallelism = w
+		o.Cache = nil
+		got, err := o.Optimize(req)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if d := diffResult(app.Graph, want, got); d != "" {
+			t.Errorf("width %d diverged: %s", w, d)
+		}
+	}
+}
+
+// fuzzNames is a fixed sub-inventory of Table I short names the fuzzer maps
+// node indices onto; the slice order is part of the corpus encoding.
+var fuzzNames = []string{"IR", "FR", "HAP", "DB", "NER", "TM", "TRS", "TG"}
+
+// fuzzGraph decodes (nodes, edges) into a single-entry DAG: n nodes labeled
+// n0..n(n-1), edge bits connect i→j for i<j, and any orphan root beyond n0
+// is re-rooted under n0 so the DAG keeps exactly one entry.
+func fuzzGraph(nodes uint8, edges uint64) (*dag.Graph, bool) {
+	n := 2 + int(nodes%7) // 2..8 nodes
+	g := dag.New()
+	ids := make([]dag.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = dag.NodeID(fmt.Sprintf("n%d", i))
+		g.MustAddNode(ids[i], apps.Functions[fuzzNames[i%len(fuzzNames)]].Model)
+	}
+	bit := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if edges&(1<<uint(bit)) != 0 {
+				if err := g.AddEdge(ids[i], ids[j]); err != nil {
+					return nil, false
+				}
+			}
+			bit++
+		}
+	}
+	for i := 1; i < n; i++ {
+		if len(g.Predecessors(ids[i])) == 0 {
+			if err := g.AddEdge(ids[0], ids[i]); err != nil {
+				return nil, false
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// FuzzParallelPlanEquivalence drives random DAG shapes and operating points
+// through both search modes and requires identical results.
+func FuzzParallelPlanEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint64(0b111), 2.0, 15.0)
+	f.Add(uint8(6), uint64(0x3ff), 1.2, 5.0)
+	f.Add(uint8(7), uint64(0), 4.0, 300.0)
+	f.Add(uint8(5), uint64(0xffffffff), 0.5, 1.0)
+	f.Fuzz(func(t *testing.T, nodes uint8, edges uint64, sla, it float64) {
+		if sla <= 0 || sla > 100 || it <= 0 || it > 1e5 {
+			t.Skip("out of the modelled operating range")
+		}
+		g, ok := fuzzGraph(nodes, edges)
+		if !ok {
+			t.Skip("edge mask does not encode a valid single-entry DAG")
+		}
+		profiles := make(map[dag.NodeID]*perfmodel.Profile, g.Len())
+		for i, id := range g.TopoSort() {
+			profiles[id] = apps.Functions[fuzzNames[i%len(fuzzNames)]].TrueProfile(perfmodel.DefaultUncertainty)
+		}
+		req := Request{Graph: g, Profiles: profiles, SLA: sla, IT: it, Batch: 1}
+
+		seq := New(hardware.DefaultCatalog())
+		seq.Parallelism = 1
+		seq.Cache = nil
+		want, errSeq := seq.Optimize(req)
+
+		par := New(hardware.DefaultCatalog())
+		par.Parallelism = 6
+		got, errPar := par.Optimize(req)
+
+		if (errSeq == nil) != (errPar == nil) {
+			t.Fatalf("error mismatch: sequential %v, parallel %v", errSeq, errPar)
+		}
+		if errSeq != nil {
+			return
+		}
+		if d := diffResult(g, want, got); d != "" {
+			t.Fatalf("parallel search diverged on fuzzed DAG (%d nodes, edges %#x): %s", g.Len(), edges, d)
+		}
+	})
+}

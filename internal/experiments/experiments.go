@@ -98,40 +98,52 @@ type RunParams struct {
 	// critical-path attribution and Chrome trace export are available; nil
 	// runs untraced (bit-identical to a traced run's statistics).
 	Recorder *tracing.Recorder
+	// Parallelism bounds the Strategy Optimizer's path-search worker pool
+	// in SMIless variants (0 = all cores, 1 = sequential). Plans — and
+	// therefore every run statistic — are byte-identical at any width.
+	Parallelism int
+	// Controller, when non-nil, replaces the derived controller
+	// configuration wholesale for SMIless variants (ablation flags are
+	// still forced per system, e.g. DisableDAG for SMIless-No-DAG).
+	Controller *controller.Options
 }
 
 // buildDriver constructs the driver for a system name.
-func buildDriver(name SystemName, p RunParams, tr *trace.Trace) simulator.Driver {
+func buildDriver(name SystemName, p RunParams, tr *trace.Trace) (simulator.Driver, error) {
 	cat := hardware.DefaultCatalog()
 	profiles := p.App.TrueProfiles(perfmodel.DefaultUncertainty)
+	smilessOpts := func() controller.Options {
+		if p.Controller != nil {
+			return *p.Controller
+		}
+		o := controller.DefaultOptions(p.Seed)
+		o.UseLSTM = p.UseLSTM
+		o.Parallelism = p.Parallelism
+		return o
+	}
 	switch name {
 	case SysSMIless:
-		o := controller.DefaultOptions(p.Seed)
-		o.UseLSTM = p.UseLSTM
-		return controller.New(cat, profiles, p.SLA, o)
+		return controller.New(cat, profiles, p.SLA, smilessOpts()), nil
 	case SysNoDAG:
-		o := controller.DefaultOptions(p.Seed)
-		o.UseLSTM = p.UseLSTM
+		o := smilessOpts()
 		o.DisableDAG = true
-		return controller.New(cat, profiles, p.SLA, o)
+		return controller.New(cat, profiles, p.SLA, o), nil
 	case SysHomo:
-		o := controller.DefaultOptions(p.Seed)
-		o.UseLSTM = p.UseLSTM
-		return controller.New(hardware.CPUOnlyCatalog(), profiles, p.SLA, o)
+		return controller.New(hardware.CPUOnlyCatalog(), profiles, p.SLA, smilessOpts()), nil
 	case SysOrion:
-		return baselines.NewOrion(cat, profiles, p.SLA)
+		return baselines.NewOrion(cat, profiles, p.SLA), nil
 	case SysIceBreakr:
-		return baselines.NewIceBreaker(cat, profiles, p.SLA)
+		return baselines.NewIceBreaker(cat, profiles, p.SLA), nil
 	case SysGrandSLAm:
-		return baselines.NewGrandSLAm(cat, profiles, p.SLA)
+		return baselines.NewGrandSLAm(cat, profiles, p.SLA), nil
 	case SysAquatope:
-		return baselines.NewAquatope(cat, profiles, p.SLA, p.Seed)
+		return baselines.NewAquatope(cat, profiles, p.SLA, p.Seed), nil
 	case SysHistogram:
-		return baselines.NewHybridHistogram(cat, profiles, p.SLA)
+		return baselines.NewHybridHistogram(cat, profiles, p.SLA), nil
 	case SysOPT:
-		return baselines.NewOPT(cat, profiles, p.SLA, tr.Arrivals)
+		return baselines.NewOPT(cat, profiles, p.SLA, tr.Arrivals), nil
 	default:
-		panic(fmt.Sprintf("experiments: unknown system %q", name))
+		return nil, fmt.Errorf("experiments: unknown system %q", name)
 	}
 }
 
@@ -148,17 +160,39 @@ func WarmupFor(tr *trace.Trace) float64 {
 	return w
 }
 
-// RunSystem evaluates one system on one trace.
-func RunSystem(name SystemName, p RunParams, tr *trace.Trace) *simulator.RunStats {
-	drv := buildDriver(name, p, tr)
-	sim := simulator.MustNew(simulator.Config{
+// Run evaluates one system on one trace, propagating configuration and
+// simulation errors instead of panicking — the entry point behind the
+// public smiless.Evaluate.
+func Run(name SystemName, p RunParams, tr *trace.Trace) (*simulator.RunStats, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("experiments: nil trace")
+	}
+	drv, err := buildDriver(name, p, tr)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := simulator.New(simulator.Config{
 		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
 		Faults: p.Faults,
 	}, drv)
+	if err != nil {
+		return nil, err
+	}
 	if p.Recorder != nil {
 		sim.AttachRecorder(p.Recorder)
 	}
-	return sim.MustRun(tr)
+	return sim.Run(tr)
+}
+
+// RunSystem evaluates one system on one trace, panicking on any error; the
+// figure harnesses run known-good configurations, so a failure there is a
+// bug, not an input problem.
+func RunSystem(name SystemName, p RunParams, tr *trace.Trace) *simulator.RunStats {
+	st, err := Run(name, p, tr)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // EvalTrace builds the default evaluation workload: an Azure-like mixture

@@ -1,0 +1,35 @@
+package smiless
+
+// Deprecated positional-argument shims for the pre-options API. Each is a
+// thin wrapper over its options-based replacement with identical behavior
+// (including panicking where the old signature had no error return); new
+// code should call the replacement directly. See README "Public API" for
+// the old → new migration table.
+
+// EvaluateLegacy runs a named system with the pre-options signature,
+// panicking on error as the old Evaluate did.
+//
+// Deprecated: use Evaluate with WithSeed / WithLSTM.
+func EvaluateLegacy(system SystemName, app *Application, tr *Trace, sla float64, seed int64, useLSTM bool) *RunStats {
+	st, err := Evaluate(system, app, tr, sla, WithSeed(seed), WithLSTM(useLSTM))
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// NewSimulatorLegacy prepares a simulator with the pre-options signature.
+//
+// Deprecated: use NewSimulator with WithSeed.
+func NewSimulatorLegacy(app *Application, driver Driver, sla float64, seed int64) (*Simulator, error) {
+	return NewSimulator(app, driver, sla, WithSeed(seed))
+}
+
+// NewSMIlessLegacy builds the SMIless controller from an explicit
+// ControllerOptions value, the pre-options signature.
+//
+// Deprecated: use NewSMIless with WithControllerOptions (or WithSeed /
+// WithLSTM / WithParallelism for the common knobs).
+func NewSMIlessLegacy(cat *Catalog, profiles map[NodeID]*FnProfile, sla float64, opts ControllerOptions) Driver {
+	return NewSMIless(cat, profiles, sla, WithControllerOptions(opts))
+}

@@ -1,0 +1,153 @@
+package smiless
+
+import (
+	"smiless/internal/controller"
+	"smiless/internal/core"
+	"smiless/internal/faults"
+	"smiless/internal/tracing"
+)
+
+// Observability and fault-injection surface, re-exported so runs configured
+// through this package can use them without reaching into internal/.
+type (
+	// Recorder is the deterministic span recorder: attach one with
+	// WithRecorder to get per-invocation span trees, critical-path phase
+	// attribution and Chrome trace-event export (DESIGN.md §10).
+	Recorder = tracing.Recorder
+	// FaultPlan schedules failure injection — container crashes,
+	// stragglers, node outages — into a run (DESIGN.md §7).
+	FaultPlan = faults.Plan
+	// FaultRates are per-function failure probabilities for a FaultPlan.
+	FaultRates = faults.Rates
+	// FaultOutage schedules one node's downtime window in a FaultPlan.
+	FaultOutage = faults.Outage
+	// SearchStats summarizes one Optimize call's search machinery:
+	// worker-pool width and evaluation-cache hit/miss counters.
+	SearchStats = core.SearchStats
+	// CacheStats are the evaluation cache's hit/miss counters by level.
+	CacheStats = core.CacheStats
+)
+
+// NewRecorder returns a span recorder for app's DAG, ready to pass to
+// WithRecorder. After the run, use Recorder.WriteChromeTrace (or the
+// critical-path accessors) on it.
+func NewRecorder(app *Application) *Recorder {
+	return tracing.NewRecorder(app.Graph)
+}
+
+// EvaluateOptions collects the optional knobs of Evaluate, NewSimulator,
+// NewSMIless and Optimize. The zero value is the default configuration:
+// seed 0, moving-window predictors (no LSTM), no tracing, no faults, and a
+// path-search worker pool as wide as the machine. Construct it through
+// functional options:
+//
+//	st, err := smiless.Evaluate(smiless.SystemSMIless, app, tr, 2.0,
+//	    smiless.WithSeed(7),
+//	    smiless.WithLSTM(true),
+//	    smiless.WithRecorder(rec),
+//	)
+type EvaluateOptions struct {
+	// Seed drives every stochastic component (profiler noise, predictor
+	// initialization, fault schedules).
+	Seed int64
+	// UseLSTM enables the LSTM predictors in SMIless variants; when false a
+	// lightweight moving-window estimator is used throughout.
+	UseLSTM bool
+	// Recorder, when non-nil, records span trees for every invocation.
+	// Statistics are bit-identical with and without a recorder attached.
+	Recorder *Recorder
+	// Faults, when non-nil, injects the scheduled failures into the run.
+	Faults *FaultPlan
+	// Parallelism bounds the Strategy Optimizer's path-search worker pool:
+	// 0 uses every available core, 1 forces the sequential inline search.
+	// Plans are byte-identical at any width.
+	Parallelism int
+	// Controller, when non-nil, overrides the full controller
+	// configuration (ablation switches, train/retrain schedule, SLA
+	// margin). Set it via WithControllerOptions; later WithSeed / WithLSTM
+	// / WithParallelism options still override the corresponding fields.
+	Controller *ControllerOptions
+}
+
+// Option mutates EvaluateOptions; options are applied in order, so the last
+// setting of a field wins.
+type Option func(*EvaluateOptions)
+
+// WithSeed seeds the run's stochastic components (default 0).
+func WithSeed(seed int64) Option {
+	return func(o *EvaluateOptions) {
+		o.Seed = seed
+		if o.Controller != nil {
+			o.Controller.Seed = seed
+		}
+	}
+}
+
+// WithLSTM toggles the LSTM predictors in SMIless variants (default off:
+// the moving-window estimator).
+func WithLSTM(enabled bool) Option {
+	return func(o *EvaluateOptions) {
+		o.UseLSTM = enabled
+		if o.Controller != nil {
+			o.Controller.UseLSTM = enabled
+		}
+	}
+}
+
+// WithRecorder attaches a span recorder to the run (see NewRecorder).
+func WithRecorder(rec *Recorder) Option {
+	return func(o *EvaluateOptions) { o.Recorder = rec }
+}
+
+// WithFaults injects a fault plan into the run; nil restores the fault-free
+// substrate.
+func WithFaults(plan *FaultPlan) Option {
+	return func(o *EvaluateOptions) { o.Faults = plan }
+}
+
+// WithParallelism bounds the Strategy Optimizer's path-search worker pool
+// (0 = all cores, 1 = sequential). The resulting plans are byte-identical
+// at any width; only search wall time changes.
+func WithParallelism(workers int) Option {
+	return func(o *EvaluateOptions) {
+		o.Parallelism = workers
+		if o.Controller != nil {
+			o.Controller.Parallelism = workers
+		}
+	}
+}
+
+// WithControllerOptions replaces the SMIless controller configuration
+// wholesale (ablations, train/retrain schedule, SLA margin). It also adopts
+// the configuration's Seed/UseLSTM/Parallelism as the run-level values, so
+// apply it before any option that should override one of them.
+func WithControllerOptions(co ControllerOptions) Option {
+	return func(o *EvaluateOptions) {
+		o.Controller = &co
+		o.Seed = co.Seed
+		o.UseLSTM = co.UseLSTM
+		o.Parallelism = co.Parallelism
+	}
+}
+
+// newEvaluateOptions folds opts over the zero default.
+func newEvaluateOptions(opts []Option) EvaluateOptions {
+	var o EvaluateOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// controllerOptions resolves the effective controller configuration.
+func (o *EvaluateOptions) controllerOptions() ControllerOptions {
+	if o.Controller != nil {
+		return *o.Controller
+	}
+	co := controller.DefaultOptions(o.Seed)
+	co.UseLSTM = o.UseLSTM
+	co.Parallelism = o.Parallelism
+	return co
+}

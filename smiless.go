@@ -145,15 +145,24 @@ func ProfileApplication(app *Application, seed int64) (map[NodeID]*FnProfile, er
 }
 
 // Optimize runs the Strategy Optimizer (§V-C): top-1 path search with DAG
-// decomposition and cost refinement over the catalog.
-func Optimize(cat *Catalog, req OptimizeRequest) (OptimizeResult, error) {
-	return core.New(cat).Optimize(req)
+// decomposition and cost refinement over the catalog. The search fans paths
+// out over a bounded worker pool and memoizes plan evaluations; tune the
+// pool with WithParallelism. OptimizeResult.Search reports the worker count
+// and cache hit/miss counters.
+func Optimize(cat *Catalog, req OptimizeRequest, opts ...Option) (OptimizeResult, error) {
+	o := newEvaluateOptions(opts)
+	opt := core.New(cat)
+	opt.Parallelism = o.Parallelism
+	return opt.Optimize(req)
 }
 
 // NewSMIless builds the full SMIless controller as a simulator Driver:
-// Online Predictor → Strategy Optimizer → Auto-scaler.
-func NewSMIless(cat *Catalog, profiles map[NodeID]*FnProfile, sla float64, opts ControllerOptions) Driver {
-	return controller.New(cat, profiles, sla, opts)
+// Online Predictor → Strategy Optimizer → Auto-scaler. Options: WithSeed,
+// WithLSTM, WithParallelism, or WithControllerOptions for full control over
+// ablations and schedules.
+func NewSMIless(cat *Catalog, profiles map[NodeID]*FnProfile, sla float64, opts ...Option) Driver {
+	o := newEvaluateOptions(opts)
+	return controller.New(cat, profiles, sla, o.controllerOptions())
 }
 
 // DefaultControllerOptions returns the full SMIless configuration with
@@ -165,9 +174,19 @@ func DefaultControllerOptions(seed int64) ControllerOptions {
 // NewSimulator prepares the discrete-event serverless cluster for one
 // (application, driver) evaluation at the given SLA. It returns a
 // *simulator.ConfigError when the configuration is invalid (nil app or
-// driver, negative SLA).
-func NewSimulator(app *Application, driver Driver, sla float64, seed int64) (*Simulator, error) {
-	return simulator.New(simulator.Config{App: app, SLA: sla, Seed: seed}, driver)
+// driver, negative SLA). Options: WithSeed, WithFaults, WithRecorder.
+func NewSimulator(app *Application, driver Driver, sla float64, opts ...Option) (*Simulator, error) {
+	o := newEvaluateOptions(opts)
+	sim, err := simulator.New(simulator.Config{
+		App: app, SLA: sla, Seed: o.Seed, Faults: o.Faults,
+	}, driver)
+	if err != nil {
+		return nil, err
+	}
+	if o.Recorder != nil {
+		sim.AttachRecorder(o.Recorder)
+	}
+	return sim, nil
 }
 
 // SystemName selects one of the built-in serving systems.
@@ -184,11 +203,27 @@ const (
 )
 
 // Evaluate runs a named system on (app, trace, SLA) and returns the run
-// statistics. Set useLSTM for the full SMIless predictors.
-func Evaluate(system SystemName, app *Application, tr *Trace, sla float64, seed int64, useLSTM bool) *RunStats {
-	return experiments.RunSystem(system, experiments.RunParams{
-		App: app, SLA: sla, Seed: seed, UseLSTM: useLSTM,
-	}, tr)
+// statistics. The defaults are seed 0, moving-window predictors, no
+// tracing, no faults; override with WithSeed, WithLSTM, WithRecorder,
+// WithFaults, WithParallelism, WithControllerOptions. Unknown systems and
+// invalid inputs return an error rather than panicking.
+func Evaluate(system SystemName, app *Application, tr *Trace, sla float64, opts ...Option) (*RunStats, error) {
+	if app == nil {
+		return nil, fmt.Errorf("smiless: nil application")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("smiless: nil trace")
+	}
+	if sla <= 0 {
+		return nil, fmt.Errorf("smiless: non-positive SLA %v", sla)
+	}
+	o := newEvaluateOptions(opts)
+	p := experiments.RunParams{
+		App: app, SLA: sla, Seed: o.Seed, UseLSTM: o.UseLSTM,
+		Faults: o.Faults, Recorder: o.Recorder, Parallelism: o.Parallelism,
+		Controller: o.Controller,
+	}
+	return experiments.Run(system, p, tr)
 }
 
 // Workload generators (see internal/trace for the full set).

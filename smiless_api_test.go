@@ -63,7 +63,10 @@ func TestPublicEvaluateFlow(t *testing.T) {
 	app := smiless.VoiceAssistant()
 	r := rand.New(rand.NewSource(2))
 	tr := smiless.PoissonTrace(r, 0.05, 400)
-	st := smiless.Evaluate(smiless.SystemSMIless, app, tr, 2.0, 2, false)
+	st, err := smiless.Evaluate(smiless.SystemSMIless, app, tr, 2.0, smiless.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Completed != tr.Len() {
 		t.Fatalf("completed %d/%d", st.Completed, tr.Len())
 	}
@@ -75,12 +78,8 @@ func TestPublicEvaluateFlow(t *testing.T) {
 func TestPublicSimulatorWithCustomDriver(t *testing.T) {
 	app := smiless.Pipeline(2)
 	profiles := app.TrueProfiles(3)
-	drv := smiless.NewSMIless(smiless.DefaultCatalog(), profiles, 3.0, func() smiless.ControllerOptions {
-		o := smiless.DefaultControllerOptions(1)
-		o.UseLSTM = false
-		return o
-	}())
-	sim, err := smiless.NewSimulator(app, drv, 3.0, 1)
+	drv := smiless.NewSMIless(smiless.DefaultCatalog(), profiles, 3.0, smiless.WithSeed(1))
+	sim, err := smiless.NewSimulator(app, drv, 3.0, smiless.WithSeed(1))
 	if err != nil {
 		t.Fatalf("NewSimulator: %v", err)
 	}
