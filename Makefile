@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt
+.PHONY: all build test race lint fmt bench bench-opt serve-smoke
 
 all: build test lint
 
@@ -11,7 +11,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race ./...
+
+# Boot the live gateway on a random port, fire a seeded loadgen run at it,
+# and assert zero 5xx plus a well-formed /metrics scrape.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Mirrors CI's lint job: vet, the repo's own analyzer suite, and gofmt.
 lint:

@@ -1,0 +1,261 @@
+// Command loadgen replays a workload trace against a running smiless-serve
+// gateway and prints an end-to-end latency / SLA report comparable to the
+// simulator's. Arrivals are open-loop: each request fires at its trace
+// timestamp regardless of earlier responses, so queueing at the gateway is
+// measured rather than masked.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -workload poisson -rate 2 -horizon 60
+//	loadgen -url http://localhost:8080 -requests 200 -timescale 25 -check-metrics
+//
+// The exit status is non-zero if any request hit a transport error or an
+// unexpected 5xx, or if -check-metrics finds the /metrics scrape malformed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"smiless/internal/cliutil"
+	"smiless/internal/mathx"
+	"smiless/internal/metrics"
+)
+
+type result struct {
+	status    int
+	transport bool    // transport-level failure (no HTTP status)
+	e2e       float64 // model-time E2E from the gateway
+	violated  bool
+	failed    bool // application-level failure (lost after retries)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://localhost:8080", "gateway base URL")
+	tf := cliutil.AddTraceFlags(flag.CommandLine)
+	seed := cliutil.AddSeedFlag(flag.CommandLine)
+	requests := flag.Int("requests", 0, "cap on replayed requests (0 = whole trace)")
+	timescale := flag.Float64("timescale", 1, "replay acceleration factor; must match the gateway's -timescale")
+	ready := flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the gateway /healthz to come up")
+	checkMetrics := flag.Bool("check-metrics", false, "after the run, scrape /metrics and fail unless it parses and covers the replayed load")
+	jsonOut := flag.String("json", "", "also write the replay report as JSON to this file")
+	flag.Parse()
+
+	if *timescale <= 0 {
+		return fmt.Errorf("-timescale must be positive, got %v", *timescale)
+	}
+	tr, err := tf.Build(*seed)
+	if err != nil {
+		return err
+	}
+	arrivals := tr.Arrivals
+	if *requests > 0 && len(arrivals) > *requests {
+		arrivals = arrivals[:*requests]
+	}
+	if len(arrivals) == 0 {
+		return fmt.Errorf("trace %q produced no arrivals", *tf.Workload)
+	}
+
+	if err := awaitReady(*url, *ready); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: replaying %d %s arrivals against %s at %gx\n",
+		len(arrivals), *tf.Workload, *url, *timescale)
+
+	results := make([]result, len(arrivals))
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	start := time.Now()
+	for i, at := range arrivals {
+		// Open loop: sleep until this arrival's (scaled) wall time, then
+		// fire without waiting for earlier responses.
+		due := start.Add(time.Duration(at / *timescale * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = fire(client, *url)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := summarize(results)
+	fmt.Print(rep.Text())
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+
+	if *checkMetrics {
+		if err := verifyMetrics(*url, rep); err != nil {
+			return fmt.Errorf("metrics check: %w", err)
+		}
+		fmt.Println("metrics check: ok")
+	}
+	if rep.TransportErrors > 0 || rep.ServerErrors > 0 {
+		return fmt.Errorf("%d transport errors, %d 5xx responses", rep.TransportErrors, rep.ServerErrors)
+	}
+	return nil
+}
+
+func awaitReady(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway at %s not ready after %v", url, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fire(client *http.Client, url string) result {
+	resp, err := client.Post(url+"/invoke", "application/json", nil)
+	if err != nil {
+		return result{transport: true}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	r := result{status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK {
+		return r
+	}
+	var ir struct {
+		E2ESeconds  float64 `json:"e2e_seconds"`
+		Failed      bool    `json:"failed"`
+		SLAViolated bool    `json:"sla_violated"`
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		return result{transport: true}
+	}
+	r.e2e = ir.E2ESeconds
+	r.failed = ir.Failed
+	r.violated = ir.SLAViolated
+	return r
+}
+
+// Report mirrors the simulator Report's latency/SLA fields for the live
+// replay, so runs are comparable side by side.
+type Report struct {
+	Requests        int     `json:"requests"`
+	Completed       int     `json:"completed"`
+	Failed          int     `json:"failed_requests"`
+	Rejected        int     `json:"rejected_429"`
+	ServerErrors    int     `json:"server_errors_5xx"`
+	TransportErrors int     `json:"transport_errors"`
+	ViolationRate   float64 `json:"violation_rate"`
+	LatencyP50      float64 `json:"latency_p50_seconds"`
+	LatencyP95      float64 `json:"latency_p95_seconds"`
+	LatencyP99      float64 `json:"latency_p99_seconds"`
+	LatencyMax      float64 `json:"latency_max_seconds"`
+}
+
+func summarize(results []result) Report {
+	rep := Report{Requests: len(results)}
+	var lats []float64
+	violations := 0
+	for _, r := range results {
+		switch {
+		case r.transport:
+			rep.TransportErrors++
+		case r.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case r.status >= 500:
+			rep.ServerErrors++
+		case r.status == http.StatusOK && r.failed:
+			rep.Failed++
+		case r.status == http.StatusOK:
+			rep.Completed++
+			lats = append(lats, r.e2e)
+			if r.violated {
+				violations++
+			}
+		}
+	}
+	if rep.Completed > 0 {
+		rep.ViolationRate = float64(violations) / float64(rep.Completed)
+		rep.LatencyP50 = mathx.Percentile(lats, 50)
+		rep.LatencyP95 = mathx.Percentile(lats, 95)
+		rep.LatencyP99 = mathx.Percentile(lats, 99)
+		sorted := append([]float64(nil), lats...)
+		sort.Float64s(sorted)
+		rep.LatencyMax = sorted[len(sorted)-1]
+	}
+	return rep
+}
+
+// Text renders the report in the same shape as RunStats.Summary.
+func (r Report) Text() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "requests=%d completed=%d failed=%d rejected(429)=%d 5xx=%d transport=%d\n",
+		r.Requests, r.Completed, r.Failed, r.Rejected, r.ServerErrors, r.TransportErrors)
+	fmt.Fprintf(&b, "violation_rate=%.4f p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
+		r.ViolationRate, r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMax)
+	return b.String()
+}
+
+// verifyMetrics scrapes /metrics and cross-checks it against the replay.
+func verifyMetrics(url string, rep Report) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	store, err := metrics.ParseText(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("exposition not parseable: %w", err)
+	}
+	completed := store.SumValues("smiless_requests_completed_total", nil)
+	if int(completed) < rep.Completed {
+		return fmt.Errorf("smiless_requests_completed_total=%v < %d observed completions",
+			completed, rep.Completed)
+	}
+	rejected := store.SumValues("smiless_gateway_rejected_total", nil)
+	if int(rejected) < rep.Rejected {
+		return fmt.Errorf("smiless_gateway_rejected_total=%v < %d observed 429s",
+			rejected, rep.Rejected)
+	}
+	return nil
+}

@@ -15,32 +15,24 @@ import (
 	"fmt"
 	"os"
 
-	"smiless/internal/apps"
+	"smiless/internal/cliutil"
 	"smiless/internal/experiments"
 	"smiless/internal/faults"
-	"smiless/internal/mathx"
-	"smiless/internal/metrics"
-	"smiless/internal/simulator"
-	"smiless/internal/trace"
 	"smiless/internal/tracing"
 )
 
 func main() {
 	app := flag.String("app", "WL2", "application: WL1 (AMBER Alert), WL2 (Image Query), WL3 (Voice Assistant)")
 	system := flag.String("system", "SMIless", "system: SMIless, Orion, IceBreaker, GrandSLAm, Aquatope, OPT, SMIless-No-DAG, SMIless-Homo")
-	horizon := flag.Float64("horizon", 1800, "trace horizon in seconds")
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := cliutil.AddSeedFlag(flag.CommandLine)
 	lstm := flag.Bool("lstm", false, "enable LSTM predictors in SMIless variants")
-	traceKind := flag.String("workload", "azure", "workload: azure, diurnal, poisson, bursty")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
-	rate := flag.Float64("rate", 0.2, "mean rate for poisson/diurnal traces (req/s)")
-	jsonOut := flag.String("json", "", "also write a JSON run report to this file")
+	tf := cliutil.AddTraceFlags(flag.CommandLine)
+	of := cliutil.AddOutputFlags(flag.CommandLine)
 	faultRate := flag.Float64("faults", 0, "base failure rate: init-crash prob = rate, exec-crash = 0.6*rate, straggler = rate (0 = fault-free)")
 	straggler := flag.Float64("straggler", 6, "execution-time inflation factor for injected stragglers")
 	outage := flag.Bool("outage", false, "with -faults: take node 0 down for 120s mid-run")
 	chaos := flag.Bool("chaos", false, "run the full resilience sweep (systems x failure rates) and exit")
-	metricsOut := flag.String("metrics", "", "also write run counters in Prometheus text exposition to this file")
 	flag.Parse()
 
 	if *chaos {
@@ -48,27 +40,16 @@ func main() {
 		p.App = *app
 		p.SLA = *sla
 		p.UseLSTM = *lstm
-		if *horizon != 1800 { //lint:allow floateq flag-default comparison: an untouched flag is bit-identical to its default
-			p.Horizon = *horizon
+		if *tf.Horizon != 1800 { //lint:allow floateq flag-default comparison: an untouched flag is bit-identical to its default
+			p.Horizon = *tf.Horizon
 		}
 		fmt.Println(experiments.Chaos(p).Table())
 		return
 	}
 
-	var tr *trace.Trace
-	r := mathx.NewRand(*seed)
-	switch *traceKind {
-	case "azure":
-		tr = trace.AzureLike(r, trace.DefaultAzureLike(*horizon))
-	case "diurnal":
-		tr = trace.Diurnal(r, *rate, 0.8, 300, *horizon)
-	case "poisson":
-		tr = trace.Poisson(r, *rate, *horizon)
-	case "bursty":
-		tr = experiments.BurstTrace(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown trace kind %q\n", *traceKind)
-		os.Exit(2)
+	tr, err := tf.Build(*seed)
+	if err != nil {
+		fatal(err)
 	}
 
 	var plan *faults.Plan
@@ -83,68 +64,39 @@ func main() {
 			Seed: *seed,
 		}
 		if *outage {
-			start := 0.4 * *horizon
+			start := 0.4 * *tf.Horizon
 			plan.Outages = []faults.Outage{{Node: 0, Start: start, End: start + 120}}
 		}
 	}
 
+	application, err := cliutil.App(*app)
+	if err != nil {
+		fatal(err)
+	}
 	params := experiments.RunParams{
-		App:     mustApp(*app),
+		App:     application,
 		SLA:     *sla,
 		Seed:    *seed,
 		UseLSTM: *lstm,
 		Faults:  plan,
 	}
 	var rec *tracing.Recorder
-	if *traceOut != "" {
+	if *of.TraceOut != "" {
 		rec = tracing.NewRecorder(params.App.Graph)
 		params.Recorder = rec
 	}
 	st := experiments.RunSystem(experiments.SystemName(*system), params, tr)
 
-	fmt.Printf("system=%s app=%s workload=%s requests=%d\n", *system, *app, *traceKind, tr.Len())
+	fmt.Printf("system=%s app=%s workload=%s requests=%d\n", *system, *app, *tf.Workload, tr.Len())
 	fmt.Println(st.Summary())
-	if rec != nil {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *traceOut, err)
-			os.Exit(1)
-		}
-		if err := rec.WriteChromeTrace(f, *horizon); err != nil {
-			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("trace written to %s (%d requests, %d container spans)\n", *traceOut, len(rec.Requests()), len(rec.ContainerSpans()))
+	if err := of.WriteTrace(rec, *tf.Horizon); err != nil {
+		fatal(err)
 	}
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-		report := simulator.BuildReport(*system, *app, st)
-		if err := report.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "write report: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("report written to %s\n", *jsonOut)
+	if err := of.WriteReport(*system, *app, st); err != nil {
+		fatal(err)
 	}
-	if *metricsOut != "" {
-		store := metrics.NewStore()
-		st.RecordMetrics(store, metrics.Labels{"system": *system, "app": *app}, *horizon)
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "create %s: %v\n", *metricsOut, err)
-			os.Exit(1)
-		}
-		if err := store.WriteText(f); err != nil {
-			fmt.Fprintf(os.Stderr, "write metrics: %v\n", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("metrics written to %s\n", *metricsOut)
+	if err := of.WriteMetrics(*system, *app, st, *tf.Horizon); err != nil {
+		fatal(err)
 	}
 	fmt.Println("cost by function (descending):")
 	for _, fn := range st.TopCostFunctions() {
@@ -152,12 +104,7 @@ func main() {
 	}
 }
 
-func mustApp(name string) (out *apps.Application) {
-	defer func() {
-		if recover() != nil {
-			fmt.Fprintf(os.Stderr, "unknown application %q\n", name)
-			os.Exit(2)
-		}
-	}()
-	return experiments.AppByName(name)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

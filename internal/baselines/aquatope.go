@@ -219,7 +219,7 @@ func obsMoments(obs []gpObs) (mu, sd float64) {
 }
 
 // Setup implements simulator.Driver.
-func (a *Aquatope) Setup(sim *simulator.Simulator) {
+func (a *Aquatope) Setup(sim simulator.ControlPlane) {
 	for _, id := range sim.App().Graph.Nodes() {
 		sim.SetDirective(id, simulator.Directive{
 			Config: a.pick(id),
@@ -238,7 +238,7 @@ func (a *Aquatope) Setup(sim *simulator.Simulator) {
 // the current configs and move each function to its EI-optimal config.
 // Re-optimization happens on a coarser cadence than the window to let
 // observations accumulate.
-func (a *Aquatope) OnWindow(sim *simulator.Simulator, now float64) {
+func (a *Aquatope) OnWindow(sim simulator.ControlPlane, now float64) {
 	if int(now/sim.Window())%10 != 0 {
 		return
 	}

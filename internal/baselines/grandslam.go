@@ -57,7 +57,7 @@ func (gs *GrandSLAm) stageBudgets(g *dag.Graph) map[dag.NodeID]float64 {
 }
 
 // Setup implements simulator.Driver.
-func (gs *GrandSLAm) Setup(sim *simulator.Simulator) {
+func (gs *GrandSLAm) Setup(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	budgets := gs.stageBudgets(g)
 	for _, id := range g.Nodes() {
@@ -117,7 +117,7 @@ func (gs *GrandSLAm) Setup(sim *simulator.Simulator) {
 }
 
 // OnWindow implements simulator.Driver: keep the fleet resident.
-func (gs *GrandSLAm) OnWindow(sim *simulator.Simulator, now float64) {
+func (gs *GrandSLAm) OnWindow(sim simulator.ControlPlane, now float64) {
 	for _, id := range sim.App().Graph.Nodes() {
 		if sim.LiveInstances(id) < gs.MaxInstances {
 			sim.EnsureInstances(id, gs.MaxInstances)

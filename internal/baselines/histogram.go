@@ -43,7 +43,7 @@ func NewHybridHistogram(cat *hardware.Catalog, profiles map[dag.NodeID]*perfmode
 func (b *HybridHistogram) Name() string { return "HybridHistogram" }
 
 // Setup implements simulator.Driver.
-func (b *HybridHistogram) Setup(sim *simulator.Simulator) {
+func (b *HybridHistogram) Setup(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	b.configs = make(map[dag.NodeID]hardware.Config, g.Len())
 	budget := b.SLA * 0.8 / float64(g.LongestPathLen())
@@ -79,7 +79,7 @@ func (b *HybridHistogram) Setup(sim *simulator.Simulator) {
 
 // OnWindow implements simulator.Driver: feed application-level idle gaps
 // into each function's histogram and refresh the warm-window directives.
-func (b *HybridHistogram) OnWindow(sim *simulator.Simulator, now float64) {
+func (b *HybridHistogram) OnWindow(sim simulator.ControlPlane, now float64) {
 	arr := sim.ArrivalTimes()
 	if len(arr) == 0 {
 		return

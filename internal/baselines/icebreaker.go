@@ -69,7 +69,7 @@ func (b *IceBreaker) chooseConfig(id dag.NodeID) hardware.Config {
 }
 
 // Setup implements simulator.Driver.
-func (b *IceBreaker) Setup(sim *simulator.Simulator) {
+func (b *IceBreaker) Setup(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	b.configs = make(map[dag.NodeID]hardware.Config, g.Len())
 	for _, id := range g.Nodes() {
@@ -88,7 +88,7 @@ func (b *IceBreaker) Setup(sim *simulator.Simulator) {
 // OnWindow implements simulator.Driver: forecast the next window with FIP;
 // when traffic is expected, warm every function simultaneously (no DAG
 // offsets) and stretch keep-alives.
-func (b *IceBreaker) OnWindow(sim *simulator.Simulator, now float64) {
+func (b *IceBreaker) OnWindow(sim simulator.ControlPlane, now float64) {
 	counts := sim.CountsHistory()
 	hist := make([]float64, len(counts))
 	for i, c := range counts {

@@ -308,7 +308,7 @@ func (o *OPT) Plan(g *dag.Graph) (map[dag.NodeID]hardware.Config, float64, bool)
 
 // Setup implements simulator.Driver: install the plan and schedule perfect
 // pre-warms at the true arrival times.
-func (o *OPT) Setup(sim *simulator.Simulator) {
+func (o *OPT) Setup(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	var cost float64
 	o.configs, cost, o.Feasible = o.Plan(g)
@@ -328,7 +328,7 @@ func (o *OPT) Setup(sim *simulator.Simulator) {
 // pre-warm horizon (longest initialization plus two windows) at the true
 // arrivals; before a burst lands it installs the Eq. 7/8 scaling plan and
 // launches the required instances so they are warm in time.
-func (o *OPT) OnWindow(sim *simulator.Simulator, now float64) {
+func (o *OPT) OnWindow(sim simulator.ControlPlane, now float64) {
 	w := sim.Window()
 	if o.winCounts == nil {
 		if o.maxInitT <= 0 {
@@ -420,7 +420,7 @@ func (o *OPT) keepAliveHorizon() float64 {
 }
 
 // installPlan restores the static oracle directives.
-func (o *OPT) installPlan(sim *simulator.Simulator) {
+func (o *OPT) installPlan(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	it := o.trueIT()
 	offsets := pathOffsets(g, o.Profiles, o.configs, 1)

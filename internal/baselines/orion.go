@@ -110,7 +110,7 @@ func (o *Orion) plan(g *dag.Graph) map[dag.NodeID]hardware.Config {
 }
 
 // Setup implements simulator.Driver.
-func (o *Orion) Setup(sim *simulator.Simulator) {
+func (o *Orion) Setup(sim simulator.ControlPlane) {
 	g := sim.App().Graph
 	o.configs = o.plan(g)
 	offsets := pathOffsets(g, o.Profiles, o.configs, 1)
@@ -131,4 +131,4 @@ func (o *Orion) Setup(sim *simulator.Simulator) {
 }
 
 // OnWindow implements simulator.Driver; Orion's sizing is static.
-func (o *Orion) OnWindow(*simulator.Simulator, float64) {}
+func (o *Orion) OnWindow(simulator.ControlPlane, float64) {}

@@ -1,0 +1,120 @@
+// Package clock is the shared time contract between the deterministic
+// discrete-event simulator and the wall-clock serving runtime.
+//
+// Both worlds measure time as float64 seconds since an epoch: the simulator's
+// epoch is the start of the trace, the serving runtime's is process start.
+// Drivers and runtimes written against Clock/Scheduler work unchanged in
+// either world:
+//
+//   - *simulator.Simulator satisfies Clock structurally (its Now() is the
+//     virtual event-loop time). The simulator package never imports this one,
+//     so its //lint:deterministic tag is unaffected.
+//   - Wall is the production Scheduler: monotonic wall-clock time and real
+//     timers.
+//   - Fake is the test Scheduler: time advances only when the test says so,
+//     letting concurrent serving tests cover minutes of simulated latency in
+//     milliseconds of real time without sleeping.
+package clock
+
+import "time"
+
+// Clock is a read-only time source. Now returns seconds since the clock's
+// epoch; it is monotonic and starts at (or near) zero.
+type Clock interface {
+	Now() float64
+}
+
+// Scheduler is a Clock that can also schedule future wake-ups. It is the
+// contract the serving runtime's executor pool, batch aggregation windows,
+// keep-alive timers and decision-loop ticker are written against.
+type Scheduler interface {
+	Clock
+	// After returns a channel that receives exactly one value once d seconds
+	// have elapsed. A non-positive d fires immediately.
+	After(d float64) <-chan struct{}
+	// Sleep blocks until d seconds have elapsed (immediately if d <= 0).
+	Sleep(d float64)
+}
+
+// Wall is the production Scheduler: real time measured monotonically from
+// the moment NewWall was called.
+type Wall struct {
+	epoch time.Time
+}
+
+// NewWall returns a wall clock whose epoch is now.
+func NewWall() *Wall { return &Wall{epoch: time.Now()} }
+
+// Now implements Clock.
+func (w *Wall) Now() float64 { return time.Since(w.epoch).Seconds() }
+
+// After implements Scheduler.
+func (w *Wall) After(d float64) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	if d <= 0 {
+		ch <- struct{}{}
+		return ch
+	}
+	time.AfterFunc(duration(d), func() { ch <- struct{}{} })
+	return ch
+}
+
+// Sleep implements Scheduler.
+func (w *Wall) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(duration(d))
+}
+
+// ScaledWall is a wall clock that runs Factor× faster than real time: Now
+// returns Factor·(real seconds since epoch) and After/Sleep wait d/Factor
+// real seconds for d model seconds. It lets the serving runtime replay
+// multi-minute workloads in seconds of wall time (smoke tests, demos) while
+// keeping every model-time quantity — latencies, keep-alives, windows — at
+// its real value. Factor 1 is an ordinary wall clock.
+type ScaledWall struct {
+	epoch  time.Time
+	factor float64
+}
+
+// NewScaledWall returns a scaled wall clock whose epoch is now. A
+// non-positive factor is treated as 1.
+func NewScaledWall(factor float64) *ScaledWall {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &ScaledWall{epoch: time.Now(), factor: factor}
+}
+
+// Now implements Clock.
+func (s *ScaledWall) Now() float64 { return time.Since(s.epoch).Seconds() * s.factor }
+
+// After implements Scheduler.
+func (s *ScaledWall) After(d float64) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	if d <= 0 {
+		ch <- struct{}{}
+		return ch
+	}
+	time.AfterFunc(duration(d/s.factor), func() { ch <- struct{}{} })
+	return ch
+}
+
+// Sleep implements Scheduler.
+func (s *ScaledWall) Sleep(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(duration(d / s.factor))
+}
+
+// duration converts seconds to time.Duration, saturating instead of
+// overflowing for absurd inputs.
+func duration(seconds float64) time.Duration {
+	const maxSeconds = float64(1<<62) / float64(time.Second)
+	if seconds > maxSeconds {
+		return 1 << 62
+	}
+	return time.Duration(seconds * float64(time.Second))
+}

@@ -1,0 +1,146 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	f := NewFake()
+	var mu sync.Mutex
+	var order []int
+
+	var wg sync.WaitGroup
+	for i, d := range []float64{3, 1, 2} {
+		wg.Add(1)
+		ch := f.After(d)
+		go func(i int) {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	if got := f.Waiters(); got != 3 {
+		t.Fatalf("Waiters() = %d, want 3", got)
+	}
+	// Advancing one second at a time fires deadlines 1, 2, 3 in order.
+	for i := 0; i < 3; i++ {
+		f.Advance(1)
+		// Let the fired goroutine record its index before the next step.
+		waitFor(t, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(order) == i+1
+		})
+	}
+	wg.Wait()
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("fire order = %v, want [1 2 0]", order)
+	}
+	if now := f.Now(); now != 3 {
+		t.Fatalf("Now() = %v, want 3", now)
+	}
+}
+
+func TestFakeAdvanceToNext(t *testing.T) {
+	f := NewFake()
+	if f.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with no waiters should report false")
+	}
+	ch := f.After(5.5)
+	if at, ok := f.NextDeadline(); !ok || at != 5.5 {
+		t.Fatalf("NextDeadline = %v,%v, want 5.5,true", at, ok)
+	}
+	if !f.AdvanceToNext() {
+		t.Fatal("AdvanceToNext should fire the pending timer")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer channel did not fire")
+	}
+	if now := f.Now(); now != 5.5 {
+		t.Fatalf("Now() = %v, want 5.5", now)
+	}
+}
+
+func TestFakeNonPositiveAfterFiresImmediately(t *testing.T) {
+	f := NewFake()
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	f.Sleep(-1) // must not block
+	if f.Now() != 0 {
+		t.Fatalf("Now moved without Advance: %v", f.Now())
+	}
+}
+
+func TestFakeSleepBlocksUntilAdvance(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(2)
+		close(done)
+	}()
+	waitFor(t, func() bool { return f.Waiters() == 1 })
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	f.Advance(2)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	w := NewWall()
+	a := w.Now()
+	<-w.After(0.001)
+	if b := w.Now(); b <= a {
+		t.Fatalf("wall clock did not move: %v -> %v", a, b)
+	}
+	w.Sleep(0) // must not block
+}
+
+func TestScaledWall(t *testing.T) {
+	s := NewScaledWall(100)
+	start := time.Now()
+	<-s.After(0.5) // 0.5 model seconds = 5ms real
+	if real := time.Since(start); real > 2*time.Second {
+		t.Fatalf("After(0.5) at 100x took %v real", real)
+	}
+	if now := s.Now(); now < 0.5 {
+		t.Fatalf("Now() = %v after waiting 0.5 model seconds", now)
+	}
+	s.Sleep(0) // must not block
+	select {
+	case <-s.After(-1):
+	default:
+		t.Fatal("non-positive After should fire immediately")
+	}
+	if NewScaledWall(0).factor != 1 {
+		t.Fatal("non-positive factor should default to 1")
+	}
+}
+
+// waitFor polls cond with a real-time deadline; used only to synchronize
+// test goroutines, never to advance fake time.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

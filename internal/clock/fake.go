@@ -1,0 +1,121 @@
+package clock
+
+import "sync"
+
+// Fake is a manually-advanced Scheduler for tests. Time moves only through
+// Advance/AdvanceToNext, so a test covering minutes of serving latency runs
+// in milliseconds and is immune to machine load. It is safe for concurrent
+// use: runtime goroutines block in Sleep/After while the test goroutine
+// advances.
+type Fake struct {
+	mu      sync.Mutex
+	now     float64
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at float64
+	ch chan struct{}
+}
+
+// NewFake returns a fake clock at time zero.
+func NewFake() *Fake { return &Fake{} }
+
+// Now implements Clock.
+func (f *Fake) Now() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Scheduler: the returned channel fires when the fake time
+// reaches now+d. A non-positive d fires immediately.
+func (f *Fake) After(d float64) <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d <= 0 {
+		ch <- struct{}{}
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: f.now + d, ch: ch})
+	return ch
+}
+
+// Sleep implements Scheduler.
+func (f *Fake) Sleep(d float64) { <-f.After(d) }
+
+// Advance moves the fake time forward by d seconds, firing every timer whose
+// deadline falls within the advanced span (in deadline order).
+func (f *Fake) Advance(d float64) {
+	if d < 0 {
+		panic("clock: negative advance")
+	}
+	f.mu.Lock()
+	target := f.now + d
+	f.advanceTo(target)
+	f.mu.Unlock()
+}
+
+// AdvanceToNext jumps the fake time to the earliest pending timer deadline
+// and fires it (plus any timers sharing that deadline). It reports whether a
+// timer was pending. Tests drive concurrent runtimes by looping:
+// give goroutines a moment to register their next timer, then jump.
+func (f *Fake) AdvanceToNext() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	at, ok := f.nextDeadline()
+	if !ok {
+		return false
+	}
+	f.advanceTo(at)
+	return true
+}
+
+// NextDeadline returns the earliest pending timer deadline, if any.
+func (f *Fake) NextDeadline() (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextDeadline()
+}
+
+// Waiters returns the number of pending timers.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// nextDeadline scans pending waiters; callers hold mu.
+func (f *Fake) nextDeadline() (float64, bool) {
+	best, ok := 0.0, false
+	for _, w := range f.waiters {
+		if !ok || w.at < best {
+			best, ok = w.at, true
+		}
+	}
+	return best, ok
+}
+
+// advanceTo fires due timers in deadline order; callers hold mu.
+func (f *Fake) advanceTo(target float64) {
+	for {
+		at, ok := f.nextDeadline()
+		if !ok || at > target {
+			break
+		}
+		f.now = at
+		rest := f.waiters[:0]
+		for _, w := range f.waiters {
+			if w.at <= f.now {
+				w.ch <- struct{}{}
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		f.waiters = rest
+	}
+	if target > f.now {
+		f.now = target
+	}
+}

@@ -149,7 +149,7 @@ func (s *SMIless) Name() string {
 // expected mean IT, then installs directives. An optimizer failure with no
 // plan yet installed falls back to the degraded conservative plan; with a
 // plan in place the last good plan keeps serving (graceful degradation).
-func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
+func (s *SMIless) reoptimize(sim simulator.ControlPlane, it float64) {
 	margin := s.Opts.SLAMargin
 	if margin <= 0 || margin > 1 {
 		margin = 0.7
@@ -187,7 +187,7 @@ func (s *SMIless) reoptimize(sim *simulator.Simulator, it float64) {
 // traceReoptimize records a "reoptimize" instant on the attached span
 // recorder, if any. Only deterministic search statistics are exported —
 // never PathStats.Nanos, which is wall-clock and would perturb replay.
-func (s *SMIless) traceReoptimize(sim *simulator.Simulator, it float64, res core.Result, ok bool) {
+func (s *SMIless) traceReoptimize(sim simulator.ControlPlane, it float64, res core.Result, ok bool) {
 	rec := sim.TraceRecorder()
 	if rec == nil {
 		return
@@ -215,7 +215,7 @@ func (s *SMIless) traceReoptimize(sim *simulator.Simulator, it float64, res core
 
 // computePlanGeometry derives critical-path offsets, per-function inference
 // estimates and the plan path latency from the current plan.
-func (s *SMIless) computePlanGeometry(sim *simulator.Simulator) {
+func (s *SMIless) computePlanGeometry(sim simulator.ControlPlane) {
 	s.offsets = make(map[dag.NodeID]float64)
 	s.planInfer = make(map[dag.NodeID]float64)
 	g := sim.App().Graph
@@ -249,7 +249,7 @@ func (s *SMIless) computePlanGeometry(sim *simulator.Simulator) {
 // function's flavor changed, a replacement instance starts warming in the
 // background immediately (the previous generation keeps serving until the
 // retire pass removes it), so re-plans are hitless.
-func (s *SMIless) installPlan(sim *simulator.Simulator, it float64) {
+func (s *SMIless) installPlan(sim simulator.ControlPlane, it float64) {
 	for _, id := range sim.App().Graph.Nodes() {
 		cfg := s.plan.Configs[id]
 		d := s.plan.Decisions[id]
@@ -314,7 +314,7 @@ func minWarmFor(p coldstart.Policy, it, ka float64) int {
 
 // slackBatch returns the largest batch size for a function whose inflated
 // inference time still keeps the plan's critical path within the SLA.
-func (s *SMIless) slackBatch(id dag.NodeID, sim *simulator.Simulator) int {
+func (s *SMIless) slackBatch(id dag.NodeID, sim simulator.ControlPlane) int {
 	margin := s.Opts.SLAMargin
 	if margin <= 0 || margin > 1 {
 		margin = 0.7
@@ -334,7 +334,7 @@ func (s *SMIless) slackBatch(id dag.NodeID, sim *simulator.Simulator) int {
 }
 
 // Setup implements simulator.Driver.
-func (s *SMIless) Setup(sim *simulator.Simulator) {
+func (s *SMIless) Setup(sim simulator.ControlPlane) {
 	if sim.FaultsEnabled() {
 		s.enableResilience(sim)
 	}
@@ -355,7 +355,7 @@ func (s *SMIless) Setup(sim *simulator.Simulator) {
 // time at this granularity (§IV-B2: "the time interval between two
 // consecutive non-zero predictions of invocation numbers"), which keeps a
 // burst of many requests inside one window from reading as a rate change.
-func eventTimes(sim *simulator.Simulator) []float64 {
+func eventTimes(sim simulator.ControlPlane) []float64 {
 	arr := sim.ArrivalTimes()
 	w := sim.Window()
 	var out []float64
@@ -371,7 +371,7 @@ func eventTimes(sim *simulator.Simulator) []float64 {
 }
 
 // predictIT returns the predicted inter-arrival time.
-func (s *SMIless) predictIT(sim *simulator.Simulator) float64 {
+func (s *SMIless) predictIT(sim simulator.ControlPlane) float64 {
 	arr := eventTimes(sim)
 	if len(arr) < 2 {
 		return 10
@@ -405,7 +405,7 @@ func (s *SMIless) predictIT(sim *simulator.Simulator) float64 {
 // predictCount returns the predicted invocation count for the next window:
 // the upper-bound LSTM bucket forecast joined (max) with a recent-window
 // heuristic, so neither a model miss nor a cold model underestimates.
-func (s *SMIless) predictCount(sim *simulator.Simulator) int {
+func (s *SMIless) predictCount(sim simulator.ControlPlane) int {
 	counts := sim.CountsHistory()
 	if len(counts) == 0 {
 		return 0
@@ -444,7 +444,7 @@ func (s *SMIless) predictCount(sim *simulator.Simulator) int {
 }
 
 // alignedSeries builds the dual-input series for the IAT predictor.
-func alignedSeries(sim *simulator.Simulator) (iats, cnts []float64) {
+func alignedSeries(sim simulator.ControlPlane) (iats, cnts []float64) {
 	arr := eventTimes(sim)
 	counts := sim.CountsHistory()
 	w := sim.Window()
@@ -464,7 +464,7 @@ func alignedSeries(sim *simulator.Simulator) (iats, cnts []float64) {
 }
 
 // maybeTrain trains or refreshes the LSTM predictors.
-func (s *SMIless) maybeTrain(sim *simulator.Simulator) {
+func (s *SMIless) maybeTrain(sim simulator.ControlPlane) {
 	if !s.Opts.UseLSTM {
 		return
 	}
@@ -508,7 +508,7 @@ func (s *SMIless) maybeTrain(sim *simulator.Simulator) {
 // updateQuantiles refreshes the conservative inter-arrival quantiles from
 // the recent gap history, falling back to fractions of the point estimate
 // when history is thin.
-func (s *SMIless) updateQuantiles(sim *simulator.Simulator, it float64) {
+func (s *SMIless) updateQuantiles(sim simulator.ControlPlane, it float64) {
 	arr := eventTimes(sim)
 	var gaps []float64
 	start := len(arr) - 60
@@ -534,7 +534,7 @@ func (s *SMIless) updateQuantiles(sim *simulator.Simulator, it float64) {
 }
 
 // OnWindow implements simulator.Driver.
-func (s *SMIless) OnWindow(sim *simulator.Simulator, now float64) {
+func (s *SMIless) OnWindow(sim simulator.ControlPlane, now float64) {
 	s.maybeTrain(sim)
 
 	it := s.predictIT(sim)
@@ -711,7 +711,7 @@ func (s *SMIless) OnWindow(sim *simulator.Simulator, now float64) {
 
 // predictCountWithBacklog combines the count prediction with current
 // backlog so queued invocations also trigger scaling.
-func predictCountWithBacklog(s *SMIless, sim *simulator.Simulator) int {
+func predictCountWithBacklog(s *SMIless, sim simulator.ControlPlane) int {
 	g := s.predictCount(sim)
 	for _, id := range sim.App().Graph.Nodes() {
 		if q := sim.QueueLen(id); q > g {

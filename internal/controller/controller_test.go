@@ -72,7 +72,7 @@ func TestSMIlessCheaperThanAlwaysOn(t *testing.T) {
 type staticAlwaysOn struct{}
 
 func (d *staticAlwaysOn) Name() string { return "always-on" }
-func (d *staticAlwaysOn) Setup(sim *simulator.Simulator) {
+func (d *staticAlwaysOn) Setup(sim simulator.ControlPlane) {
 	for _, id := range sim.App().Graph.Nodes() {
 		sim.SetDirective(id, simulator.Directive{
 			Config: hardware.Config{Kind: hardware.CPU, Cores: 4},
@@ -81,7 +81,7 @@ func (d *staticAlwaysOn) Setup(sim *simulator.Simulator) {
 		sim.SchedulePrewarm(id, 0)
 	}
 }
-func (d *staticAlwaysOn) OnWindow(sim *simulator.Simulator, now float64) {
+func (d *staticAlwaysOn) OnWindow(sim simulator.ControlPlane, now float64) {
 	for _, id := range sim.App().Graph.Nodes() {
 		if sim.LiveInstances(id) == 0 {
 			sim.SchedulePrewarm(id, now)

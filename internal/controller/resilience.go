@@ -15,7 +15,7 @@ import (
 
 // enableResilience initializes the breaker/fallback machinery for a
 // fault-injected run.
-func (s *SMIless) enableResilience(sim *simulator.Simulator) {
+func (s *SMIless) enableResilience(sim simulator.ControlPlane) {
 	s.resilient = true
 	s.breakers = make(map[dag.NodeID]*faults.Breaker)
 	s.fallback = make(map[dag.NodeID]bool)
@@ -82,7 +82,7 @@ func (s *SMIless) retryPolicyFor(id dag.NodeID) faults.RetryPolicy {
 // planned inference time, a duplicate on a second warm instance is worth
 // the spend. Straggler injection inflates individual executions by several
 // x, so the hedge wins exactly when injection struck the primary.
-func (s *SMIless) hedgeDelayFor(sim *simulator.Simulator, id dag.NodeID) float64 {
+func (s *SMIless) hedgeDelayFor(sim simulator.ControlPlane, id dag.NodeID) float64 {
 	d := 1.5 * s.planInfer[id]
 	if q := sim.ExecLatencyQuantile(id, 95); q > 0 {
 		if h := 1.3 * q; h > d {
@@ -95,7 +95,7 @@ func (s *SMIless) hedgeDelayFor(sim *simulator.Simulator, id dag.NodeID) float64
 // updateBreakers feeds each function's window delta of failures/successes
 // into its breaker, re-installing the plan when any breaker changed the
 // routing (open <-> not-open), and mirrors total trips into RunStats.
-func (s *SMIless) updateBreakers(sim *simulator.Simulator, now float64) {
+func (s *SMIless) updateBreakers(sim simulator.ControlPlane, now float64) {
 	changed := false
 	trips := 0
 	for _, id := range sim.App().Graph.Nodes() {
@@ -122,7 +122,7 @@ func (s *SMIless) updateBreakers(sim *simulator.Simulator, now float64) {
 // Optimizer fails with nothing to serve from: every function on the
 // known-good CPU flavor with keep-alive — the safe default that trades
 // cost for availability until the optimizer recovers.
-func (s *SMIless) degrade(sim *simulator.Simulator, it float64) {
+func (s *SMIless) degrade(sim simulator.ControlPlane, it float64) {
 	if !s.resilient {
 		// Degradation can be needed even on fault-free runs (an optimizer
 		// bug must not take the service down), so the fallback flavor may

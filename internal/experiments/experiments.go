@@ -108,6 +108,17 @@ type RunParams struct {
 	Controller *controller.Options
 }
 
+// NewDriver constructs the named system's driver for use outside the
+// simulator — notably behind the live serving runtime. OPT is rejected: it
+// is an oracle that plans against the full future arrival trace, which a
+// live gateway does not have.
+func NewDriver(name SystemName, p RunParams) (simulator.Driver, error) {
+	if name == SysOPT {
+		return nil, fmt.Errorf("experiments: %s needs the full future trace and cannot serve live", SysOPT)
+	}
+	return buildDriver(name, p, nil)
+}
+
 // buildDriver constructs the driver for a system name.
 func buildDriver(name SystemName, p RunParams, tr *trace.Trace) (simulator.Driver, error) {
 	cat := hardware.DefaultCatalog()

@@ -1,0 +1,90 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+)
+
+// The predictors sit behind a live control plane whose arrival history can
+// be empty, one element long, or derived from out-of-order timestamps
+// (negative gaps). None of that may panic, and each predictor must return
+// its documented fallback.
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewIdleHistogram()
+	// Empty history: the fallback keep-alive applies.
+	if got := h.KeepAliveFor(); got != h.FallbackKeepAlive {
+		t.Errorf("empty KeepAliveFor = %v, want fallback %v", got, h.FallbackKeepAlive)
+	}
+	if got := h.PrewarmAfter(); got != 0 {
+		t.Errorf("empty PrewarmAfter = %v, want 0 (no pre-warm delay without evidence)", got)
+	}
+	// A single observation is below MinSamples: still the fallback.
+	h.Observe(12)
+	if got := h.KeepAliveFor(); got != h.FallbackKeepAlive {
+		t.Errorf("single-sample KeepAliveFor = %v, want fallback %v", got, h.FallbackKeepAlive)
+	}
+	// Out-of-order timestamps upstream produce negative idle gaps; they
+	// count as immediate re-arrivals and never panic.
+	for i := 0; i < 20; i++ {
+		h.Observe(-0.5)
+	}
+	if got := h.Samples(); got != 21 {
+		t.Errorf("Samples = %d, want 21", got)
+	}
+	if got := h.KeepAliveFor(); got <= 0 || math.IsNaN(got) {
+		t.Errorf("KeepAliveFor after negative observations = %v, want positive", got)
+	}
+}
+
+func TestFIPEdgeCases(t *testing.T) {
+	f := NewFIP()
+	if got := f.Predict(nil); got != 0 {
+		t.Errorf("FIP.Predict(empty) = %v, want 0", got)
+	}
+	if got := f.Predict([]float64{3}); math.IsNaN(got) || got < 0 {
+		t.Errorf("FIP.Predict(single) = %v, want finite non-negative", got)
+	}
+	// Out-of-order history (a negative count can't occur, but a wildly
+	// unsorted series can): must stay finite.
+	if got := f.Predict([]float64{5, 0, 9, 0, 1}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("FIP.Predict(unsorted) = %v, want finite", got)
+	}
+}
+
+func TestIATPredictorEdgeCases(t *testing.T) {
+	p := NewInterArrivalPredictor(1)
+
+	// FitIAT on empty / single / short series is a documented no-op.
+	p.FitIAT(nil, nil)
+	p.FitIAT([]float64{1}, []float64{1})
+	p.FitIAT(make([]float64, p.SeqLen), make([]float64, p.SeqLen))
+
+	// Untrained predictions use the persistence fallback.
+	if got := p.PredictIAT(nil, nil); got != 0 {
+		t.Errorf("PredictIAT(empty) = %v, want 0", got)
+	}
+	if got := p.PredictIAT([]float64{4.2}, []float64{1}); got != 4.2 {
+		t.Errorf("PredictIAT(single) = %v, want persistence 4.2", got)
+	}
+	// Out-of-order timestamps yield a negative trailing gap: clamp to 0.
+	if got := p.PredictIAT([]float64{1, -3}, []float64{1, 1}); got != 0 {
+		t.Errorf("PredictIAT(negative trailing gap) = %v, want 0", got)
+	}
+
+	// Once trained, empty histories still must not panic: the window pads
+	// with zeros and the clamped output stays non-negative and finite.
+	train := make([]float64, p.SeqLen+8)
+	counts := make([]float64, len(train))
+	for i := range train {
+		train[i] = 1 + 0.1*float64(i%3)
+		counts[i] = float64(1 + i%2)
+	}
+	p.FitIAT(train, counts)
+	if got := p.PredictIAT(nil, nil); got < 0 || math.IsNaN(got) {
+		t.Errorf("trained PredictIAT(empty) = %v, want finite non-negative", got)
+	}
+	if got := p.PredictIAT([]float64{1.5}, []float64{1}); got < 0 || math.IsNaN(got) {
+		t.Errorf("trained PredictIAT(single) = %v, want finite non-negative", got)
+	}
+}

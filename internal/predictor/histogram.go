@@ -1,7 +1,6 @@
 package predictor
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -54,10 +53,12 @@ func NewIdleHistogram() *IdleHistogram {
 	}
 }
 
-// Observe records one idle duration.
+// Observe records one idle duration. A negative duration (possible when
+// the caller derives idle times from out-of-order timestamps) is clamped
+// to zero rather than rejected: it still evidences an immediate re-arrival.
 func (h *IdleHistogram) Observe(idle float64) {
 	if idle < 0 {
-		panic(fmt.Sprintf("predictor: negative idle time %v", idle))
+		idle = 0
 	}
 	if h.counts == nil {
 		h.counts = make([]int, h.Bins)

@@ -1,7 +1,6 @@
 package predictor
 
 import (
-	"fmt"
 	"math"
 
 	"smiless/internal/mathx"
@@ -155,10 +154,12 @@ func (p *InterArrivalPredictor) backward(f *iatForward, dY float64) {
 	}
 }
 
-// FitIAT implements IATPredictor.
+// FitIAT implements IATPredictor. A series no longer than SeqLen carries
+// nothing to train on; the call is a no-op and the predictor stays
+// untrained, so PredictIAT keeps using its persistence fallback.
 func (p *InterArrivalPredictor) FitIAT(iats, counts []float64) {
 	if len(iats) <= p.SeqLen {
-		panic(fmt.Sprintf("predictor: IAT series of %d shorter than SeqLen %d", len(iats), p.SeqLen))
+		return
 	}
 	if len(counts) != len(iats) {
 		panic("predictor: iats and counts must be aligned")
@@ -195,10 +196,13 @@ func (p *InterArrivalPredictor) FitIAT(iats, counts []float64) {
 	}
 }
 
-// PredictIAT implements IATPredictor.
+// PredictIAT implements IATPredictor. Untrained (FitIAT never ran, or only
+// saw short series) or given no history, it falls back to persistence:
+// predict the last observed gap, clamped non-negative, or 0 with no
+// history at all.
 func (p *InterArrivalPredictor) PredictIAT(iats, counts []float64) float64 {
-	if p.lstmIAT == nil {
-		panic("predictor: PredictIAT before FitIAT")
+	if p.lstmIAT == nil || len(iats) == 0 {
+		return persistenceIAT(iats)
 	}
 	f := p.forward(iats, counts)
 	v := f.y * p.iatNorm
@@ -206,6 +210,20 @@ func (p *InterArrivalPredictor) PredictIAT(iats, counts []float64) float64 {
 		v = 0
 	}
 	return v
+}
+
+// persistenceIAT is the documented untrained fallback: the most recent
+// observed gap, clamped non-negative (out-of-order timestamps can produce
+// negative gaps), or 0 with no history.
+func persistenceIAT(iats []float64) float64 {
+	if len(iats) == 0 {
+		return 0
+	}
+	last := iats[len(iats)-1]
+	if last < 0 {
+		return 0
+	}
+	return last
 }
 
 // IATEval summarizes inter-arrival prediction quality as in Fig. 12(b).

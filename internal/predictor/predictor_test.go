@@ -305,14 +305,10 @@ func TestIATPredictorValidation(t *testing.T) {
 		}()
 		p.FitIAT(make([]float64, 100), make([]float64, 50))
 	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("PredictIAT before FitIAT should panic")
-			}
-		}()
-		p.PredictIAT([]float64{1}, []float64{1})
-	}()
+	// Untrained prediction falls back to persistence: the last observed gap.
+	if got := p.PredictIAT([]float64{2.5}, []float64{1}); got != 2.5 {
+		t.Errorf("untrained PredictIAT = %v, want persistence fallback 2.5", got)
+	}
 }
 
 func TestPredictorNames(t *testing.T) {

@@ -1,0 +1,676 @@
+// Executor pool state machine: a port of the simulator's container
+// lifecycle (internal/simulator/sim.go) onto the serving runtime's
+// clock-driven event loop. Every handler runs under rt.mu, invoked either
+// by the scheduler loop or inline from Invoke. Divergences from the
+// simulator are limited to what a live elastic substrate removes: there is
+// no cluster capacity model (launches always place, node outages do not
+// exist) and no GPU co-location contention. Everything else — cold starts,
+// keep-alive epochs, pre-warms, batch formation, retries with backoff,
+// timeouts, hedging, fault injection — matches the simulator line for
+// line, plus the active batch-linger window of Config.BatchLinger.
+package serving
+
+import (
+	"math/rand"
+
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/simulator"
+	"smiless/internal/tracing"
+)
+
+// container states.
+const (
+	cInitializing = iota
+	cIdle
+	cBusy
+	cDead
+)
+
+type container struct {
+	id        int
+	fn        *fnState
+	cfg       hardware.Config
+	state     int
+	initStart float64
+	idleEpoch int
+	batchSeq  int // validates in-flight timeout/hedge/failure events
+	assigned  []*nodeInv
+	batch     []*nodeInv
+	prewarmed bool
+}
+
+// latWindow is the per-function ring of recent execution durations backing
+// ExecLatencyQuantile.
+const latWindow = 64
+
+type fnState struct {
+	id         dag.NodeID
+	spec       specSampler
+	directive  simulator.Directive
+	containers map[int]*container
+	queue      []*nodeInv
+
+	// Batch-linger state: while armed, dispatch onto idle instances is
+	// held until the queue fills the batch or the linger deadline passes.
+	lingerArmed   bool
+	lingerEpoch   int
+	lingerExpired bool
+
+	execLat   []float64
+	latPos    int
+	initFails int
+	execFails int
+	successes int
+}
+
+// specSampler is the slice of apps.FunctionSpec the executor needs; an
+// interface so tests can install fixed-latency fakes.
+type specSampler interface {
+	SampleInference(r *rand.Rand, cfg hardware.Config, batch int) float64
+	SampleInit(r *rand.Rand, cfg hardware.Config) float64
+}
+
+func (f *fnState) recordLatency(d float64) {
+	if len(f.execLat) < latWindow {
+		f.execLat = append(f.execLat, d)
+		return
+	}
+	f.execLat[f.latPos] = d
+	f.latPos = (f.latPos + 1) % latWindow
+}
+
+func (f *fnState) liveCount() int {
+	n := 0
+	for _, c := range f.containers {
+		if c.state != cDead {
+			n++
+		}
+	}
+	return n
+}
+
+type appInv struct {
+	id        int
+	arrival   float64
+	pending   map[dag.NodeID]int
+	done      map[dag.NodeID]bool
+	remaining int
+	failed    bool
+	resCh     chan Result
+}
+
+type nodeInv struct {
+	inv     *appInv
+	node    dag.NodeID
+	readyAt float64
+
+	attempts int
+	hedged   bool
+	isHedge  bool
+
+	span *tracing.NodeSpan
+}
+
+// enqueue adds a ready node invocation and attempts dispatch.
+func (rt *Runtime) enqueue(ni *nodeInv) {
+	if rt.rec != nil && ni.span == nil {
+		ni.span = rt.rec.BeginNode(ni.inv.id, string(ni.node), rt.now(), ni.isHedge)
+	}
+	fs := rt.fns[ni.node]
+	fs.queue = append(fs.queue, ni)
+	rt.pump(fs)
+}
+
+// pump dispatches queued invocations onto available containers, launching
+// new instances when the directive allows. Port of the simulator's pump
+// with one insertion: step 1 consults the batch-linger window before
+// dispatching onto an idle instance.
+func (rt *Runtime) pump(fs *fnState) {
+	for len(fs.queue) > 0 {
+		d := fs.directive
+		// 1. An idle warm container — unless the batch window holds.
+		if c := rt.pickIdle(fs); c != nil {
+			if rt.holdForBatch(fs) {
+				return
+			}
+			rt.startBatch(c, tracing.PhaseQueue)
+			continue
+		}
+		// 2. Busy warm containers absorb small overlaps: joining the next
+		// batch costs at most one inference cycle, which beats waiting
+		// out a cold initialization on a fresh instance.
+		busy := 0
+		for _, c := range fs.containers {
+			if c.state == cBusy {
+				busy++
+			}
+		}
+		if busy > 0 && len(fs.queue) <= busy*d.Batch {
+			return
+		}
+		// 3. An initializing container with spare assignment capacity.
+		if c := rt.pickInitializing(fs); c != nil {
+			take := d.Batch - len(c.assigned)
+			if take > len(fs.queue) {
+				take = len(fs.queue)
+			}
+			c.assigned = append(c.assigned, fs.queue[:take]...)
+			fs.queue = fs.queue[take:]
+			continue
+		}
+		// 4. Launch a new instance if under the cap.
+		if fs.liveCount() < d.Instances {
+			c := rt.launch(fs, d.Config, false)
+			take := d.Batch
+			if take > len(fs.queue) {
+				take = len(fs.queue)
+			}
+			c.assigned = append(c.assigned, fs.queue[:take]...)
+			fs.queue = fs.queue[take:]
+			continue
+		}
+		// 5. Saturated: wait for a container to free up.
+		return
+	}
+}
+
+// holdForBatch reports whether dispatch onto an idle instance should wait
+// for the batch aggregation window (§V-D): the directive wants batches, the
+// queue has not filled one, and the linger deadline has not passed. The
+// first held request arms a timer; onLinger releases the partial batch.
+func (rt *Runtime) holdForBatch(fs *fnState) bool {
+	d := fs.directive
+	if d.Batch <= 1 || rt.cfg.BatchLinger <= 0 {
+		return false
+	}
+	if len(fs.queue) >= d.Batch {
+		return false // full batch: dispatch immediately
+	}
+	if fs.lingerExpired {
+		return false // window closed: dispatch the partial batch
+	}
+	if !fs.lingerArmed {
+		fs.lingerArmed = true
+		fs.lingerEpoch++
+		rt.schedule(&event{
+			at: rt.now() + rt.cfg.BatchLinger, kind: evLinger,
+			fn: fs.id, epoch: fs.lingerEpoch,
+		})
+	}
+	return true
+}
+
+// onLinger fires when a batch aggregation window expires: whatever is
+// queued dispatches as a partial batch.
+func (rt *Runtime) onLinger(id dag.NodeID, epoch int) {
+	fs := rt.fns[id]
+	if fs == nil || !fs.lingerArmed || fs.lingerEpoch != epoch {
+		return
+	}
+	fs.lingerArmed = false
+	fs.lingerExpired = true
+	rt.pump(fs)
+	fs.lingerExpired = false
+}
+
+func (rt *Runtime) pickIdle(fs *fnState) *container {
+	var best *container
+	for _, c := range fs.containers {
+		if c.state == cIdle && (best == nil || c.id < best.id) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (rt *Runtime) pickInitializing(fs *fnState) *container {
+	var best *container
+	for _, c := range fs.containers {
+		if c.state == cInitializing && len(c.assigned) < fs.directive.Batch &&
+			(best == nil || c.id < best.id) {
+			best = c
+		}
+	}
+	return best
+}
+
+// launch starts a new container (cold start). The live substrate is
+// elastic: placement always succeeds.
+func (rt *Runtime) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *container {
+	c := &container{
+		id: rt.nextCont, fn: fs, cfg: cfg, state: cInitializing,
+		initStart: rt.now(), prewarmed: prewarmed,
+	}
+	rt.nextCont++
+	fs.containers[c.id] = c
+	rt.conts[c.id] = c
+	rt.stats.Inits++
+	rt.beginInit(c)
+	return c
+}
+
+// beginInit samples the initialization duration and schedules its
+// completion — or, under fault injection, its crash partway through.
+func (rt *Runtime) beginInit(c *container) {
+	if rt.rec != nil {
+		rt.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), rt.now(), c.prewarmed)
+	}
+	dur := c.fn.spec.SampleInit(rt.rng, c.cfg)
+	if rt.inj != nil {
+		if fail, frac := rt.inj.InitOutcome(string(c.fn.id)); fail {
+			rt.schedule(&event{at: rt.now() + dur*frac, kind: evInitFail, cid: c.id})
+			return
+		}
+	}
+	rt.schedule(&event{at: rt.now() + dur, kind: evInitDone, cid: c.id})
+}
+
+func (rt *Runtime) onInitDone(cid int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cInitializing {
+		return
+	}
+	c.state = cIdle
+	rt.stats.WarmStarts++
+	fs := c.fn
+	if rt.rec != nil {
+		rt.rec.EndInit(c.id, rt.now(), len(c.assigned) > 0, false)
+	}
+	if len(c.assigned) > 0 {
+		// Work waited for this initialization: the cold start was on the
+		// request path.
+		rt.stats.InitGated++
+		rt.startBatch(c, tracing.PhaseColdInit)
+		if c.state == cIdle {
+			// Only reachable under fault injection: every assigned member
+			// failed before the init completed.
+			rt.armIdleTimer(c)
+			rt.pump(fs)
+		}
+		return
+	}
+	rt.armIdleTimer(c)
+	rt.pump(fs)
+}
+
+// onInitFail handles an injected crash during initialization: the partial
+// init time is still billed, assigned work returns to the queue, and pump
+// relaunches.
+func (rt *Runtime) onInitFail(cid int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cInitializing {
+		return
+	}
+	rt.stats.InitFailures++
+	c.fn.initFails++
+	fs := c.fn
+	rt.terminate(c)
+	rt.pump(fs)
+}
+
+// startBatch moves assigned/queued work onto the container and runs it.
+func (rt *Runtime) startBatch(c *container, cause tracing.Phase) {
+	fs := c.fn
+	d := fs.directive
+	// Any dispatch from this function closes its aggregation window.
+	fs.lingerArmed = false
+	fs.lingerEpoch++
+	batch := c.assigned[:0]
+	for _, ni := range c.assigned {
+		if !ni.inv.failed {
+			batch = append(batch, ni)
+		}
+	}
+	c.assigned = nil
+	for len(batch) < d.Batch && len(fs.queue) > 0 {
+		ni := fs.queue[0]
+		fs.queue = fs.queue[1:]
+		if ni.inv.failed {
+			continue
+		}
+		batch = append(batch, ni)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	now := rt.now()
+	c.state = cBusy
+	c.batch = batch
+	c.idleEpoch++ // invalidate any pending idle timer
+	c.batchSeq++  // validates timeout/hedge/crash events for this batch
+	if rt.rec != nil {
+		for _, ni := range batch {
+			ni.span.Dispatch(now, cause, c.initStart, c.id,
+				c.cfg.String(), d.Policy.String(), len(batch))
+		}
+		rt.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), now, len(batch))
+	}
+	dur := fs.spec.SampleInference(rt.rng, c.cfg, len(batch))
+	if rt.inj != nil {
+		if f := rt.inj.StragglerFactor(string(fs.id)); f > 1 {
+			dur *= f
+			rt.stats.Stragglers++
+		}
+	}
+	fs.recordLatency(dur)
+	rt.stats.Executions++
+	rt.stats.BatchSum += len(batch)
+	if rt.inj != nil {
+		if fail, frac := rt.inj.ExecOutcome(string(fs.id)); fail {
+			rt.schedule(&event{at: now + dur*frac, kind: evExecFail, cid: c.id, epoch: c.batchSeq})
+			return
+		}
+	}
+	rt.schedule(&event{at: now + dur, kind: evExecDone, cid: c.id, epoch: c.batchSeq})
+	if t := d.Retry.Timeout; t > 0 && dur > t {
+		rt.schedule(&event{at: now + t, kind: evExecTimeout, cid: c.id, epoch: c.batchSeq})
+	}
+	if h := d.HedgeDelay; h > 0 && len(batch) == 1 && dur > h &&
+		!batch[0].isHedge && !batch[0].hedged {
+		rt.schedule(&event{at: now + h, kind: evHedge, cid: c.id, epoch: c.batchSeq})
+	}
+}
+
+func (rt *Runtime) onExecDone(cid, epoch int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch {
+		return
+	}
+	batch := c.batch
+	c.batch = nil
+	c.state = cIdle
+	fs := c.fn
+	now := rt.now()
+	if rt.rec != nil {
+		rt.rec.EndExec(c.id, now, false)
+	}
+
+	// Complete each member and release successors. A member whose request
+	// already failed, or whose node a hedge twin finished first, is
+	// discarded (first completion wins).
+	g := rt.cfg.App.Graph
+	counted := false
+	for _, ni := range batch {
+		inv := ni.inv
+		if inv.failed || inv.done[ni.node] {
+			ni.span.Finish(now, false)
+			continue
+		}
+		ni.span.Finish(now, true)
+		if ni.isHedge {
+			rt.stats.HedgesWon++
+		}
+		if !counted {
+			fs.successes++
+			counted = true
+		}
+		inv.done[ni.node] = true
+		inv.remaining--
+		for _, succ := range g.Successors(ni.node) {
+			inv.pending[succ]--
+			if inv.pending[succ] == 0 {
+				rt.enqueue(&nodeInv{inv: inv, node: succ, readyAt: now})
+			}
+		}
+		if inv.remaining == 0 {
+			rt.completeInvocation(inv)
+		}
+	}
+
+	if len(fs.queue) > 0 {
+		rt.startBatch(c, tracing.PhaseBatchWait)
+		return
+	}
+	switch fs.directive.Policy {
+	case coldstart.Prewarm, coldstart.NoMitigation:
+		rt.terminate(c)
+	case coldstart.KeepAlive:
+		rt.armIdleTimer(c)
+	case coldstart.AlwaysOn:
+		// Stays resident; no timer.
+	}
+}
+
+// abortBatch terminates a container whose batch crashed or timed out, then
+// routes each in-flight member through the retry policy.
+func (rt *Runtime) abortBatch(c *container) {
+	members := c.batch
+	c.batch = nil
+	fs := c.fn
+	now := rt.now()
+	for _, ni := range members {
+		ni.span.Fail(now)
+	}
+	rt.terminate(c)
+	for _, ni := range members {
+		rt.retryMember(fs, ni)
+	}
+	rt.pump(fs)
+}
+
+func (rt *Runtime) onExecFail(cid, epoch int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch {
+		return
+	}
+	rt.stats.ExecFailures++
+	c.fn.execFails++
+	rt.abortBatch(c)
+}
+
+func (rt *Runtime) onExecTimeout(cid, epoch int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch {
+		return
+	}
+	rt.stats.Timeouts++
+	c.fn.execFails++
+	rt.abortBatch(c)
+}
+
+// retryMember routes one failed batch member through the function's retry
+// policy: re-enqueue after backoff while attempts remain, otherwise the
+// whole request fails.
+func (rt *Runtime) retryMember(fs *fnState, ni *nodeInv) {
+	if ni.inv.failed || ni.isHedge || ni.inv.done[ni.node] {
+		return
+	}
+	ni.attempts++
+	pol := fs.directive.Retry
+	if !pol.Allow(ni.attempts) {
+		rt.failInvocation(ni.inv)
+		return
+	}
+	rt.stats.Retries++
+	ni.hedged = false
+	var u float64
+	if rt.inj != nil {
+		u = rt.inj.Jitter()
+	} else {
+		u = rt.rng.Float64()
+	}
+	delay := pol.Backoff(ni.attempts, u)
+	if delay <= 0 {
+		ni.readyAt = rt.now()
+		rt.enqueue(ni)
+		return
+	}
+	ni.span.Backoff(rt.now(), rt.now()+delay)
+	rt.schedule(&event{at: rt.now() + delay, kind: evRetry, ni: ni, fn: fs.id})
+}
+
+// failInvocation marks a request permanently failed, purges its remaining
+// members from every function queue and resolves its Result channel.
+func (rt *Runtime) failInvocation(inv *appInv) {
+	if inv.failed {
+		return
+	}
+	inv.failed = true
+	rt.stats.FailedInvocations++
+	now := rt.now()
+	if rt.rec != nil {
+		rt.rec.FailRequest(inv.id, now)
+	}
+	for _, fs := range rt.fns {
+		if len(fs.queue) == 0 {
+			continue
+		}
+		q := fs.queue[:0]
+		for _, ni := range fs.queue {
+			if ni.inv != inv {
+				q = append(q, ni)
+			}
+		}
+		fs.queue = q
+	}
+	rt.resolve(inv, Result{
+		ReqID: inv.id, Arrival: inv.arrival, End: now,
+		E2E: now - inv.arrival, Failed: true,
+	})
+}
+
+// onRetry re-enqueues a backed-off member once its delay elapses.
+func (rt *Runtime) onRetry(ni *nodeInv) {
+	if ni == nil || ni.inv.failed || ni.inv.done[ni.node] {
+		return
+	}
+	ni.readyAt = rt.now()
+	rt.enqueue(ni)
+}
+
+// onHedge duplicates a slow single-member execution onto a second warm
+// instance; the first completion wins.
+func (rt *Runtime) onHedge(cid, epoch int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cBusy || c.batchSeq != epoch || len(c.batch) != 1 {
+		return
+	}
+	primary := c.batch[0]
+	if primary.inv.failed || primary.hedged || primary.isHedge || primary.inv.done[primary.node] {
+		return
+	}
+	h := rt.pickIdle(c.fn)
+	if h == nil {
+		return // no spare warm instance: hedging never launches cold starts
+	}
+	primary.hedged = true
+	twin := &nodeInv{inv: primary.inv, node: primary.node, readyAt: rt.now(), isHedge: true}
+	if rt.rec != nil {
+		twin.span = rt.rec.BeginNode(primary.inv.id, string(primary.node), rt.now(), true)
+	}
+	rt.stats.HedgesLaunched++
+	h.assigned = append(h.assigned, twin)
+	rt.startBatch(h, tracing.PhaseQueue)
+}
+
+func (rt *Runtime) armIdleTimer(c *container) {
+	d := c.fn.directive
+	if d.Policy == coldstart.AlwaysOn {
+		return
+	}
+	ka := d.KeepAlive
+	if ka <= 0 {
+		// Grace period for drivers that leave KeepAlive unset.
+		ka = 10 * rt.cfg.Window
+	}
+	c.idleEpoch++
+	rt.schedule(&event{at: rt.now() + ka, kind: evIdleTimeout, cid: c.id, epoch: c.idleEpoch})
+}
+
+func (rt *Runtime) onIdleTimeout(cid, epoch int) {
+	c := rt.conts[cid]
+	if c == nil || c.state != cIdle || c.idleEpoch != epoch {
+		return
+	}
+	if c.fn.liveCount() <= c.fn.directive.MinWarm {
+		rt.armIdleTimer(c) // floor reached: stay resident, check again later
+		return
+	}
+	rt.terminate(c)
+}
+
+func (rt *Runtime) terminate(c *container) {
+	if c.state == cDead {
+		return
+	}
+	if rt.rec != nil {
+		rt.rec.ContainerGone(c.id, rt.now())
+	}
+	// Requeue any assigned-but-unstarted work.
+	if len(c.assigned) > 0 {
+		c.fn.queue = append(c.assigned, c.fn.queue...)
+		c.assigned = nil
+	}
+	c.state = cDead
+	life := rt.now() - c.initStart
+	cost := life * rt.cfg.Pricing.UnitCost(c.cfg)
+	rt.stats.AddCost(string(c.fn.id), c.cfg, life, cost)
+	delete(c.fn.containers, c.id)
+	delete(rt.conts, c.id)
+}
+
+func (rt *Runtime) completeInvocation(inv *appInv) {
+	now := rt.now()
+	e2e := now - inv.arrival
+	rt.stats.Completed++
+	var bd tracing.Breakdown
+	if rt.rec != nil {
+		bd = rt.rec.CompleteRequest(inv.id, now)
+	}
+	rt.stats.E2E = append(rt.stats.E2E, e2e)
+	rt.stats.E2EArrival = append(rt.stats.E2EArrival, inv.arrival)
+	violated := e2e > rt.cfg.SLA
+	if violated {
+		rt.stats.Violations++
+		if rt.rec != nil && bd.Blamed != "" {
+			if rt.stats.ViolationByFn == nil {
+				rt.stats.ViolationByFn = make(map[string]int)
+			}
+			rt.stats.ViolationByFn[bd.Blamed]++
+		}
+	}
+	if rt.rec != nil {
+		rt.stats.QueueOnPathSeconds += bd.Phases[tracing.PhaseQueue] + bd.Phases[tracing.PhaseBatchWait]
+		rt.stats.InitOnPathSeconds += bd.Phases[tracing.PhaseColdInit]
+		rt.stats.ExecOnPathSeconds += bd.Phases[tracing.PhaseExec]
+		rt.stats.RetryOnPathSeconds += bd.Phases[tracing.PhaseFailedAttempt] + bd.Phases[tracing.PhaseBackoff]
+	}
+	rt.resolve(inv, Result{
+		ReqID: inv.id, Arrival: inv.arrival, End: now,
+		E2E: e2e, SLAViolated: violated,
+	})
+}
+
+func (rt *Runtime) onPrewarm(id dag.NodeID) {
+	fs := rt.fns[id]
+	terminating := fs.directive.Policy == coldstart.Prewarm || fs.directive.Policy == coldstart.NoMitigation
+	for _, c := range fs.containers {
+		switch c.state {
+		case cIdle, cInitializing:
+			return
+		case cBusy:
+			if !terminating {
+				return
+			}
+		}
+	}
+	if fs.liveCount() >= fs.directive.Instances {
+		return
+	}
+	rt.launch(fs, fs.directive.Config, true)
+}
+
+// resolve delivers a request's terminal Result and settles drain
+// accounting. The channel is buffered, so delivery never blocks the loop.
+func (rt *Runtime) resolve(inv *appInv, res Result) {
+	rt.inflight--
+	if inv.resCh != nil {
+		inv.resCh <- res
+		inv.resCh = nil
+	}
+	if rt.draining && rt.inflight == 0 {
+		close(rt.drainCh)
+	}
+}

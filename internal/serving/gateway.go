@@ -1,0 +1,194 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"smiless/internal/metrics"
+	"smiless/internal/simulator"
+)
+
+// InvokeResponse is the JSON body returned by POST /invoke.
+type InvokeResponse struct {
+	Request        int     `json:"request"`
+	ArrivalSeconds float64 `json:"arrival_seconds"`
+	E2ESeconds     float64 `json:"e2e_seconds"`
+	Failed         bool    `json:"failed"`
+	SLAViolated    bool    `json:"sla_violated"`
+}
+
+// HealthResponse is the JSON body returned by GET /healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	App      string  `json:"app"`
+	SLA      float64 `json:"sla_seconds"`
+	Window   float64 `json:"window_seconds"`
+	Draining bool    `json:"draining"`
+	Inflight int     `json:"inflight"`
+	Rejected int     `json:"rejected"`
+}
+
+// Gateway exposes a Runtime over HTTP:
+//
+//	POST /invoke   admit one request, block until its terminal Result
+//	GET  /healthz  liveness + drain state (503 while draining)
+//	GET  /metrics  Prometheus text exposition of the live run statistics
+//	GET  /statz    the simulator-comparable Report as JSON
+//	GET  /trace    Chrome trace JSON of recorded spans (404 without a Recorder)
+//
+// Admission failures map to HTTP status codes: ErrOverloaded → 429,
+// ErrDraining/ErrClosed → 503.
+type Gateway struct {
+	rt     *Runtime
+	system string
+	mux    *http.ServeMux
+}
+
+// NewGateway wraps a runtime. system labels the /metrics and /statz output
+// (e.g. the driver name).
+func NewGateway(rt *Runtime, system string) *Gateway {
+	g := &Gateway{rt: rt, system: system, mux: http.NewServeMux()}
+	g.mux.HandleFunc("/invoke", g.handleInvoke)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/statz", g.handleStatz)
+	g.mux.HandleFunc("/trace", g.handleTrace)
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ch, err := g.rt.Invoke()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	select {
+	case res := <-ch:
+		writeJSON(w, http.StatusOK, InvokeResponse{
+			Request:        res.ReqID,
+			ArrivalSeconds: res.Arrival,
+			E2ESeconds:     res.E2E,
+			Failed:         res.Failed,
+			SLAViolated:    res.SLAViolated,
+		})
+	case <-r.Context().Done():
+		// Client went away; the request still runs to completion inside the
+		// runtime and is accounted for there.
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cfg := g.rt.Config()
+	resp := HealthResponse{
+		Status:   "ok",
+		App:      cfg.App.Name,
+		SLA:      cfg.SLA,
+		Window:   cfg.Window,
+		Draining: g.rt.Draining(),
+		Inflight: g.rt.Inflight(),
+		Rejected: g.rt.Rejected(),
+	}
+	code := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := g.rt.Snapshot()
+	now := g.rt.Now()
+	store := metrics.NewStore()
+	labels := metrics.Labels{"system": g.system, "app": g.rt.Config().App.Name}
+	st.RecordMetrics(store, labels, now)
+	store.Record("smiless_gateway_inflight", labels, now, float64(g.rt.Inflight()))
+	store.Record("smiless_gateway_rejected_total", labels, now, float64(g.rt.Rejected()))
+	store.Record("smiless_live_cost_dollars", labels, now, g.rt.LiveCost())
+	for fn, n := range g.rt.LiveContainers() {
+		l := metrics.Labels{"system": g.system, "app": g.rt.Config().App.Name, "function": fn}
+		store.Record("smiless_live_containers", l, now, float64(n))
+	}
+	for fn, n := range g.rt.QueueLens() {
+		l := metrics.Labels{"system": g.system, "app": g.rt.Config().App.Name, "function": fn}
+		store.Record("smiless_queue_depth", l, now, float64(n))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := store.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (g *Gateway) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := g.rt.Snapshot()
+	rep := simulator.BuildReport(g.system, g.rt.Config().App.Name, st)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := g.rt.cfg.Recorder
+	if rec == nil {
+		http.Error(w, "no recorder attached", http.StatusNotFound)
+		return
+	}
+	// The recorder is only safe to read under the runtime lock; hold it for
+	// the duration of the export (trace export is an offline/debug path).
+	g.rt.mu.Lock()
+	defer g.rt.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := rec.WriteChromeTrace(w, g.rt.now()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve runs an HTTP server for the gateway on ln until stop is closed,
+// then drains the runtime (bounded by drainTimeout), shuts the server down
+// and closes the runtime. The caller creates the listener, so binding to
+// port 0 and publishing the chosen address works.
+func (g *Gateway) Serve(srv *http.Server, ln net.Listener, stop <-chan struct{}, drainTimeout time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-stop:
+	}
+	// Stop admitting, let inflight requests finish, then close.
+	drainErr := g.rt.Drain(drainTimeout)
+	_ = srv.Close()
+	g.rt.Close()
+	if drainErr != nil {
+		return drainErr
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,175 @@
+// Package serving is the online serving runtime: the wall-clock counterpart
+// of the deterministic discrete-event simulator. It executes the same
+// container state machine — cold starts, keep-alive timers, pre-warms,
+// batching, retries, hedging — against real time, driven by real concurrent
+// requests instead of a replayed trace.
+//
+// The Runtime implements simulator.ControlPlane, so SMIless and every
+// baseline Driver runs unchanged on a live gateway: the controller that
+// plans against the simulator plans against production identically. Time is
+// abstracted behind clock.Scheduler (internal/clock): a Wall clock in
+// production, a ScaledWall for accelerated replays, and a Fake in tests, so
+// the concurrent integration tests cover minutes of model latency in
+// milliseconds without sleeping.
+//
+// # Architecture
+//
+// The runtime keeps the simulator's event-loop architecture rather than
+// spawning a goroutine per timer: every future transition (init completion,
+// execution completion, idle timeout, batch-linger expiry, decision window,
+// retry, hedge, injected failure) is an event on a deadline-ordered heap,
+// and a single scheduler goroutine sleeps on clock.Scheduler.After until
+// the earliest deadline, then drains everything due under the runtime
+// mutex. Invoke enqueues arrivals inline and wakes the loop. The design
+// gives three properties for free:
+//
+//   - the per-request state machine is a line-for-line port of the
+//     simulator's (internal/simulator), so simulated and live behaviour
+//     stay in lockstep;
+//   - tracing.Recorder and faults.Injector, which are single-threaded by
+//     contract, are only ever touched under the mutex;
+//   - with a Fake clock the loop processes each event exactly at its
+//     deadline, so integration tests can assert latencies to float
+//     precision.
+//
+// Two simulator features are deliberately not ported: cluster capacity /
+// node placement (the live runtime assumes an elastic substrate, so node
+// outages and CapacityBlocked accounting are simulator-only) and GPU MPS
+// contention (which needs node co-location state). Fault injection is
+// supported through the same faults.Plan rates; Outages entries are
+// ignored.
+//
+// # Batching (§V-D)
+//
+// Beyond the simulator's passive aggregation (requests joining a busy or
+// initializing instance's next batch), the runtime adds an active batch
+// window: when a function's directive asks for Batch > 1 and a warm
+// instance is idle, dispatch is held for up to Config.BatchLinger seconds
+// waiting for the batch to fill. The window closes early the moment the
+// batch is full; a partial batch dispatches when it expires.
+package serving
+
+import (
+	"errors"
+	"fmt"
+
+	"smiless/internal/apps"
+	"smiless/internal/clock"
+	"smiless/internal/faults"
+	"smiless/internal/hardware"
+	"smiless/internal/tracing"
+)
+
+// Config parameterizes a serving runtime.
+type Config struct {
+	// App is the application under management.
+	App *apps.Application
+	// SLA is the end-to-end latency bound in seconds (default 2).
+	SLA float64
+	// Window is the decision-window length in seconds (default 1): the
+	// cadence at which the driver's OnWindow runs.
+	Window float64
+	// Seed drives all sampled executor timings.
+	Seed int64
+	// BatchLinger is the batch aggregation window in seconds: how long a
+	// function with Batch > 1 holds dispatch onto an idle instance waiting
+	// for the batch to fill. Zero disables active aggregation (batches
+	// still form passively on busy or initializing instances, as in the
+	// simulator).
+	BatchLinger float64
+	// MaxInflight caps concurrently admitted requests; further Invoke
+	// calls fail with ErrOverloaded until one resolves (default 256).
+	MaxInflight int
+	// QueueCap bounds each entry function's ready queue; arrivals that
+	// would overflow it are rejected with ErrOverloaded (default 1024).
+	QueueCap int
+	// Pricing holds unit costs for the cost ledger (default
+	// hardware.DefaultPricing).
+	Pricing hardware.Pricing
+	// Faults optionally injects failures — container crashes, stragglers,
+	// timeouts — through the same plan the simulator uses. Outage entries
+	// (node placement) are simulator-only and ignored here.
+	Faults *faults.Plan
+	// Recorder, when non-nil, records per-invocation span trees and
+	// critical-path breakdowns from the live run, exportable as a Chrome
+	// trace. All recorder calls are serialized under the runtime mutex.
+	Recorder *tracing.Recorder
+	// Clock is the time source and timer substrate (default a fresh
+	// clock.Wall). Inject a clock.Fake in tests or a clock.ScaledWall for
+	// accelerated replays.
+	Clock clock.Scheduler
+}
+
+// withDefaults validates cfg and fills defaults, mirroring simulator.New.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.App == nil || cfg.App.Graph == nil || cfg.App.Graph.Len() == 0 {
+		return cfg, &ConfigError{Field: "App", Reason: "must have a non-empty graph"}
+	}
+	if cfg.SLA < 0 {
+		return cfg, &ConfigError{Field: "SLA", Reason: "must not be negative"}
+	}
+	if cfg.Window < 0 {
+		return cfg, &ConfigError{Field: "Window", Reason: "must not be negative"}
+	}
+	if cfg.BatchLinger < 0 {
+		return cfg, &ConfigError{Field: "BatchLinger", Reason: "must not be negative"}
+	}
+	if cfg.SLA <= 0 {
+		cfg.SLA = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Pricing == (hardware.Pricing{}) {
+		cfg.Pricing = hardware.DefaultPricing
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewWall()
+	}
+	return cfg, nil
+}
+
+// ConfigError reports an invalid Config field passed to New.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("serving: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// Admission and lifecycle errors returned by Invoke.
+var (
+	// ErrOverloaded means admission control rejected the request: the
+	// inflight cap or an entry queue bound was hit. Gateways map it to
+	// HTTP 429.
+	ErrOverloaded = errors.New("serving: overloaded")
+	// ErrDraining means the runtime is draining ahead of shutdown and no
+	// longer admits work. Gateways map it to HTTP 503.
+	ErrDraining = errors.New("serving: draining")
+	// ErrClosed means the runtime has been closed.
+	ErrClosed = errors.New("serving: closed")
+)
+
+// Result is the terminal outcome of one admitted request.
+type Result struct {
+	// ReqID is the runtime-assigned request id (matches tracing spans).
+	ReqID int
+	// Arrival and End are model-time seconds since the runtime's epoch.
+	Arrival float64
+	End     float64
+	// E2E is End − Arrival.
+	E2E float64
+	// Failed reports that the request was lost after exhausting retries
+	// (only possible under fault injection).
+	Failed bool
+	// SLAViolated reports E2E > SLA for completed requests.
+	SLAViolated bool
+}

@@ -54,7 +54,7 @@ type ensureDriver struct {
 }
 
 func (d *ensureDriver) Name() string { return "ensure" }
-func (d *ensureDriver) Setup(s *Simulator) {
+func (d *ensureDriver) Setup(s ControlPlane) {
 	for _, id := range s.App().Graph.Nodes() {
 		s.SetDirective(id, Directive{
 			Config: cpu(2), Policy: coldstart.KeepAlive,
@@ -62,7 +62,7 @@ func (d *ensureDriver) Setup(s *Simulator) {
 		})
 	}
 }
-func (d *ensureDriver) OnWindow(s *Simulator, now float64) {
+func (d *ensureDriver) OnWindow(s ControlPlane, now float64) {
 	if now == d.at {
 		for _, id := range s.App().Graph.Nodes() {
 			s.EnsureInstances(id, d.n)
@@ -127,10 +127,10 @@ func TestSetDirectiveRepumpsQueue(t *testing.T) {
 	id := app.Graph.Nodes()[0]
 	var raised bool
 	drv := &hookDriver{
-		setup: func(s *Simulator) {
+		setup: func(s ControlPlane) {
 			s.SetDirective(id, Directive{Config: cpu(1), Policy: coldstart.KeepAlive, KeepAlive: 60, Batch: 1, Instances: 1})
 		},
-		window: func(s *Simulator, now float64) {
+		window: func(s ControlPlane, now float64) {
 			if now >= 3 && !raised {
 				raised = true
 				d := s.GetDirective(id)
@@ -152,13 +152,13 @@ func TestSetDirectiveRepumpsQueue(t *testing.T) {
 }
 
 type hookDriver struct {
-	setup  func(*Simulator)
-	window func(*Simulator, float64)
+	setup  func(ControlPlane)
+	window func(ControlPlane, float64)
 }
 
-func (d *hookDriver) Name() string       { return "hook" }
-func (d *hookDriver) Setup(s *Simulator) { d.setup(s) }
-func (d *hookDriver) OnWindow(s *Simulator, now float64) {
+func (d *hookDriver) Name() string         { return "hook" }
+func (d *hookDriver) Setup(s ControlPlane) { d.setup(s) }
+func (d *hookDriver) OnWindow(s ControlPlane, now float64) {
 	if d.window != nil {
 		d.window(s, now)
 	}
@@ -172,7 +172,7 @@ func TestAccruedCost(t *testing.T) {
 	var mid float64
 	probe := &hookDriver{
 		setup: drv.Setup,
-		window: func(s *Simulator, now float64) {
+		window: func(s ControlPlane, now float64) {
 			if now == 50 {
 				mid = s.AccruedCost()
 			}

@@ -62,14 +62,14 @@ func (d *chaosDriver) randomDirective() Directive {
 	return dir
 }
 
-func (d *chaosDriver) Setup(s *Simulator) {
+func (d *chaosDriver) Setup(s ControlPlane) {
 	d.r = mathx.NewRand(d.seed)
 	for _, id := range s.App().Graph.Nodes() {
 		s.SetDirective(id, d.randomDirective())
 	}
 }
 
-func (d *chaosDriver) OnWindow(s *Simulator, now float64) {
+func (d *chaosDriver) OnWindow(s ControlPlane, now float64) {
 	for _, id := range s.App().Graph.Nodes() {
 		switch d.r.Intn(4) {
 		case 0:

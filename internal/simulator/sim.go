@@ -72,17 +72,20 @@ func (d Directive) normalized() Directive {
 }
 
 // Driver is the decision-making system under evaluation (SMIless or a
-// baseline). It installs Directives and may schedule pre-warms.
+// baseline). It installs Directives and may schedule pre-warms. Drivers are
+// written against the ControlPlane interface, so the same driver runs on the
+// discrete-event simulator and on the wall-clock serving runtime
+// (internal/serving) unchanged.
 type Driver interface {
 	// Name labels the system in experiment output.
 	Name() string
 	// Setup is called once before the run; the driver installs initial
 	// directives here.
-	Setup(sim *Simulator)
+	Setup(cp ControlPlane)
 	// OnWindow is called at every decision-window boundary with the
 	// current time; the driver may update directives, schedule pre-warms
 	// and rescale.
-	OnWindow(sim *Simulator, now float64)
+	OnWindow(cp ControlPlane, now float64)
 }
 
 // container states.

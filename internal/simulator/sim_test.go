@@ -21,12 +21,12 @@ type staticDriver struct {
 }
 
 func (d *staticDriver) Name() string { return "static" }
-func (d *staticDriver) Setup(s *Simulator) {
+func (d *staticDriver) Setup(s ControlPlane) {
 	for _, id := range s.App().Graph.Nodes() {
 		s.SetDirective(id, d.directive(id))
 	}
 }
-func (d *staticDriver) OnWindow(*Simulator, float64) {}
+func (d *staticDriver) OnWindow(ControlPlane, float64) {}
 
 func keepAliveDriver(cfg hardware.Config, ka float64) *staticDriver {
 	return &staticDriver{directive: func(dag.NodeID) Directive {
@@ -123,7 +123,7 @@ type prewarmDriver struct {
 }
 
 func (d *prewarmDriver) Name() string { return "oracle-prewarm" }
-func (d *prewarmDriver) Setup(s *Simulator) {
+func (d *prewarmDriver) Setup(s ControlPlane) {
 	profiles := s.App().TrueProfiles(3)
 	d.offsets = map[dag.NodeID]float64{}
 	d.leads = map[dag.NodeID]float64{}
@@ -145,7 +145,7 @@ func (d *prewarmDriver) Setup(s *Simulator) {
 		}
 	}
 }
-func (d *prewarmDriver) OnWindow(*Simulator, float64) {}
+func (d *prewarmDriver) OnWindow(ControlPlane, float64) {}
 
 func TestOraclePrewarmHidesInit(t *testing.T) {
 	// With perfect pre-warming, E2E is close to the sum of inference

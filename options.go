@@ -62,6 +62,9 @@ type EvaluateOptions struct {
 	// 0 uses every available core, 1 forces the sequential inline search.
 	// Plans are byte-identical at any width.
 	Parallelism int
+	// Window is the decision-window length in seconds for NewSimulator;
+	// 0 keeps the paper's one-second default.
+	Window float64
 	// Controller, when non-nil, overrides the full controller
 	// configuration (ablation switches, train/retrain schedule, SLA
 	// margin). Set it via WithControllerOptions; later WithSeed / WithLSTM
@@ -115,6 +118,13 @@ func WithParallelism(workers int) Option {
 			o.Controller.Parallelism = workers
 		}
 	}
+}
+
+// WithWindow sets the decision-window length in seconds for NewSimulator
+// (default 1, the paper's cadence). Negative values are rejected by the
+// simulator's configuration validation.
+func WithWindow(seconds float64) Option {
+	return func(o *EvaluateOptions) { o.Window = seconds }
 }
 
 // WithControllerOptions replaces the SMIless controller configuration

@@ -174,11 +174,12 @@ func DefaultControllerOptions(seed int64) ControllerOptions {
 // NewSimulator prepares the discrete-event serverless cluster for one
 // (application, driver) evaluation at the given SLA. It returns a
 // *simulator.ConfigError when the configuration is invalid (nil app or
-// driver, negative SLA). Options: WithSeed, WithFaults, WithRecorder.
+// driver, negative SLA). Options: WithSeed, WithFaults, WithRecorder,
+// WithWindow.
 func NewSimulator(app *Application, driver Driver, sla float64, opts ...Option) (*Simulator, error) {
 	o := newEvaluateOptions(opts)
 	sim, err := simulator.New(simulator.Config{
-		App: app, SLA: sla, Seed: o.Seed, Faults: o.Faults,
+		App: app, SLA: sla, Seed: o.Seed, Faults: o.Faults, Window: o.Window,
 	}, driver)
 	if err != nil {
 		return nil, err
