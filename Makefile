@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt serve-smoke
+.PHONY: all build test race lint fmt bench bench-opt serve-smoke chaos-smoke
 
 all: build test lint
 
@@ -17,6 +17,11 @@ race:
 # and assert zero 5xx plus a well-formed /metrics scrape.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Boot the gateway with a 3-node control plane under -race, kill and restart
+# a node mid-load through /chaos, and fail on any lost or duplicated request.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 # Mirrors CI's lint job: vet, the repo's own analyzer suite, and gofmt.
 lint:

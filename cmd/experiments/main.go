@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep, not in 'all'), or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep) or 'churn' (node-churn sweep; neither in 'all'), or 'all'")
 	horizon := flag.Float64("horizon", 0, "trace horizon in seconds (0 = per-figure default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
@@ -95,6 +95,17 @@ func main() {
 			p.Horizon = *horizon
 		}
 		fmt.Println(experiments.Chaos(p).Table())
+	}
+	// The churn sweep (SLA attainment vs. node count under crash/partition
+	// churn) is likewise opt-in.
+	if want["churn"] {
+		p := experiments.DefaultChurnParams(*seed)
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *horizon > 0 {
+			p.Horizon = *horizon
+		}
+		fmt.Println(experiments.Churn(p).Table())
 	}
 	if !all && len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "no figure selected; use -fig")

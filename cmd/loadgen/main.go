@@ -36,6 +36,11 @@ type result struct {
 	e2e       float64 // model-time E2E from the gateway
 	violated  bool
 	failed    bool // application-level failure (lost after retries)
+	// sendLag is how late the request actually left relative to its trace
+	// timestamp, in wall seconds: the coordinated-omission gap. A loaded
+	// client that silently fires late under-reports queueing at the server;
+	// reporting the gap keeps the latency numbers honest.
+	sendLag float64
 }
 
 func main() {
@@ -53,6 +58,7 @@ func run() error {
 	timescale := flag.Float64("timescale", 1, "replay acceleration factor; must match the gateway's -timescale")
 	ready := flag.Duration("ready-timeout", 10*time.Second, "how long to wait for the gateway /healthz to come up")
 	checkMetrics := flag.Bool("check-metrics", false, "after the run, scrape /metrics and fail unless it parses and covers the replayed load")
+	requireClean := flag.Bool("require-clean", false, "also exit non-zero on any 429, failed request, or non-200 response (chaos smoke: every request must resolve cleanly)")
 	jsonOut := flag.String("json", "", "also write the replay report as JSON to this file")
 	flag.Parse()
 
@@ -83,16 +89,23 @@ func run() error {
 	start := time.Now()
 	for i, at := range arrivals {
 		// Open loop: sleep until this arrival's (scaled) wall time, then
-		// fire without waiting for earlier responses.
+		// fire without waiting for earlier responses. The gap between the
+		// intended and the actual send instant is recorded per request so
+		// coordinated omission is reported, not hidden.
 		due := start.Add(time.Duration(at / *timescale * float64(time.Second)))
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
+		lag := time.Since(due).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, lag float64) {
 			defer wg.Done()
 			results[i] = fire(client, *url)
-		}(i)
+			results[i].sendLag = lag
+		}(i, lag)
 	}
 	wg.Wait()
 
@@ -123,6 +136,10 @@ func run() error {
 	}
 	if rep.TransportErrors > 0 || rep.ServerErrors > 0 {
 		return fmt.Errorf("%d transport errors, %d 5xx responses", rep.TransportErrors, rep.ServerErrors)
+	}
+	if *requireClean && rep.Completed != rep.Requests {
+		return fmt.Errorf("-require-clean: %d/%d requests completed (%d failed, %d rejected)",
+			rep.Completed, rep.Requests, rep.Failed, rep.Rejected)
 	}
 	return nil
 }
@@ -183,12 +200,30 @@ type Report struct {
 	LatencyP95      float64 `json:"latency_p95_seconds"`
 	LatencyP99      float64 `json:"latency_p99_seconds"`
 	LatencyMax      float64 `json:"latency_max_seconds"`
+	// Coordinated-omission accounting: how late requests actually left
+	// relative to their trace timestamps (wall seconds). A large gap means
+	// the client, not the server, bounded the measured load.
+	SendLagMean float64 `json:"send_lag_mean_seconds"`
+	SendLagP99  float64 `json:"send_lag_p99_seconds"`
+	SendLagMax  float64 `json:"send_lag_max_seconds"`
 }
 
 func summarize(results []result) Report {
 	rep := Report{Requests: len(results)}
 	var lats []float64
 	violations := 0
+	lagSum := 0.0
+	lags := make([]float64, 0, len(results))
+	for _, r := range results {
+		lags = append(lags, r.sendLag)
+		lagSum += r.sendLag
+	}
+	if len(lags) > 0 {
+		rep.SendLagMean = lagSum / float64(len(lags))
+		rep.SendLagP99 = mathx.Percentile(lags, 99)
+		sort.Float64s(lags)
+		rep.SendLagMax = lags[len(lags)-1]
+	}
 	for _, r := range results {
 		switch {
 		case r.transport:
@@ -226,6 +261,8 @@ func (r Report) Text() string {
 		r.Requests, r.Completed, r.Failed, r.Rejected, r.ServerErrors, r.TransportErrors)
 	fmt.Fprintf(&b, "violation_rate=%.4f p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
 		r.ViolationRate, r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyMax)
+	fmt.Fprintf(&b, "send_lag (coordinated omission): mean=%.4fs p99=%.4fs max=%.4fs\n",
+		r.SendLagMean, r.SendLagP99, r.SendLagMax)
 	return b.String()
 }
 

@@ -4,13 +4,16 @@
 // performance model (inference latencies, cold starts, batching), while the
 // selected system's controller re-plans every decision window in real time.
 //
-// Endpoints: POST /invoke, GET /healthz, GET /metrics (Prometheus text),
-// GET /statz (JSON report), GET /trace (Chrome trace).
+// Endpoints: POST /invoke (?deadline= bounds one request), GET /healthz,
+// GET /metrics (Prometheus text), GET /statz (JSON report), GET /trace
+// (Chrome trace), GET /nodes (cluster snapshot), POST /chaos/kill,
+// /chaos/restart, /chaos/partition (?node=N chaos injection).
 //
 // Usage:
 //
 //	smiless-serve -app WL2 -system SMIless -sla 2 -addr :8080
 //	smiless-serve -app WL1 -timescale 25 -addr :0 -addr-file /tmp/addr
+//	smiless-serve -app WL2 -nodes 4 -timescale 25    # multi-node control plane
 //
 // SIGINT/SIGTERM drain the gateway: admission stops (503), inflight
 // requests finish, then the process exits.
@@ -57,6 +60,9 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "real-time bound on the shutdown drain")
 	faultRate := flag.Float64("faults", 0, "base failure rate: init-crash prob = rate, exec-crash = 0.6*rate, straggler = rate (0 = fault-free)")
 	straggler := flag.Float64("straggler", 6, "execution-time inflation factor for injected stragglers")
+	nodes := flag.Int("nodes", 1, "node agents the executor pool is spread over; >1 enables locality/p2c placement and the gossip failure detector")
+	gossip := flag.Float64("gossip-interval", 0, "failure-detector tick period in model seconds (0 = default 0.25; suspect after 2 ticks, down after 4)")
+	deadline := flag.Float64("default-deadline", 0, "per-request end-to-end deadline in model seconds (0 = unbounded; /invoke?deadline= overrides)")
 	of := cliutil.AddOutputFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -97,6 +103,7 @@ func run() error {
 		App: application, SLA: *sla, Window: *window, Seed: *seed,
 		BatchLinger: *linger, MaxInflight: *maxInflight, QueueCap: *queueCap,
 		Faults: plan, Recorder: rec, Clock: clk,
+		Nodes: *nodes, GossipInterval: *gossip, DefaultDeadline: *deadline,
 	}, driver)
 	if err != nil {
 		return err
@@ -112,8 +119,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("smiless-serve: system=%s app=%s sla=%gs window=%gs timescale=%gx listening on %s\n",
-		*system, *app, *sla, *window, *timescale, ln.Addr())
+	fmt.Printf("smiless-serve: system=%s app=%s sla=%gs window=%gs timescale=%gx nodes=%d listening on %s\n",
+		*system, *app, *sla, *window, *timescale, *nodes, ln.Addr())
 
 	stop := make(chan struct{})
 	sigCh := make(chan os.Signal, 1)

@@ -8,18 +8,51 @@
 //	smiless-sim -app WL2 -faults 0.05 -outage         # fault-injected run
 //	smiless-sim -app WL1 -trace out.json              # Chrome/Perfetto trace
 //	smiless-sim -chaos                                 # full resilience sweep
+//	smiless-sim -churn                                 # SLA vs. node count under churn
+//	smiless-sim -p2c -node-crash 0@300:360 -node-partition 2@600:660
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"smiless/internal/cliutil"
 	"smiless/internal/experiments"
 	"smiless/internal/faults"
+	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
+
+// parseNodeFault parses "node@start:end" (seconds; end 0 or omitted means a
+// crash never restarts) into a NodeFault of the given kind.
+func parseNodeFault(s string, kind faults.NodeFaultKind) (faults.NodeFault, error) {
+	bad := func() (faults.NodeFault, error) {
+		return faults.NodeFault{}, fmt.Errorf("node fault %q: want node@start:end (e.g. 0@300:360)", s)
+	}
+	at := strings.SplitN(s, "@", 2)
+	if len(at) != 2 {
+		return bad()
+	}
+	node, err := strconv.Atoi(at[0])
+	if err != nil {
+		return bad()
+	}
+	window := strings.SplitN(at[1], ":", 2)
+	start, err := strconv.ParseFloat(window[0], 64)
+	if err != nil {
+		return bad()
+	}
+	end := 0.0
+	if len(window) == 2 && window[1] != "" {
+		if end, err = strconv.ParseFloat(window[1], 64); err != nil {
+			return bad()
+		}
+	}
+	return faults.NodeFault{Node: node, Kind: kind, Start: start, End: end}, nil
+}
 
 func main() {
 	app := flag.String("app", "WL2", "application: WL1 (AMBER Alert), WL2 (Image Query), WL3 (Voice Assistant)")
@@ -33,6 +66,19 @@ func main() {
 	straggler := flag.Float64("straggler", 6, "execution-time inflation factor for injected stragglers")
 	outage := flag.Bool("outage", false, "with -faults: take node 0 down for 120s mid-run")
 	chaos := flag.Bool("chaos", false, "run the full resilience sweep (systems x failure rates) and exit")
+	churn := flag.Bool("churn", false, "run the node-churn sweep (SLA attainment vs. node count under crash/partition churn) and exit")
+	p2c := flag.Bool("p2c", false, "place launches by locality with power-of-two-choices overflow (default: first-fit)")
+	var nodeFaults []faults.NodeFault
+	flag.Func("node-crash", "crash node@start:end (repeatable; end 0 = never restarts); implies the gossip failure detector", func(s string) error {
+		nf, err := parseNodeFault(s, faults.NodeCrash)
+		nodeFaults = append(nodeFaults, nf)
+		return err
+	})
+	flag.Func("node-partition", "partition node@start:end (repeatable); implies the gossip failure detector", func(s string) error {
+		nf, err := parseNodeFault(s, faults.NodePartition)
+		nodeFaults = append(nodeFaults, nf)
+		return err
+	})
 	flag.Parse()
 
 	if *chaos {
@@ -44,6 +90,17 @@ func main() {
 			p.Horizon = *tf.Horizon
 		}
 		fmt.Println(experiments.Chaos(p).Table())
+		return
+	}
+	if *churn {
+		p := experiments.DefaultChurnParams(*seed)
+		p.App = *app
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *tf.Horizon != 1800 { //lint:allow floateq flag-default comparison: an untouched flag is bit-identical to its default
+			p.Horizon = *tf.Horizon
+		}
+		fmt.Println(experiments.Churn(p).Table())
 		return
 	}
 
@@ -68,6 +125,12 @@ func main() {
 			plan.Outages = []faults.Outage{{Node: 0, Start: start, End: start + 120}}
 		}
 	}
+	if len(nodeFaults) > 0 {
+		if plan == nil {
+			plan = &faults.Plan{Seed: *seed}
+		}
+		plan.NodeFaults = nodeFaults
+	}
 
 	application, err := cliutil.App(*app)
 	if err != nil {
@@ -79,6 +142,9 @@ func main() {
 		Seed:    *seed,
 		UseLSTM: *lstm,
 		Faults:  plan,
+	}
+	if *p2c {
+		params.Placement = simulator.PlaceP2C
 	}
 	var rec *tracing.Recorder
 	if *of.TraceOut != "" {

@@ -92,8 +92,13 @@ type RunParams struct {
 	// UseLSTM enables the full LSTM predictors in SMIless variants.
 	UseLSTM bool
 	// Faults optionally injects failures (crashes, stragglers, node
-	// outages) into the run; nil evaluates the fault-free substrate.
+	// outages, node crashes/partitions) into the run; nil evaluates the
+	// fault-free substrate.
 	Faults *faults.Plan
+	// Placement selects the simulator's node-placement policy (default
+	// first-fit; PlaceP2C enables locality routing with power-of-two-choices
+	// overflow).
+	Placement simulator.PlacementPolicy
 	// Recorder optionally attaches a span recorder to the run so per-phase
 	// critical-path attribution and Chrome trace export are available; nil
 	// runs untraced (bit-identical to a traced run's statistics).
@@ -184,7 +189,7 @@ func Run(name SystemName, p RunParams, tr *trace.Trace) (*simulator.RunStats, er
 	}
 	sim, err := simulator.New(simulator.Config{
 		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
-		Faults: p.Faults,
+		Faults: p.Faults, Placement: p.Placement,
 	}, drv)
 	if err != nil {
 		return nil, err

@@ -274,3 +274,38 @@ func TestFig8MultiMedians(t *testing.T) {
 		t.Error("table title missing")
 	}
 }
+
+func TestChurnSmokeAndDeterminism(t *testing.T) {
+	run := func() *ChurnResult {
+		p := DefaultChurnParams(5)
+		p.Horizon = 300
+		p.Systems = []SystemName{SysSMIless}
+		p.NodeCounts = []int{2, 8}
+		return Churn(p)
+	}
+	a := run()
+	if len(a.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(a.Cells))
+	}
+	for _, c := range a.Cells {
+		if c.Stats.NodeDownEvents == 0 {
+			t.Errorf("nodes=%d: churn schedule produced no detector verdicts", c.Nodes)
+		}
+		if c.Stats.Completed == 0 {
+			t.Errorf("nodes=%d: no completed requests", c.Nodes)
+		}
+	}
+	b := run()
+	for i := range a.Cells {
+		sa, sb := a.Cells[i].Stats, b.Cells[i].Stats
+		if sa.Summary() != sb.Summary() ||
+			sa.Forwards != sb.Forwards || sa.Failovers != sb.Failovers ||
+			sa.NodeDownSeconds != sb.NodeDownSeconds { //lint:allow floateq determinism check: reruns must be bit-identical
+			t.Errorf("churn cell %d not deterministic:\n A: %s\n B: %s", i, sa.Summary(), sb.Summary())
+		}
+	}
+	tab := a.Table()
+	if !strings.Contains(tab.Title, "Churn") || len(tab.Rows) != 2 {
+		t.Errorf("table = %q with %d rows", tab.Title, len(tab.Rows))
+	}
+}

@@ -38,10 +38,56 @@ func (r Rates) active() bool {
 
 // Outage takes one node out of service over [Start, End): its containers
 // are evicted (in-flight work retried) and no new allocation lands on it
-// until End.
+// until End. Detection is instantaneous — the control plane reacts the
+// moment the outage begins. For failures the control plane must discover
+// through its health detector, use NodeFault instead.
 type Outage struct {
 	Node       int
 	Start, End float64
+}
+
+// NodeFaultKind classifies a scheduled node-level fault.
+type NodeFaultKind int
+
+const (
+	// NodeCrash kills the node's process at Start: containers on it die
+	// silently (their in-flight completions are lost) and the control
+	// plane only learns of the loss when the gossip failure detector marks
+	// the node down, at which point in-flight work fails over to live
+	// peers. End > Start restarts the node — empty, rejoining at the next
+	// heartbeat; End <= Start leaves it down for the rest of the run.
+	NodeCrash NodeFaultKind = iota
+	// NodePartition makes the node unreachable over [Start, End): its
+	// containers keep executing but their completions are held and only
+	// delivered when the partition heals, so a failed-over twin may race
+	// the original — exercising the idempotent first-completion-wins
+	// dedup. End must be greater than Start.
+	NodePartition
+)
+
+// String names the kind for reports and traces.
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodePartition:
+		return "partition"
+	}
+	return "unknown"
+}
+
+// NodeFault schedules one crash/restart cycle or network partition for a
+// node. Unlike Outage, the control plane does not observe the fault
+// directly: the gossip failure detector must notice missing heartbeats and
+// drive suspect → down → failover.
+type NodeFault struct {
+	Node int
+	Kind NodeFaultKind
+	// Start is when the fault begins (crash instant / partition onset).
+	Start float64
+	// End is the restart time for NodeCrash (<= Start means the node never
+	// returns) or the heal time for NodePartition (must be > Start).
+	End float64
 }
 
 // Plan is a deterministic, seeded failure-injection schedule for one run.
@@ -51,8 +97,11 @@ type Plan struct {
 	Default Rates
 	// PerFunction overrides Default for named functions.
 	PerFunction map[string]Rates
-	// Outages is the scheduled node-downtime list.
+	// Outages is the scheduled node-downtime list (instant detection).
 	Outages []Outage
+	// NodeFaults schedules crashes, restarts and partitions that the
+	// control plane must discover through its health detector.
+	NodeFaults []NodeFault
 	// Seed drives the injection RNG, independent of the simulation seed.
 	Seed int64
 }
@@ -62,7 +111,7 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	if p.Default.active() || len(p.Outages) > 0 {
+	if p.Default.active() || len(p.Outages) > 0 || len(p.NodeFaults) > 0 {
 		return true
 	}
 	for _, r := range p.PerFunction {

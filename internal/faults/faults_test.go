@@ -18,6 +18,8 @@ func TestPlanEnabled(t *testing.T) {
 		{"exec-fail", &Plan{Default: Rates{ExecFail: 0.1}}, true},
 		{"straggler", &Plan{Default: Rates{Straggler: 0.1}}, true},
 		{"outage-only", &Plan{Outages: []Outage{{Node: 0, Start: 10, End: 20}}}, true},
+		{"node-crash-only", &Plan{NodeFaults: []NodeFault{{Node: 1, Kind: NodeCrash, Start: 10, End: 20}}}, true},
+		{"node-partition-only", &Plan{NodeFaults: []NodeFault{{Node: 2, Kind: NodePartition, Start: 5, End: 9}}}, true},
 		{"per-fn", &Plan{PerFunction: map[string]Rates{"IR": {ExecFail: 0.2}}}, true},
 		{"per-fn-zero", &Plan{PerFunction: map[string]Rates{"IR": {}}}, false},
 	}
@@ -28,6 +30,15 @@ func TestPlanEnabled(t *testing.T) {
 		if got := NewInjector(c.plan) != nil; got != c.want {
 			t.Errorf("%s: NewInjector non-nil = %v, want %v", c.name, got, c.want)
 		}
+	}
+}
+
+func TestNodeFaultKindString(t *testing.T) {
+	if NodeCrash.String() != "crash" || NodePartition.String() != "partition" {
+		t.Errorf("kind names wrong: %q %q", NodeCrash, NodePartition)
+	}
+	if NodeFaultKind(99).String() != "unknown" {
+		t.Errorf("out-of-range kind should render unknown")
 	}
 }
 

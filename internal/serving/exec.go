@@ -3,11 +3,13 @@
 // clock-driven event loop. Every handler runs under rt.mu, invoked either
 // by the scheduler loop or inline from Invoke. Divergences from the
 // simulator are limited to what a live elastic substrate removes: there is
-// no cluster capacity model (launches always place, node outages do not
-// exist) and no GPU co-location contention. Everything else — cold starts,
-// keep-alive epochs, pre-warms, batch formation, retries with backoff,
-// timeouts, hedging, fault injection — matches the simulator line for
-// line, plus the active batch-linger window of Config.BatchLinger.
+// no per-node capacity model (launches always place on the node the
+// locality/p2c layer picks — see node.go) and no GPU co-location
+// contention. Everything else — cold starts, keep-alive epochs, pre-warms,
+// batch formation, retries with backoff, timeouts, hedging, node crashes
+// and partitions, fault injection — matches the simulator line for line,
+// plus the active batch-linger window of Config.BatchLinger and
+// per-request deadlines/abandonment.
 package serving
 
 import (
@@ -32,6 +34,7 @@ type container struct {
 	id        int
 	fn        *fnState
 	cfg       hardware.Config
+	node      int // node agent the instance is placed on
 	state     int
 	initStart float64
 	idleEpoch int
@@ -94,11 +97,16 @@ func (f *fnState) liveCount() int {
 type appInv struct {
 	id        int
 	arrival   float64
+	deadline  float64 // absolute model time; 0 = unbounded
 	pending   map[dag.NodeID]int
 	done      map[dag.NodeID]bool
 	remaining int
 	failed    bool
+	resolved  bool
 	resCh     chan Result
+	// settled closes when the request resolves; the context watcher
+	// goroutine (watchAbandon) selects on it against ctx.Done.
+	settled chan struct{}
 }
 
 type nodeInv struct {
@@ -140,10 +148,12 @@ func (rt *Runtime) pump(fs *fnState) {
 		}
 		// 2. Busy warm containers absorb small overlaps: joining the next
 		// batch costs at most one inference cycle, which beats waiting
-		// out a cold initialization on a fresh instance.
+		// out a cold initialization on a fresh instance. Containers on a
+		// node the detector has taken out of service don't count: work
+		// must not queue behind an unreachable instance.
 		busy := 0
 		for _, c := range fs.containers {
-			if c.state == cBusy {
+			if c.state == cBusy && rt.routable(c) {
 				busy++
 			}
 		}
@@ -160,8 +170,10 @@ func (rt *Runtime) pump(fs *fnState) {
 			fs.queue = fs.queue[take:]
 			continue
 		}
-		// 4. Launch a new instance if under the cap.
-		if fs.liveCount() < d.Instances {
+		// 4. Launch a new instance if under the cap. Instances stranded on
+		// non-up nodes don't hold the cap: a failed-over member must be able
+		// to launch a replacement while the original is unreachable.
+		if rt.routableCount(fs) < d.Instances {
 			c := rt.launch(fs, d.Config, false)
 			take := d.Batch
 			if take > len(fs.queue) {
@@ -218,7 +230,7 @@ func (rt *Runtime) onLinger(id dag.NodeID, epoch int) {
 func (rt *Runtime) pickIdle(fs *fnState) *container {
 	var best *container
 	for _, c := range fs.containers {
-		if c.state == cIdle && (best == nil || c.id < best.id) {
+		if c.state == cIdle && rt.routable(c) && (best == nil || c.id < best.id) {
 			best = c
 		}
 	}
@@ -228,7 +240,7 @@ func (rt *Runtime) pickIdle(fs *fnState) *container {
 func (rt *Runtime) pickInitializing(fs *fnState) *container {
 	var best *container
 	for _, c := range fs.containers {
-		if c.state == cInitializing && len(c.assigned) < fs.directive.Batch &&
+		if c.state == cInitializing && rt.routable(c) && len(c.assigned) < fs.directive.Batch &&
 			(best == nil || c.id < best.id) {
 			best = c
 		}
@@ -236,16 +248,39 @@ func (rt *Runtime) pickInitializing(fs *fnState) *container {
 	return best
 }
 
-// launch starts a new container (cold start). The live substrate is
-// elastic: placement always succeeds.
+// routable reports whether the control plane will dispatch new work to this
+// container: its node must be up in the detector's view. On a single-node
+// runtime without node faults the node is permanently up, so this is always
+// true and dispatch is byte-identical to the pre-node runtime.
+func (rt *Runtime) routable(c *container) bool {
+	return rt.nodes[c.node].health == nodeUp
+}
+
+// routableCount is liveCount restricted to routable containers: the instance
+// cap the dispatcher plans against. Instances stranded behind a down or
+// partitioned node still exist (and bill) but don't occupy cap.
+func (rt *Runtime) routableCount(fs *fnState) int {
+	n := 0
+	for _, c := range fs.containers {
+		if c.state != cDead && rt.routable(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// launch starts a new container (cold start) on the node the placement
+// layer picks. Each node's substrate is elastic: placement always succeeds,
+// but the chosen node may later crash or partition away with the instance.
 func (rt *Runtime) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *container {
 	c := &container{
-		id: rt.nextCont, fn: fs, cfg: cfg, state: cInitializing,
-		initStart: rt.now(), prewarmed: prewarmed,
+		id: rt.nextCont, fn: fs, cfg: cfg, node: rt.placeNode(fs),
+		state: cInitializing, initStart: rt.now(), prewarmed: prewarmed,
 	}
 	rt.nextCont++
 	fs.containers[c.id] = c
 	rt.conts[c.id] = c
+	rt.nodes[c.node].conts++
 	rt.stats.Inits++
 	rt.beginInit(c)
 	return c
@@ -255,7 +290,7 @@ func (rt *Runtime) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *con
 // completion — or, under fault injection, its crash partway through.
 func (rt *Runtime) beginInit(c *container) {
 	if rt.rec != nil {
-		rt.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), rt.now(), c.prewarmed)
+		rt.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), c.node, rt.now(), c.prewarmed)
 	}
 	dur := c.fn.spec.SampleInit(rt.rng, c.cfg)
 	if rt.inj != nil {
@@ -345,7 +380,7 @@ func (rt *Runtime) startBatch(c *container, cause tracing.Phase) {
 			ni.span.Dispatch(now, cause, c.initStart, c.id,
 				c.cfg.String(), d.Policy.String(), len(batch))
 		}
-		rt.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), now, len(batch))
+		rt.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), c.node, now, len(batch))
 	}
 	dur := fs.spec.SampleInference(rt.rng, c.cfg, len(batch))
 	if rt.inj != nil {
@@ -492,6 +527,18 @@ func (rt *Runtime) retryMember(fs *fnState, ni *nodeInv) {
 		u = rt.rng.Float64()
 	}
 	delay := pol.Backoff(ni.attempts, u)
+	// Respect the request's deadline: a retry that cannot become ready
+	// before it is pointless — fail now as deadline-exceeded rather than
+	// scheduling dead work.
+	if dl := ni.inv.deadline; dl > 0 && rt.now()+delay >= dl {
+		rt.stats.DeadlineExceeded++
+		now := rt.now()
+		rt.dropInvocation(ni.inv, Result{
+			ReqID: ni.inv.id, Arrival: ni.inv.arrival, End: now,
+			E2E: now - ni.inv.arrival, Failed: true, DeadlineExceeded: true,
+		})
+		return
+	}
 	if delay <= 0 {
 		ni.readyAt = rt.now()
 		rt.enqueue(ni)
@@ -501,17 +548,32 @@ func (rt *Runtime) retryMember(fs *fnState, ni *nodeInv) {
 	rt.schedule(&event{at: rt.now() + delay, kind: evRetry, ni: ni, fn: fs.id})
 }
 
-// failInvocation marks a request permanently failed, purges its remaining
-// members from every function queue and resolves its Result channel.
+// failInvocation marks a request permanently failed (retries exhausted) and
+// resolves its Result channel.
 func (rt *Runtime) failInvocation(inv *appInv) {
 	if inv.failed {
 		return
 	}
+	now := rt.now()
+	rt.dropInvocation(inv, Result{
+		ReqID: inv.id, Arrival: inv.arrival, End: now,
+		E2E: now - inv.arrival, Failed: true,
+	})
+}
+
+// dropInvocation is the shared terminal-failure path (retries exhausted,
+// deadline exceeded, caller abandoned): mark the request failed, purge its
+// remaining members from every function queue, and resolve — which frees
+// the admission slot. Callers hold mu and have already bumped their
+// cause-specific counter.
+func (rt *Runtime) dropInvocation(inv *appInv, res Result) {
+	if inv.failed || inv.resolved {
+		return
+	}
 	inv.failed = true
 	rt.stats.FailedInvocations++
-	now := rt.now()
 	if rt.rec != nil {
-		rt.rec.FailRequest(inv.id, now)
+		rt.rec.FailRequest(inv.id, res.End)
 	}
 	for _, fs := range rt.fns {
 		if len(fs.queue) == 0 {
@@ -525,10 +587,7 @@ func (rt *Runtime) failInvocation(inv *appInv) {
 		}
 		fs.queue = q
 	}
-	rt.resolve(inv, Result{
-		ReqID: inv.id, Arrival: inv.arrival, End: now,
-		E2E: now - inv.arrival, Failed: true,
-	})
+	rt.resolve(inv, res)
 }
 
 // onRetry re-enqueues a backed-off member once its delay elapses.
@@ -607,6 +666,7 @@ func (rt *Runtime) terminate(c *container) {
 	life := rt.now() - c.initStart
 	cost := life * rt.cfg.Pricing.UnitCost(c.cfg)
 	rt.stats.AddCost(string(c.fn.id), c.cfg, life, cost)
+	rt.nodes[c.node].conts--
 	delete(c.fn.containers, c.id)
 	delete(rt.conts, c.id)
 }
@@ -665,10 +725,17 @@ func (rt *Runtime) onPrewarm(id dag.NodeID) {
 // resolve delivers a request's terminal Result and settles drain
 // accounting. The channel is buffered, so delivery never blocks the loop.
 func (rt *Runtime) resolve(inv *appInv, res Result) {
+	if inv.resolved {
+		return
+	}
+	inv.resolved = true
 	rt.inflight--
 	if inv.resCh != nil {
 		inv.resCh <- res
 		inv.resCh = nil
+	}
+	if inv.settled != nil {
+		close(inv.settled)
 	}
 	if rt.draining && rt.inflight == 0 {
 		close(rt.drainCh)

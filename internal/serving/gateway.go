@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"smiless/internal/metrics"
@@ -13,11 +14,13 @@ import (
 
 // InvokeResponse is the JSON body returned by POST /invoke.
 type InvokeResponse struct {
-	Request        int     `json:"request"`
-	ArrivalSeconds float64 `json:"arrival_seconds"`
-	E2ESeconds     float64 `json:"e2e_seconds"`
-	Failed         bool    `json:"failed"`
-	SLAViolated    bool    `json:"sla_violated"`
+	Request          int     `json:"request"`
+	ArrivalSeconds   float64 `json:"arrival_seconds"`
+	E2ESeconds       float64 `json:"e2e_seconds"`
+	Failed           bool    `json:"failed"`
+	DeadlineExceeded bool    `json:"deadline_exceeded,omitempty"`
+	Abandoned        bool    `json:"abandoned,omitempty"`
+	SLAViolated      bool    `json:"sla_violated"`
 }
 
 // HealthResponse is the JSON body returned by GET /healthz.
@@ -33,14 +36,20 @@ type HealthResponse struct {
 
 // Gateway exposes a Runtime over HTTP:
 //
-//	POST /invoke   admit one request, block until its terminal Result
-//	GET  /healthz  liveness + drain state (503 while draining)
-//	GET  /metrics  Prometheus text exposition of the live run statistics
-//	GET  /statz    the simulator-comparable Report as JSON
-//	GET  /trace    Chrome trace JSON of recorded spans (404 without a Recorder)
+//	POST /invoke           admit one request, block until its terminal Result;
+//	                       ?deadline=SECONDS sets a per-request deadline, and
+//	                       the client's disconnect cancels (abandons) the request
+//	GET  /healthz          liveness + drain state (503 while draining)
+//	GET  /metrics          Prometheus text exposition of the live run statistics
+//	GET  /statz            the simulator-comparable Report as JSON
+//	GET  /trace            Chrome trace JSON of recorded spans (404 without a Recorder)
+//	GET  /nodes            per-node health/liveness/container snapshot
+//	POST /chaos/kill       ?node=N crash a node's process
+//	POST /chaos/restart    ?node=N restart a crashed node (evict + fail over)
+//	POST /chaos/partition  ?node=N&healed=1 cut (default) or heal a node's network
 //
-// Admission failures map to HTTP status codes: ErrOverloaded → 429,
-// ErrDraining/ErrClosed → 503.
+// Admission failures map to HTTP status codes: ErrOverloaded → 429 with a
+// Retry-After hint, ErrDraining/ErrClosed → 503.
 type Gateway struct {
 	rt     *Runtime
 	system string
@@ -56,6 +65,10 @@ func NewGateway(rt *Runtime, system string) *Gateway {
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
 	g.mux.HandleFunc("/statz", g.handleStatz)
 	g.mux.HandleFunc("/trace", g.handleTrace)
+	g.mux.HandleFunc("/nodes", g.handleNodes)
+	g.mux.HandleFunc("/chaos/kill", g.handleChaos(func(rt *Runtime, n int) error { return rt.KillNode(n) }))
+	g.mux.HandleFunc("/chaos/restart", g.handleChaos(func(rt *Runtime, n int) error { return rt.RestartNode(n) }))
+	g.mux.HandleFunc("/chaos/partition", g.handleChaosPartition)
 	return g
 }
 
@@ -69,10 +82,22 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	ch, err := g.rt.Invoke()
+	deadline := 0.0
+	if q := r.URL.Query().Get("deadline"); q != "" {
+		d, err := strconv.ParseFloat(q, 64)
+		if err != nil || d < 0 {
+			http.Error(w, "deadline must be a non-negative number of seconds", http.StatusBadRequest)
+			return
+		}
+		deadline = d
+	}
+	ch, err := g.rt.InvokeWithDeadline(r.Context(), deadline)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
+			// Hint load generators to back off for roughly one decision
+			// window — the cadence at which capacity is re-planned.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(g.rt.Config().Window)))
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
@@ -84,16 +109,78 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-ch:
 		writeJSON(w, http.StatusOK, InvokeResponse{
-			Request:        res.ReqID,
-			ArrivalSeconds: res.Arrival,
-			E2ESeconds:     res.E2E,
-			Failed:         res.Failed,
-			SLAViolated:    res.SLAViolated,
+			Request:          res.ReqID,
+			ArrivalSeconds:   res.Arrival,
+			E2ESeconds:       res.E2E,
+			Failed:           res.Failed,
+			DeadlineExceeded: res.DeadlineExceeded,
+			Abandoned:        res.Abandoned,
+			SLAViolated:      res.SLAViolated,
 		})
 	case <-r.Context().Done():
-		// Client went away; the request still runs to completion inside the
-		// runtime and is accounted for there.
+		// Client went away; the runtime's abandonment watcher (armed because
+		// we passed r.Context above) cancels the request, frees its admission
+		// slot and accounts it as Abandoned.
 	}
+}
+
+// retryAfterSeconds rounds the decision window up to a whole second, the
+// granularity Retry-After speaks (minimum 1).
+func retryAfterSeconds(window float64) int {
+	s := int(window)
+	if float64(s) < window {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (g *Gateway) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.rt.NodeInfos())
+}
+
+// handleChaos adapts a node-targeted admin action to an HTTP endpoint taking
+// ?node=N.
+func (g *Gateway) handleChaos(action func(*Runtime, int) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n, ok := g.chaosNode(w, r)
+		if !ok {
+			return
+		}
+		if err := action(g.rt, n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, g.rt.NodeInfos())
+	}
+}
+
+func (g *Gateway) handleChaosPartition(w http.ResponseWriter, r *http.Request) {
+	n, ok := g.chaosNode(w, r)
+	if !ok {
+		return
+	}
+	healed := r.URL.Query().Get("healed") != ""
+	if err := g.rt.SetPartitioned(n, !healed); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.rt.NodeInfos())
+}
+
+func (g *Gateway) chaosNode(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return 0, false
+	}
+	n, err := strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		http.Error(w, "node must be an integer index", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {

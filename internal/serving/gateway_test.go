@@ -256,6 +256,10 @@ func TestGatewayOverloadReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("overloaded invoke status = %d, want 429", resp.StatusCode)
 	}
+	// Backpressure must carry a retry hint: one decision window (1s here).
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("429 Retry-After = %q, want \"1\"", got)
+	}
 
 	stepUntil(t, rt, fake, func() bool { return rt.Inflight() == 0 })
 	if code := <-first; code != http.StatusOK {
@@ -263,6 +267,119 @@ func TestGatewayOverloadReturns429(t *testing.T) {
 	}
 	if got := rt.Rejected(); got != 1 {
 		t.Errorf("Rejected = %d, want 1", got)
+	}
+}
+
+// TestGatewayNodesAndChaos exercises the cluster admin surface: the /nodes
+// snapshot and the chaos endpoints that kill, restart and partition node
+// agents, plus the ?deadline= knob on /invoke.
+func TestGatewayNodesAndChaos(t *testing.T) {
+	app := testChain([]float64{5.0}, 1.0)
+	fake := clock.NewFake()
+	rt, err := New(Config{App: app, SLA: 30, Nodes: 3, Clock: fake}, keepAliveDriver(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rt.Start()
+	defer rt.Close()
+	srv := httptest.NewServer(NewGateway(rt, "static"))
+	defer srv.Close()
+
+	post := func(path string, want int) []NodeInfo {
+		t.Helper()
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s status = %d, want %d: %s", path, resp.StatusCode, want, body)
+		}
+		var infos []NodeInfo
+		if want == http.StatusOK {
+			if err := json.Unmarshal(body, &infos); err != nil {
+				t.Fatalf("POST %s decode: %v", path, err)
+			}
+		}
+		return infos
+	}
+
+	var infos []NodeInfo
+	getJSON(t, srv.URL+"/nodes", http.StatusOK, &infos)
+	if len(infos) != 3 {
+		t.Fatalf("/nodes returned %d entries, want 3", len(infos))
+	}
+	for i, n := range infos {
+		if n.ID != i || n.Health != "up" || !n.Alive || n.Partitioned {
+			t.Errorf("node %d = %+v, want healthy", i, n)
+		}
+	}
+
+	if got := post("/chaos/kill?node=1", http.StatusOK); got[1].Alive {
+		t.Error("node 1 still alive after /chaos/kill")
+	}
+	if got := post("/chaos/restart?node=1", http.StatusOK); !got[1].Alive {
+		t.Error("node 1 still dead after /chaos/restart")
+	}
+	if got := post("/chaos/partition?node=2", http.StatusOK); !got[2].Partitioned {
+		t.Error("node 2 not partitioned after /chaos/partition")
+	}
+	if got := post("/chaos/partition?node=2&healed=1", http.StatusOK); got[2].Partitioned {
+		t.Error("node 2 still partitioned after heal")
+	}
+	post("/chaos/kill?node=9", http.StatusBadRequest)
+	post("/chaos/kill?node=x", http.StatusBadRequest)
+	if resp, err := http.Get(srv.URL + "/chaos/kill?node=0"); err != nil {
+		t.Fatalf("GET /chaos/kill: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /chaos/kill status = %d, want 405", resp.StatusCode)
+		}
+	}
+
+	// ?deadline= bounds the request end to end: the 6s pipeline against a 2s
+	// budget must come back DeadlineExceeded once the clock reaches t=2.
+	resCh := make(chan InvokeResponse, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/invoke?deadline=2", "application/json", nil)
+		if err != nil {
+			t.Errorf("POST /invoke?deadline=2: %v", err)
+			resCh <- InvokeResponse{}
+			return
+		}
+		defer resp.Body.Close()
+		var ir InvokeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		resCh <- ir
+	}()
+	waitForReal(t, func() bool { return rt.Inflight() == 1 })
+	var ir InvokeResponse
+	gotRes := false
+	stepUntil(t, rt, fake, func() bool {
+		select {
+		case ir = <-resCh:
+			gotRes = true
+		default:
+		}
+		return gotRes
+	})
+	if !ir.Failed || !ir.DeadlineExceeded {
+		t.Errorf("deadline-bounded invoke = %+v, want Failed+DeadlineExceeded", ir)
+	}
+	if !near(ir.E2ESeconds, 2.0, 1e-9) {
+		t.Errorf("deadline-bounded E2E = %v, want 2.0", ir.E2ESeconds)
+	}
+	dresp, err := http.Post(srv.URL+"/invoke?deadline=-1", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /invoke?deadline=-1: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative deadline status = %d, want 400", dresp.StatusCode)
 	}
 }
 

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -37,16 +38,23 @@ const (
 	evRetry
 	evLinger
 	evWindow
+	evGossip         // health-detector tick
+	evDeadline       // per-request deadline elapsed
+	evNodeCrash      // scheduled NodeFault: process dies (cid = node)
+	evNodeRestart    // scheduled NodeFault: crashed node rejoins (cid = node)
+	evPartitionStart // scheduled NodeFault: node unreachable (cid = node)
+	evPartitionEnd   // scheduled NodeFault: partition heals (cid = node)
 )
 
 type event struct {
 	at    float64 // model-time deadline in seconds
 	seq   int     // FIFO tie-break among equal deadlines
 	kind  int
-	cid   int
+	cid   int // container id (node index for node events)
 	epoch int
 	fn    dag.NodeID
 	ni    *nodeInv
+	inv   *appInv // deadline events
 }
 
 type eventHeap []*event
@@ -94,10 +102,12 @@ type Runtime struct {
 
 	mu     sync.Mutex
 	rng    *rand.Rand
+	prng   *rand.Rand // placement-only stream: p2c draws never perturb timing samples
 	inj    injector
 	rec    *tracing.Recorder
 	events eventHeap
 	seq    int
+	nodes  []*nodeAgent
 
 	fns      map[dag.NodeID]*fnState
 	conts    map[int]*container
@@ -141,6 +151,7 @@ func New(cfg Config, driver simulator.Driver) (*Runtime, error) {
 		driver:   driver,
 		clk:      cfg.Clock,
 		rng:      mathx.NewRand(cfg.Seed),
+		prng:     mathx.NewRand(cfg.Seed ^ 0x9e3779b9),
 		rec:      cfg.Recorder,
 		fns:      make(map[dag.NodeID]*fnState),
 		conts:    make(map[int]*container),
@@ -160,6 +171,10 @@ func New(cfg Config, driver simulator.Driver) (*Runtime, error) {
 				Batch:  1, Instances: 1, KeepAlive: 60,
 			}),
 		}
+	}
+	rt.nodes = make([]*nodeAgent, cfg.Nodes)
+	for i := range rt.nodes {
+		rt.nodes[i] = &nodeAgent{id: i, health: nodeUp, alive: true}
 	}
 	// Guard against the typed-nil interface trap: only assign when the
 	// injector is actually enabled.
@@ -191,7 +206,28 @@ func (rt *Runtime) Start() {
 	}
 	rt.started = true
 	rt.driver.Setup(rt)
-	rt.schedule(&event{at: rt.now() + rt.cfg.Window, kind: evWindow})
+	now := rt.now()
+	rt.schedule(&event{at: now + rt.cfg.Window, kind: evWindow})
+	// Scheduled node faults: times are model seconds from the epoch.
+	if rt.cfg.Faults != nil {
+		for _, nf := range rt.cfg.Faults.NodeFaults {
+			switch nf.Kind {
+			case faults.NodeCrash:
+				rt.schedule(&event{at: now + nf.Start, kind: evNodeCrash, cid: nf.Node})
+				if nf.End > nf.Start {
+					rt.schedule(&event{at: now + nf.End, kind: evNodeRestart, cid: nf.Node})
+				}
+			case faults.NodePartition:
+				rt.schedule(&event{at: now + nf.Start, kind: evPartitionStart, cid: nf.Node})
+				rt.schedule(&event{at: now + nf.End, kind: evPartitionEnd, cid: nf.Node})
+			}
+		}
+	}
+	// The detector only ticks when something can miss heartbeats: a
+	// multi-node pool, or scheduled node faults on a single node.
+	if rt.nodesActive() || (rt.cfg.Faults != nil && len(rt.cfg.Faults.NodeFaults) > 0) {
+		rt.schedule(&event{at: now + rt.cfg.GossipInterval, kind: evGossip})
+	}
 	rt.mu.Unlock()
 	go rt.loop()
 }
@@ -261,8 +297,23 @@ func (rt *Runtime) loop() {
 	}
 }
 
-// handle dispatches one due event; callers hold mu.
+// handle dispatches one due event; callers hold mu. Node-side events (init
+// and exec completions or crashes) from a crashed node are dropped — the
+// work died with the process — and from a partitioned node they are held and
+// replayed in order when the partition heals.
 func (rt *Runtime) handle(e *event) {
+	if nodeSideEvent(e.kind) {
+		if c := rt.conts[e.cid]; c != nil {
+			n := rt.nodes[c.node]
+			if !n.alive {
+				return
+			}
+			if n.partitioned {
+				n.held = append(n.held, e)
+				return
+			}
+		}
+	}
 	switch e.kind {
 	case evInitDone:
 		rt.onInitDone(e.cid)
@@ -284,6 +335,18 @@ func (rt *Runtime) handle(e *event) {
 		rt.onRetry(e.ni)
 	case evLinger:
 		rt.onLinger(e.fn, e.epoch)
+	case evGossip:
+		rt.onGossip()
+	case evDeadline:
+		rt.onDeadline(e.inv)
+	case evNodeCrash:
+		rt.onNodeCrash(e.cid)
+	case evNodeRestart:
+		rt.onNodeRestart(e.cid)
+	case evPartitionStart:
+		rt.onPartitionStart(e.cid)
+	case evPartitionEnd:
+		rt.onPartitionEnd(e.cid)
 	case evWindow:
 		rt.counts = append(rt.counts, rt.arrivalsThisWindow)
 		rt.arrivalsThisWindow = 0
@@ -310,8 +373,22 @@ func (rt *Runtime) Quiesced() bool {
 // Invoke admits one application request and returns a channel that yields
 // its terminal Result. It fails fast with ErrOverloaded when the inflight
 // cap or an entry queue bound is hit, ErrDraining/ErrClosed during
-// shutdown.
-func (rt *Runtime) Invoke() (<-chan Result, error) {
+// shutdown. ctx binds the request to its caller: if ctx is cancelled before
+// the request resolves, the request is abandoned — it fails immediately and
+// frees its admission slot. Config.DefaultDeadline, when set, bounds the
+// request's end-to-end latency.
+func (rt *Runtime) Invoke(ctx context.Context) (<-chan Result, error) {
+	return rt.InvokeWithDeadline(ctx, 0)
+}
+
+// InvokeWithDeadline is Invoke with an explicit end-to-end budget in model
+// seconds; budget 0 falls back to Config.DefaultDeadline (0 = unbounded).
+// Forwarding, failover and retries all respect the deadline: a request still
+// unresolved when it elapses fails with Result.DeadlineExceeded.
+func (rt *Runtime) InvokeWithDeadline(ctx context.Context, budget float64) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
@@ -319,6 +396,10 @@ func (rt *Runtime) Invoke() (<-chan Result, error) {
 	}
 	if rt.draining {
 		return nil, ErrDraining
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller was gone before admission: do not burn a slot.
+		return nil, err
 	}
 	if rt.inflight >= rt.cfg.MaxInflight {
 		rt.rejected++
@@ -331,16 +412,68 @@ func (rt *Runtime) Invoke() (<-chan Result, error) {
 			return nil, ErrOverloaded
 		}
 	}
+	if budget <= 0 {
+		budget = rt.cfg.DefaultDeadline
+	}
 	rt.inflight++
-	ch := rt.onArrival()
+	inv, ch := rt.onArrival()
+	if budget > 0 {
+		inv.deadline = inv.arrival + budget
+		rt.schedule(&event{at: inv.deadline, kind: evDeadline, inv: inv})
+	}
+	// Watch for caller disconnect only when the context can actually be
+	// cancelled: fake-clock tests pass context.Background() and stay
+	// goroutine-free.
+	if ctx.Done() != nil {
+		go rt.watchAbandon(ctx, inv)
+	}
 	rt.wakeLoop()
 	return ch, nil
+}
+
+// watchAbandon abandons inv when its caller's context is cancelled first.
+func (rt *Runtime) watchAbandon(ctx context.Context, inv *appInv) {
+	select {
+	case <-inv.settled:
+	case <-ctx.Done():
+		rt.abandon(inv)
+	}
+}
+
+// abandon fails an admitted request whose caller went away, freeing its
+// admission slot and purging its queued members.
+func (rt *Runtime) abandon(inv *appInv) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed || inv.resolved || inv.failed {
+		return
+	}
+	rt.stats.Abandoned++
+	now := rt.now()
+	rt.dropInvocation(inv, Result{
+		ReqID: inv.id, Arrival: inv.arrival, End: now,
+		E2E: now - inv.arrival, Failed: true, Abandoned: true,
+	})
+	rt.wakeLoop()
+}
+
+// onDeadline fails a request whose end-to-end budget elapsed unresolved.
+func (rt *Runtime) onDeadline(inv *appInv) {
+	if inv == nil || inv.resolved || inv.failed {
+		return
+	}
+	rt.stats.DeadlineExceeded++
+	now := rt.now()
+	rt.dropInvocation(inv, Result{
+		ReqID: inv.id, Arrival: inv.arrival, End: now,
+		E2E: now - inv.arrival, Failed: true, DeadlineExceeded: true,
+	})
 }
 
 // onArrival admits one request: record the arrival, fire reactive
 // pre-warms, release the entry function. Callers hold mu. Port of the
 // simulator's onArrival plus the Result channel.
-func (rt *Runtime) onArrival() <-chan Result {
+func (rt *Runtime) onArrival() (*appInv, <-chan Result) {
 	now := rt.now()
 	rt.arrivalsThisWindow++
 	rt.arrivalTimes = append(rt.arrivalTimes, now)
@@ -352,6 +485,7 @@ func (rt *Runtime) onArrival() <-chan Result {
 		done:      make(map[dag.NodeID]bool, g.Len()),
 		remaining: g.Len(),
 		resCh:     make(chan Result, 1),
+		settled:   make(chan struct{}),
 	}
 	rt.nextInv++
 	if rt.rec != nil {
@@ -369,7 +503,7 @@ func (rt *Runtime) onArrival() <-chan Result {
 	for _, src := range g.Sources() {
 		rt.enqueue(&nodeInv{inv: inv, node: src, readyAt: now})
 	}
-	return inv.resCh
+	return inv, inv.resCh
 }
 
 // Drain stops admitting new requests and blocks until every inflight
@@ -418,6 +552,13 @@ func (rt *Runtime) Close() {
 	for _, id := range ids {
 		if c := rt.conts[id]; c != nil && c.state != cDead {
 			rt.terminate(c)
+		}
+	}
+	// Settle detector-declared down time still open at shutdown.
+	now := rt.now()
+	for _, n := range rt.nodes {
+		if n.health == nodeDown && n.detectorDown {
+			rt.stats.NodeDownSeconds += now - n.downSince
 		}
 	}
 	close(rt.stopCh)

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -121,7 +122,7 @@ func TestColdThenWarmRequest(t *testing.T) {
 	app := testChain([]float64{0.1, 0.2, 0.3}, 1.0)
 	rt, fake := newTestRuntime(t, Config{App: app, SLA: 10}, keepAliveDriver(1))
 
-	ch, err := rt.Invoke()
+	ch, err := rt.Invoke(context.Background())
 	if err != nil {
 		t.Fatalf("Invoke: %v", err)
 	}
@@ -137,7 +138,7 @@ func TestColdThenWarmRequest(t *testing.T) {
 
 	// All three instances stay warm under keep-alive: the second request
 	// pays execution only.
-	ch2, err := rt.Invoke()
+	ch2, err := rt.Invoke(context.Background())
 	if err != nil {
 		t.Fatalf("second Invoke: %v", err)
 	}
@@ -194,7 +195,7 @@ func TestMinWarmFloor(t *testing.T) {
 
 func mustInvoke(t *testing.T, rt *Runtime) <-chan Result {
 	t.Helper()
-	ch, err := rt.Invoke()
+	ch, err := rt.Invoke(context.Background())
 	if err != nil {
 		t.Fatalf("Invoke: %v", err)
 	}
@@ -302,7 +303,7 @@ func TestAdmissionControlAndLifecycle(t *testing.T) {
 	rt, fake := newTestRuntime(t, Config{App: app, SLA: 10, MaxInflight: 1}, keepAliveDriver(1))
 
 	ch := mustInvoke(t, rt)
-	if _, err := rt.Invoke(); err != ErrOverloaded {
+	if _, err := rt.Invoke(context.Background()); err != ErrOverloaded {
 		t.Errorf("second Invoke err = %v, want ErrOverloaded", err)
 	}
 	if got := rt.Rejected(); got != 1 {
@@ -318,11 +319,11 @@ func TestAdmissionControlAndLifecycle(t *testing.T) {
 	if !rt.Draining() {
 		t.Error("Draining() = false after Drain")
 	}
-	if _, err := rt.Invoke(); err != ErrDraining {
+	if _, err := rt.Invoke(context.Background()); err != ErrDraining {
 		t.Errorf("Invoke while draining err = %v, want ErrDraining", err)
 	}
 	rt.Close()
-	if _, err := rt.Invoke(); err != ErrClosed {
+	if _, err := rt.Invoke(context.Background()); err != ErrClosed {
 		t.Errorf("Invoke after Close err = %v, want ErrClosed", err)
 	}
 }

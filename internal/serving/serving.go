@@ -32,12 +32,27 @@
 //     deadline, so integration tests can assert latencies to float
 //     precision.
 //
-// Two simulator features are deliberately not ported: cluster capacity /
-// node placement (the live runtime assumes an elastic substrate, so node
-// outages and CapacityBlocked accounting are simulator-only) and GPU MPS
-// contention (which needs node co-location state). Fault injection is
-// supported through the same faults.Plan rates; Outages entries are
-// ignored.
+// One simulator feature is deliberately not ported: per-node capacity and
+// GPU MPS contention (the live runtime assumes an elastic substrate, so
+// CapacityBlocked accounting is simulator-only). Fault injection is
+// supported through the same faults.Plan rates; Outage entries (the
+// simulator's instant-detection node outages) are ignored, but NodeFault
+// entries (crash, partition) are realized against the node layer below.
+//
+// # Multi-node control plane
+//
+// With Config.Nodes > 1 the runtime runs N node agents under a thin
+// placement layer (node.go): new containers land on their function's
+// locality home node and overflow to the less loaded of two sampled healthy
+// peers (power of two choices). A deterministic health-gossip failure
+// detector, ticking on the same event loop, walks nodes through
+// up → suspect → down as heartbeats go missing and recovers them when
+// heartbeats resume. When a node is declared down, its in-flight requests
+// fail over to live peers under first-completion-wins idempotency — no
+// request is lost or duplicated, even when a healed partition replays the
+// original completions. Node crashes, restarts and partitions can be
+// scheduled via faults.Plan.NodeFaults, injected live through
+// KillNode/RestartNode/SetPartitioned, and observed via NodeInfos.
 //
 // # Batching (§V-D)
 //
@@ -98,6 +113,28 @@ type Config struct {
 	// clock.Wall). Inject a clock.Fake in tests or a clock.ScaledWall for
 	// accelerated replays.
 	Clock clock.Scheduler
+	// Nodes is the number of node agents the executor pool is spread over
+	// (default 1: the classic single-pool runtime, byte-for-byte
+	// unchanged). With Nodes > 1, placement routes by locality with
+	// power-of-two-choices overflow and the health-gossip failure detector
+	// runs.
+	Nodes int
+	// GossipInterval is the failure-detector tick period in seconds
+	// (default 0.25). SuspectAfter and DownAfter are how long a node must
+	// miss heartbeats before it is suspected (default 2×GossipInterval)
+	// and declared down with failover (default 2×SuspectAfter).
+	GossipInterval float64
+	SuspectAfter   float64
+	DownAfter      float64
+	// LocalitySlack is how many more live containers the home node may
+	// carry than the least-loaded healthy peer before a launch overflows
+	// (default 2).
+	LocalitySlack int
+	// DefaultDeadline, when positive, bounds every request's end-to-end
+	// latency in model seconds: requests still unresolved at the deadline
+	// fail with Result.DeadlineExceeded. Per-request deadlines via
+	// InvokeWithDeadline override it.
+	DefaultDeadline float64
 }
 
 // withDefaults validates cfg and fills defaults, mirroring simulator.New.
@@ -131,6 +168,38 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewWall()
+	}
+	if cfg.Nodes < 0 {
+		return cfg, &ConfigError{Field: "Nodes", Reason: "must not be negative"}
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.GossipInterval < 0 || cfg.SuspectAfter < 0 || cfg.DownAfter < 0 {
+		return cfg, &ConfigError{Field: "GossipInterval", Reason: "detector timings must not be negative"}
+	}
+	if cfg.GossipInterval == 0 { //lint:allow floateq zero means "unset", not computed
+		cfg.GossipInterval = 0.25
+	}
+	if cfg.SuspectAfter == 0 { //lint:allow floateq zero means "unset", not computed
+		cfg.SuspectAfter = 2 * cfg.GossipInterval
+	}
+	if cfg.DownAfter <= cfg.SuspectAfter {
+		cfg.DownAfter = 2 * cfg.SuspectAfter
+	}
+	if cfg.LocalitySlack <= 0 {
+		cfg.LocalitySlack = 2
+	}
+	if cfg.DefaultDeadline < 0 {
+		return cfg, &ConfigError{Field: "DefaultDeadline", Reason: "must not be negative"}
+	}
+	if cfg.Faults != nil {
+		for _, nf := range cfg.Faults.NodeFaults {
+			if nf.Node < 0 || nf.Node >= cfg.Nodes {
+				return cfg, &ConfigError{Field: "Faults",
+					Reason: fmt.Sprintf("NodeFault node %d out of range [0,%d)", nf.Node, cfg.Nodes)}
+			}
+		}
 	}
 	return cfg, nil
 }
@@ -167,9 +236,15 @@ type Result struct {
 	End     float64
 	// E2E is End − Arrival.
 	E2E float64
-	// Failed reports that the request was lost after exhausting retries
-	// (only possible under fault injection).
+	// Failed reports that the request did not complete: retries exhausted,
+	// deadline exceeded, or abandoned by its caller.
 	Failed bool
+	// DeadlineExceeded reports that the request's per-request deadline
+	// elapsed before it resolved (implies Failed).
+	DeadlineExceeded bool
+	// Abandoned reports that the caller's context was cancelled before the
+	// request resolved (implies Failed).
+	Abandoned bool
 	// SLAViolated reports E2E > SLA for completed requests.
 	SLAViolated bool
 }

@@ -23,20 +23,37 @@ import (
 type eventKind int
 
 const (
-	evArrival     eventKind = iota // application request arrival
-	evInitDone                     // container finished initializing
-	evExecDone                     // container finished a batch
-	evIdleTimeout                  // keep-alive expired
-	evPrewarm                      // scheduled pre-warm point
-	evWindow                       // decision-window boundary
-	evInitFail                     // injected crash mid-initialization
-	evExecFail                     // injected crash mid-execution
-	evExecTimeout                  // gateway per-attempt timeout fired
-	evHedge                        // hedge point for a slow single execution
-	evRetry                        // backed-off retry becomes ready
-	evNodeDown                     // node outage begins (cid = node index)
-	evNodeUp                       // node outage ends (cid = node index)
+	evArrival        eventKind = iota // application request arrival
+	evInitDone                        // container finished initializing
+	evExecDone                        // container finished a batch
+	evIdleTimeout                     // keep-alive expired
+	evPrewarm                         // scheduled pre-warm point
+	evWindow                          // decision-window boundary
+	evInitFail                        // injected crash mid-initialization
+	evExecFail                        // injected crash mid-execution
+	evExecTimeout                     // gateway per-attempt timeout fired
+	evHedge                           // hedge point for a slow single execution
+	evRetry                           // backed-off retry becomes ready
+	evNodeDown                        // node outage begins (cid = node index)
+	evNodeUp                          // node outage ends (cid = node index)
+	evNodeCrash                       // node process dies silently (cid = node index)
+	evNodeRestart                     // crashed node rejoins empty (cid = node index)
+	evPartitionStart                  // node becomes unreachable (cid = node index)
+	evPartitionEnd                    // partition heals, held completions deliver (cid = node index)
+	evGossip                          // health-gossip tick: advance suspect/down/recovered
 )
+
+// nodeSide reports whether the event is a completion or failure emitted by
+// the container's own node — lost with a crashed node, delayed by a
+// partition — as opposed to gateway-side timers (timeouts, hedges, idle
+// reaping), which the control plane runs regardless of node reachability.
+func (e *event) nodeSide() bool {
+	switch e.kind {
+	case evInitDone, evExecDone, evInitFail, evExecFail:
+		return true
+	}
+	return false
+}
 
 // event is one scheduled occurrence. Timestamps are typed simulation time
 // (units.Duration since run start) so they cannot silently mix with raw

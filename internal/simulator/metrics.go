@@ -32,6 +32,11 @@ func (r *RunStats) RecordMetrics(store *metrics.Store, labels metrics.Labels, t 
 	rec("smiless_evicted_containers_total", float64(r.EvictedContainers))
 	rec("smiless_breaker_trips_total", float64(r.BreakerTrips))
 	rec("smiless_degraded_windows_total", float64(r.DegradedWindows))
+	rec("smiless_forwards_total", float64(r.Forwards))
+	rec("smiless_failovers_total", float64(r.Failovers))
+	rec("smiless_node_down_seconds_total", r.NodeDownSeconds)
+	rec("smiless_deadline_exceeded_total", float64(r.DeadlineExceeded))
+	rec("smiless_abandoned_total", float64(r.Abandoned))
 
 	// Critical-path attribution (all zero unless the run was traced).
 	rec("smiless_queue_on_path_seconds_total", r.QueueOnPathSeconds)

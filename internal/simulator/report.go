@@ -50,6 +50,11 @@ type Report struct {
 	EvictedContainers int     `json:"evicted_containers,omitempty"`
 	BreakerTrips      int     `json:"breaker_trips,omitempty"`
 	DegradedWindows   int     `json:"degraded_windows,omitempty"`
+	Forwards          int     `json:"forwards,omitempty"`
+	Failovers         int     `json:"failovers,omitempty"`
+	NodeDownSeconds   float64 `json:"node_down_seconds,omitempty"`
+	DeadlineExceeded  int     `json:"deadline_exceeded,omitempty"`
+	Abandoned         int     `json:"abandoned,omitempty"`
 
 	// Critical-path attribution (zero and omitted unless the run was traced
 	// with internal/tracing): per-phase seconds summed over the measured
@@ -116,6 +121,11 @@ func BuildReport(system, app string, st *RunStats) Report {
 		r.EvictedContainers = st.EvictedContainers
 		r.BreakerTrips = st.BreakerTrips
 		r.DegradedWindows = st.DegradedWindows
+		r.Forwards = st.Forwards
+		r.Failovers = st.Failovers
+		r.NodeDownSeconds = st.NodeDownSeconds
+		r.DeadlineExceeded = st.DeadlineExceeded
+		r.Abandoned = st.Abandoned
 	}
 	r.QueueOnPathSeconds = st.QueueOnPathSeconds
 	r.InitOnPathSeconds = st.InitOnPathSeconds

@@ -179,11 +179,36 @@ type nodeInv struct {
 	span *tracing.NodeSpan
 }
 
+// PlacementPolicy selects how launches are placed onto cluster nodes.
+type PlacementPolicy int
+
+const (
+	// PlaceFirstFit scans nodes in index order and takes the first with
+	// capacity — the default, byte-identical to earlier releases.
+	PlaceFirstFit PlacementPolicy = iota
+	// PlaceP2C routes by locality: a function's home node (a stable hash
+	// of its name) keeps the launch while it has capacity, and overflow
+	// forwards to the less loaded of two randomly sampled peers
+	// (power-of-two-choices). Draws come from a dedicated placement RNG,
+	// so enabling it never perturbs the ground-truth timing stream.
+	PlaceP2C
+)
+
 // Config parameterizes a simulation run.
 type Config struct {
 	App     *apps.Application
 	Cluster hardware.ClusterSpec
 	Pricing hardware.Pricing
+	// Placement selects the node-placement policy (default PlaceFirstFit).
+	Placement PlacementPolicy
+	// GossipInterval is the health-detector tick period in seconds
+	// (default 0.25). SuspectAfter and DownAfter are how long a node must
+	// miss heartbeats before it is suspected (default 2×GossipInterval)
+	// and declared down with its in-flight work failed over (default
+	// 2×SuspectAfter). Only consulted when Faults carries NodeFaults.
+	GossipInterval float64
+	SuspectAfter   float64
+	DownAfter      float64
 	// SLA is the end-to-end latency bound in seconds.
 	SLA float64
 	// Window is the decision-window length; the paper uses one second.
@@ -220,9 +245,13 @@ type injector interface {
 
 // Simulator runs one (application, driver, trace) evaluation.
 type Simulator struct {
-	cfg     Config
-	driver  Driver
-	rng     *rand.Rand
+	cfg    Config
+	driver Driver
+	rng    *rand.Rand
+	// prng is the placement RNG: only PlaceP2C draws from it, so the
+	// ground-truth timing stream (rng) is identical whichever placement
+	// policy runs.
+	prng    *rand.Rand
 	cluster *clusterState
 
 	// now and horizon are typed simulation time; the float64 driver-facing
@@ -297,10 +326,27 @@ func New(cfg Config, driver Driver) (*Simulator, error) {
 	if cfg.Pricing == (hardware.Pricing{}) {
 		cfg.Pricing = hardware.DefaultPricing
 	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = 0.25
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2 * cfg.GossipInterval
+	}
+	if cfg.DownAfter <= cfg.SuspectAfter {
+		cfg.DownAfter = 2 * cfg.SuspectAfter
+	}
 	if cfg.Faults != nil {
 		for _, o := range cfg.Faults.Outages {
 			if o.Node < 0 || o.Node >= len(cfg.Cluster.Nodes) {
 				return nil, &ConfigError{Field: "Faults.Outages", Reason: fmt.Sprintf("node %d out of range", o.Node)}
+			}
+		}
+		for _, nf := range cfg.Faults.NodeFaults {
+			if nf.Node < 0 || nf.Node >= len(cfg.Cluster.Nodes) {
+				return nil, &ConfigError{Field: "Faults.NodeFaults", Reason: fmt.Sprintf("node %d out of range", nf.Node)}
+			}
+			if nf.Kind == faults.NodePartition && nf.End <= nf.Start {
+				return nil, &ConfigError{Field: "Faults.NodeFaults", Reason: fmt.Sprintf("partition of node %d must have End > Start", nf.Node)}
 			}
 		}
 	}
@@ -308,6 +354,7 @@ func New(cfg Config, driver Driver) (*Simulator, error) {
 		cfg:     cfg,
 		driver:  driver,
 		rng:     mathx.NewRand(cfg.Seed),
+		prng:    mathx.NewRand(cfg.Seed ^ 0x9e3779b9),
 		cluster: newClusterState(cfg.Cluster),
 		fns:     make(map[dag.NodeID]*fnState),
 		conts:   make(map[int]*container),
@@ -599,6 +646,23 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 			s.schedule(&event{at: units.Seconds(o.Start), kind: evNodeDown, cid: o.Node})
 			s.schedule(&event{at: units.Seconds(o.End), kind: evNodeUp, cid: o.Node})
 		}
+		for _, nf := range s.cfg.Faults.NodeFaults {
+			switch nf.Kind {
+			case faults.NodeCrash:
+				s.schedule(&event{at: units.Seconds(nf.Start), kind: evNodeCrash, cid: nf.Node})
+				if nf.End > nf.Start {
+					s.schedule(&event{at: units.Seconds(nf.End), kind: evNodeRestart, cid: nf.Node})
+				}
+			case faults.NodePartition:
+				s.schedule(&event{at: units.Seconds(nf.Start), kind: evPartitionStart, cid: nf.Node})
+				s.schedule(&event{at: units.Seconds(nf.End), kind: evPartitionEnd, cid: nf.Node})
+			}
+		}
+		// The detector only runs when a fault plan can starve heartbeats;
+		// plans without node faults stay byte-identical to earlier builds.
+		if len(s.cfg.Faults.NodeFaults) > 0 {
+			s.schedule(&event{at: units.Seconds(s.cfg.GossipInterval), kind: evGossip})
+		}
 	}
 	s.driver.Setup(s)
 
@@ -612,43 +676,73 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 			panic(fmt.Sprintf("simulator: time travel %.6f -> %.6f", s.now.Seconds(), e.at.Seconds()))
 		}
 		s.now = e.at
-		switch e.kind {
-		case evArrival:
-			s.onArrival()
-		case evInitDone:
-			s.onInitDone(e.cid)
-		case evExecDone:
-			s.onExecDone(e.cid)
-		case evIdleTimeout:
-			s.onIdleTimeout(e.cid, e.epoch)
-		case evPrewarm:
-			s.onPrewarm(dag.NodeID(e.fn))
-		case evInitFail:
-			s.onInitFail(e.cid)
-		case evExecFail:
-			s.onExecFail(e.cid, e.epoch)
-		case evExecTimeout:
-			s.onExecTimeout(e.cid, e.epoch)
-		case evHedge:
-			s.onHedge(e.cid, e.epoch)
-		case evRetry:
-			s.onRetry(e.ni)
-		case evNodeDown:
-			s.onNodeDown(e.cid)
-		case evNodeUp:
-			s.onNodeUp(e.cid)
-		case evWindow:
-			s.counts = append(s.counts, s.arrivalsThisWindow)
-			s.arrivalsThisWindow = 0
-			s.driver.OnWindow(s, s.now.Seconds())
-			s.samplePods()
-		}
+		s.dispatch(e)
 		if s.stats.Completed+s.stats.FailedInvocations >= outstanding && s.allIdle() && s.now.Seconds() > tr.Horizon {
 			break
 		}
 	}
 	s.finish()
 	return s.stats, nil
+}
+
+// dispatch routes one due event to its handler. Node-side events (init and
+// exec completions or crashes) from a crashed node are dropped — the work
+// died with the process — and from a partitioned node they are held on the
+// node and replayed in order when the partition heals.
+func (s *Simulator) dispatch(e *event) {
+	if e.nodeSide() {
+		if c := s.conts[e.cid]; c != nil && c.node >= 0 {
+			n := s.cluster.nodes[c.node]
+			if !n.alive {
+				return
+			}
+			if n.partitioned {
+				n.held = append(n.held, e)
+				return
+			}
+		}
+	}
+	switch e.kind {
+	case evArrival:
+		s.onArrival()
+	case evInitDone:
+		s.onInitDone(e.cid)
+	case evExecDone:
+		s.onExecDone(e.cid)
+	case evIdleTimeout:
+		s.onIdleTimeout(e.cid, e.epoch)
+	case evPrewarm:
+		s.onPrewarm(dag.NodeID(e.fn))
+	case evInitFail:
+		s.onInitFail(e.cid)
+	case evExecFail:
+		s.onExecFail(e.cid, e.epoch)
+	case evExecTimeout:
+		s.onExecTimeout(e.cid, e.epoch)
+	case evHedge:
+		s.onHedge(e.cid, e.epoch)
+	case evRetry:
+		s.onRetry(e.ni)
+	case evNodeDown:
+		s.onNodeDown(e.cid)
+	case evNodeUp:
+		s.onNodeUp(e.cid)
+	case evNodeCrash:
+		s.onNodeCrash(e.cid)
+	case evNodeRestart:
+		s.onNodeRestart(e.cid)
+	case evPartitionStart:
+		s.onPartitionStart(e.cid)
+	case evPartitionEnd:
+		s.onPartitionEnd(e.cid)
+	case evGossip:
+		s.onGossip()
+	case evWindow:
+		s.counts = append(s.counts, s.arrivalsThisWindow)
+		s.arrivalsThisWindow = 0
+		s.driver.OnWindow(s, s.now.Seconds())
+		s.samplePods()
+	}
 }
 
 // MustRun is Run that panics on error, for callers that construct the
@@ -694,6 +788,14 @@ func (s *Simulator) finish() {
 	// exhausted queue) count as failed so availability reflects them.
 	if unresolved := s.nextInv - s.stats.Completed - s.stats.FailedInvocations; unresolved > 0 {
 		s.stats.FailedInvocations += unresolved
+	}
+	// Settle down time for nodes the detector still holds down at the end.
+	if s.cfg.Faults != nil && len(s.cfg.Faults.NodeFaults) > 0 {
+		for _, n := range s.cluster.nodes {
+			if n.health == nodeDown && n.detectorDown {
+				s.stats.NodeDownSeconds += s.now.Seconds() - n.downSince
+			}
+		}
 	}
 }
 
@@ -753,9 +855,11 @@ func (s *Simulator) pump(fs *fnState) {
 		// 2. Busy warm containers absorb small overlaps: joining the next
 		// batch costs at most one inference cycle, which beats waiting out
 		// a cold initialization on a fresh instance.
+		// Containers on a node the detector holds down do not count: a
+		// batch stuck behind a partition must not absorb the queue.
 		busy := 0
 		for _, c := range fs.containers {
-			if c.state == cBusy {
+			if c.state == cBusy && s.servable(c) {
 				busy++
 			}
 		}
@@ -798,10 +902,17 @@ func (s *Simulator) pump(fs *fnState) {
 	}
 }
 
+// servable reports whether the control plane will route new work to the
+// container: its node must not be detected down (or suspect). Unplaced
+// launches are handled separately by pickInitializing.
+func (s *Simulator) servable(c *container) bool {
+	return c.node < 0 || s.cluster.nodes[c.node].placeable()
+}
+
 func (s *Simulator) pickIdle(fs *fnState) *container {
 	var best *container
 	for _, c := range fs.containers {
-		if c.state == cIdle && (best == nil || c.id < best.id) {
+		if c.state == cIdle && s.servable(c) && (best == nil || c.id < best.id) {
 			best = c
 		}
 	}
@@ -811,7 +922,8 @@ func (s *Simulator) pickIdle(fs *fnState) *container {
 func (s *Simulator) pickInitializing(fs *fnState) *container {
 	var best *container
 	for _, c := range fs.containers {
-		if c.state == cInitializing && c.node >= 0 && len(c.assigned) < fs.directive.Batch &&
+		if c.state == cInitializing && c.node >= 0 && s.servable(c) &&
+			len(c.assigned) < fs.directive.Batch &&
 			(best == nil || c.id < best.id) {
 			best = c
 		}
@@ -831,7 +943,7 @@ func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *co
 	s.conts[c.id] = c
 	fs.inits++
 	s.stats.Inits++
-	node, ok := s.cluster.allocate(cfg)
+	node, ok := s.placeLaunch(fs.id, cfg)
 	if !ok {
 		s.pendingLaunch = append(s.pendingLaunch, c)
 		s.stats.CapacityBlocked++
@@ -842,13 +954,26 @@ func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *co
 	return c
 }
 
+// placeLaunch reserves a node for one launch under the configured placement
+// policy, counting overflow forwards under PlaceP2C.
+func (s *Simulator) placeLaunch(id dag.NodeID, cfg hardware.Config) (int, bool) {
+	if s.cfg.Placement == PlaceP2C {
+		node, forwarded, ok := s.cluster.allocateP2C(cfg, HomeNode(string(id), s.cluster.len()), s.prng)
+		if ok && forwarded {
+			s.stats.Forwards++
+		}
+		return node, ok
+	}
+	return s.cluster.allocate(cfg)
+}
+
 // beginInit samples the initialization duration for a placed container and
 // schedules its completion — or, under fault injection, its crash partway
 // through. The duration sample always comes from the ground-truth RNG so
 // the fault-free stream is undisturbed.
 func (s *Simulator) beginInit(c *container) {
 	if s.rec != nil {
-		s.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), s.now.Seconds(), c.prewarmed)
+		s.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), c.node, s.now.Seconds(), c.prewarmed)
 	}
 	dur := c.fn.spec.SampleInit(s.rng, c.cfg)
 	if s.inj != nil {
@@ -943,7 +1068,7 @@ func (s *Simulator) startBatch(c *container, cause tracing.Phase) {
 			ni.span.Dispatch(now, cause, c.initStart.Seconds(), c.id,
 				c.cfg.String(), d.Policy.String(), len(batch))
 		}
-		s.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), now, len(batch))
+		s.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), c.node, now, len(batch))
 	}
 	dur := fs.spec.SampleInference(s.rng, c.cfg, len(batch))
 	if s.cfg.GPUContention > 0 && c.cfg.Kind == hardware.GPU && c.node >= 0 {
@@ -1177,14 +1302,35 @@ func (s *Simulator) onHedge(cid, epoch int) {
 	s.startBatch(h, tracing.PhaseQueue)
 }
 
-// onNodeDown begins a node outage: no new allocations land on the node and
-// every container on it is evicted, its in-flight work retried elsewhere.
+// onNodeDown begins a legacy Outage: detection is instantaneous, no new
+// allocations land on the node and every container on it is evicted, its
+// in-flight work retried elsewhere (charging retry attempts, as before).
 func (s *Simulator) onNodeDown(n int) {
 	if n < 0 || n >= s.cluster.len() || s.cluster.isDown(n) {
 		return
 	}
 	s.cluster.setDown(n, true)
 	s.stats.NodeDownEvents++
+	s.evictNode(n, s.retryMember)
+	s.pumpAll()
+}
+
+// onNodeUp ends a legacy Outage: the node accepts allocations again and any
+// capacity-blocked launches are placed.
+func (s *Simulator) onNodeUp(n int) {
+	if n < 0 || n >= s.cluster.len() || !s.cluster.isDown(n) {
+		return
+	}
+	s.cluster.setDown(n, false)
+	s.drainPendingLaunches()
+	s.pumpAll()
+}
+
+// evictNode terminates every container on node n (id order for
+// determinism) and routes each in-flight batch member through route
+// (retryMember for legacy outages, failoverMember for detected crashes).
+// Assigned-but-unstarted members requeue via terminate.
+func (s *Simulator) evictNode(n int, route func(*fnState, *nodeInv)) {
 	ids := make([]int, 0, len(s.conts))
 	for id, c := range s.conts {
 		if c.node == n && c.state != cDead {
@@ -1206,10 +1352,13 @@ func (s *Simulator) onNodeDown(n int) {
 		}
 		s.terminate(c)
 		for _, ni := range members {
-			s.retryMember(fs, ni)
+			route(fs, ni)
 		}
 	}
-	// Re-dispatch displaced work in graph order for determinism.
+}
+
+// pumpAll re-dispatches queued work in graph order for determinism.
+func (s *Simulator) pumpAll() {
 	for _, id := range s.cfg.App.Graph.Nodes() {
 		if fs := s.fns[id]; len(fs.queue) > 0 {
 			s.pump(fs)
@@ -1217,19 +1366,174 @@ func (s *Simulator) onNodeDown(n int) {
 	}
 }
 
-// onNodeUp ends a node outage: the node accepts allocations again and any
-// capacity-blocked launches are placed.
-func (s *Simulator) onNodeUp(n int) {
-	if n < 0 || n >= s.cluster.len() || !s.cluster.isDown(n) {
+// nodeInstant records a node-lifecycle marker when tracing is attached.
+func (s *Simulator) nodeInstant(name string, n int) {
+	if s.rec != nil {
+		s.rec.AddInstant(s.now.Seconds(), name, []tracing.KV{{Key: "node", Val: fmt.Sprint(n)}})
+	}
+}
+
+// onNodeCrash kills a node's process — ground truth only. Its containers
+// stay registered and the control plane keeps routing to them; their
+// node-side completions are dropped until the gossip detector marks the
+// node down and fails the in-flight work over.
+func (s *Simulator) onNodeCrash(n int) {
+	node := s.cluster.nodes[n]
+	if !node.alive {
 		return
 	}
-	s.cluster.setDown(n, false)
-	s.drainPendingLaunches()
-	for _, id := range s.cfg.App.Graph.Nodes() {
-		if fs := s.fns[id]; len(fs.queue) > 0 {
-			s.pump(fs)
+	node.alive = false
+	s.nodeInstant("node_crash", n)
+}
+
+// onNodeRestart brings a crashed node back, empty. Containers the control
+// plane still believes live on it died with the process: they are evicted
+// and their in-flight work fails over — whether or not the detector had
+// noticed the crash, a fast flap must not lose requests. Health recovery
+// (allocations resuming) waits for the next gossip tick to observe the
+// resumed heartbeats.
+func (s *Simulator) onNodeRestart(n int) {
+	node := s.cluster.nodes[n]
+	if node.alive {
+		return
+	}
+	s.evictNode(n, s.failoverMember)
+	node.alive = true
+	s.nodeInstant("node_restart", n)
+	s.pumpAll()
+}
+
+// onPartitionStart makes a node unreachable: its containers keep running
+// but their completions are held until the partition heals.
+func (s *Simulator) onPartitionStart(n int) {
+	node := s.cluster.nodes[n]
+	if node.partitioned || !node.alive {
+		return
+	}
+	node.partitioned = true
+	s.nodeInstant("partition_start", n)
+}
+
+// onPartitionEnd heals a partition: held node-side events replay in their
+// original order at heal time, racing any failed-over twins through the
+// idempotent first-completion-wins dedup — no request completes twice.
+func (s *Simulator) onPartitionEnd(n int) {
+	node := s.cluster.nodes[n]
+	if !node.partitioned {
+		return
+	}
+	node.partitioned = false
+	held := node.held
+	node.held = nil
+	s.nodeInstant("partition_heal", n)
+	for _, he := range held {
+		s.dispatch(he)
+	}
+}
+
+// onGossip is one deterministic failure-detector tick: reachable nodes
+// heartbeat, unreachable ones age toward suspect and down, and nodes whose
+// heartbeats resumed recover. Nodes are visited in index order so detector
+// side effects (evictions, failovers, pumps) are reproducible.
+func (s *Simulator) onGossip() {
+	now := s.now.Seconds()
+	for i, n := range s.cluster.nodes {
+		if n.alive && !n.partitioned {
+			n.lastBeat = now
+			// Only reverse the detector's own verdicts: a node a legacy
+			// Outage holds down stays down until its scheduled evNodeUp.
+			if n.health == nodeSuspect || (n.health == nodeDown && n.detectorDown) {
+				s.recoverNode(i)
+			}
+			continue
+		}
+		gap := now - n.lastBeat
+		if n.health == nodeUp && gap >= s.cfg.SuspectAfter {
+			n.health = nodeSuspect
+			s.nodeInstant("node_suspect", i)
+		}
+		if n.health != nodeDown && gap >= s.cfg.DownAfter {
+			s.markNodeDown(i)
 		}
 	}
+	if s.now < s.horizon {
+		s.schedule(&event{at: s.now + units.Seconds(s.cfg.GossipInterval), kind: evGossip})
+	}
+}
+
+// recoverNode returns a node to service once its heartbeats resume: down
+// time settles into NodeDownSeconds, capacity-blocked launches place, and
+// queued work re-pumps.
+func (s *Simulator) recoverNode(i int) {
+	n := s.cluster.nodes[i]
+	if n.health == nodeDown {
+		s.stats.NodeDownSeconds += s.now.Seconds() - n.downSince
+	}
+	n.health = nodeUp
+	n.detectorDown = false
+	s.nodeInstant("node_recovered", i)
+	s.drainPendingLaunches()
+	s.pumpAll()
+}
+
+// markNodeDown commits the detector's verdict: the node leaves the
+// placement pool and every in-flight request bound to it fails over to a
+// live peer. A crashed node's containers are evicted (they died with the
+// process); a partitioned node's keep running — their eventual completions
+// race the failover twins, and the done-map dedup keeps exactly one.
+func (s *Simulator) markNodeDown(i int) {
+	n := s.cluster.nodes[i]
+	n.health = nodeDown
+	n.detectorDown = true
+	n.downSince = s.now.Seconds()
+	s.stats.NodeDownEvents++
+	s.nodeInstant("node_down", i)
+	if !n.alive {
+		s.evictNode(i, s.failoverMember)
+	} else if n.partitioned {
+		s.twinNodeInflight(i)
+	}
+	s.pumpAll()
+}
+
+// twinNodeInflight duplicates every in-flight member on node i onto a live
+// peer. The originals keep executing behind the partition; twin and
+// original race, first completion wins.
+func (s *Simulator) twinNodeInflight(i int) {
+	ids := make([]int, 0, len(s.conts))
+	for id, c := range s.conts {
+		if c.node == i && c.state != cDead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := s.conts[id]
+		members := append(append([]*nodeInv(nil), c.batch...), c.assigned...)
+		for _, ni := range members {
+			if ni.inv.failed || ni.inv.done[ni.node] || ni.isHedge {
+				continue
+			}
+			twin := &nodeInv{inv: ni.inv, node: ni.node, readyAt: s.now}
+			s.failoverMember(c.fn, twin)
+		}
+	}
+}
+
+// failoverMember re-forwards one in-flight member to a live peer. Unlike
+// retryMember it charges no retry attempt and applies no backoff: the
+// failure is the infrastructure's, not the attempt's, and the detection
+// delay already cost latency. The deadline/retry budgets still bound total
+// work — a member that keeps landing on dying nodes keeps its attempt
+// count, so its next genuine failure routes through the retry policy.
+func (s *Simulator) failoverMember(fs *fnState, ni *nodeInv) {
+	if ni.inv.failed || ni.inv.done[ni.node] || ni.isHedge {
+		return
+	}
+	s.stats.Failovers++
+	ni.hedged = false
+	ni.readyAt = s.now
+	s.enqueue(ni)
 }
 
 func (s *Simulator) armIdleTimer(c *container) {
@@ -1299,7 +1603,7 @@ func (s *Simulator) drainPendingLaunches() {
 		if c.state != cInitializing {
 			continue
 		}
-		node, ok := s.cluster.allocate(c.cfg)
+		node, ok := s.placeLaunch(c.fn.id, c.cfg)
 		if !ok {
 			remaining = append(remaining, c)
 			continue

@@ -70,10 +70,17 @@ type RunStats struct {
 	HedgesLaunched    int // duplicate executions started
 	HedgesWon         int // hedge twins that finished before the primary
 	FailedInvocations int // requests lost after exhausting retries
-	NodeDownEvents    int // node outages begun
+	NodeDownEvents    int // node outages begun (scheduled or detector-declared)
 	EvictedContainers int // containers killed by node outages
 	BreakerTrips      int // circuit-breaker openings (driver-reported)
 	DegradedWindows   int // windows served on the degraded fallback plan
+
+	// Multi-node control plane (all zero on single-node / first-fit runs).
+	Forwards         int     // launches placed off the locality home node (p2c overflow)
+	Failovers        int     // in-flight members re-forwarded off a dead or partitioned node
+	NodeDownSeconds  float64 // cumulative detector-declared down time across nodes
+	DeadlineExceeded int     // requests failed by their per-request deadline
+	Abandoned        int     // requests whose caller went away before resolution
 
 	PodSamples []PodSample
 }
@@ -165,7 +172,9 @@ func (r *RunStats) resilienceActive() bool {
 	return r.InitFailures > 0 || r.ExecFailures > 0 || r.Timeouts > 0 ||
 		r.Stragglers > 0 || r.Retries > 0 || r.HedgesLaunched > 0 ||
 		r.FailedInvocations > 0 || r.NodeDownEvents > 0 ||
-		r.BreakerTrips > 0 || r.DegradedWindows > 0
+		r.BreakerTrips > 0 || r.DegradedWindows > 0 ||
+		r.Forwards > 0 || r.Failovers > 0 || r.NodeDownSeconds > 0 ||
+		r.DeadlineExceeded > 0 || r.Abandoned > 0
 }
 
 // Summary renders a human-readable digest for CLI output.
@@ -180,6 +189,10 @@ func (r *RunStats) Summary() string {
 		fmt.Fprintf(&b, "crashes=%d/%d stragglers=%d hedges=%d/%d evicted=%d trips=%d degraded=%d",
 			r.InitFailures, r.ExecFailures, r.Stragglers, r.HedgesWon, r.HedgesLaunched,
 			r.EvictedContainers, r.BreakerTrips, r.DegradedWindows)
+		if r.Forwards > 0 || r.Failovers > 0 || r.NodeDownSeconds > 0 || r.DeadlineExceeded > 0 || r.Abandoned > 0 {
+			fmt.Fprintf(&b, "\nforwards=%d failovers=%d nodeDown=%.2fs deadlineExceeded=%d abandoned=%d",
+				r.Forwards, r.Failovers, r.NodeDownSeconds, r.DeadlineExceeded, r.Abandoned)
+		}
 	}
 	return b.String()
 }

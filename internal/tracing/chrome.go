@@ -173,6 +173,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer, end float64) error {
 			{Key: "fn", Val: cs.Fn},
 			{Key: "config", Val: cs.Config},
 		}
+		if cs.Node >= 0 {
+			args = append(args, KV{Key: "node", Val: strconv.Itoa(cs.Node)})
+		}
 		if cs.Kind == ContainerInit {
 			args = append(args,
 				KV{Key: "prewarmed", Val: strconv.FormatBool(cs.Prewarmed)},

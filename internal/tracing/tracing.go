@@ -235,9 +235,12 @@ type ContainerSpan struct {
 	Fn        string
 	Config    string
 	Kind      ContainerKind
-	Start     float64
-	End       float64
-	Open      bool
+	// Node is the cluster node the instance is placed on, or -1 when the
+	// runtime does not track placement.
+	Node  int
+	Start float64
+	End   float64
+	Open  bool
 	// Prewarmed marks initializations launched by a pre-warm rather than by
 	// waiting work: the pre-warm lead the planner scheduled.
 	Prewarmed bool
@@ -367,11 +370,12 @@ func (r *Recorder) Breakdowns() []Breakdown { return r.breakdown }
 // nil for ids never begun.
 func (r *Recorder) Requests() []*RequestTrace { return r.requests }
 
-// BeginInit opens an initialization span on the cluster track.
-func (r *Recorder) BeginInit(container int, fn, config string, t float64, prewarmed bool) {
+// BeginInit opens an initialization span on the cluster track. node is the
+// placement node index, or -1 when the caller does not track placement.
+func (r *Recorder) BeginInit(container int, fn, config string, node int, t float64, prewarmed bool) {
 	r.conts = append(r.conts, &ContainerSpan{
 		Container: container, Fn: fn, Config: config, Kind: ContainerInit,
-		Start: t, Open: true, Prewarmed: prewarmed,
+		Node: node, Start: t, Open: true, Prewarmed: prewarmed,
 	})
 	r.openInit[container] = len(r.conts) - 1
 }
@@ -390,11 +394,12 @@ func (r *Recorder) EndInit(container int, t float64, gated, failed bool) {
 	cs.Failed = failed
 }
 
-// BeginExec opens a batch-execution span on the cluster track.
-func (r *Recorder) BeginExec(container int, fn, config string, t float64, batch int) {
+// BeginExec opens a batch-execution span on the cluster track. node is the
+// placement node index, or -1 when the caller does not track placement.
+func (r *Recorder) BeginExec(container int, fn, config string, node int, t float64, batch int) {
 	r.conts = append(r.conts, &ContainerSpan{
 		Container: container, Fn: fn, Config: config, Kind: ContainerExec,
-		Start: t, Open: true, Batch: batch,
+		Node: node, Start: t, Open: true, Batch: batch,
 	})
 	r.openExec[container] = len(r.conts) - 1
 }

@@ -133,12 +133,12 @@ func TestRetryPhases(t *testing.T) {
 // and that exporting the same recording twice is byte-identical.
 func TestChromeExportValidAndDeterministic(t *testing.T) {
 	r := NewRecorder(chain2(t))
-	r.BeginInit(1, "a", "cpu4", 0, true)
+	r.BeginInit(1, "a", "cpu4", 0, 0, true)
 	r.EndInit(1, 4, true, false)
 	r.BeginRequest(0, 2)
 	a := r.BeginNode(0, "a", 2, false)
 	a.Dispatch(4, PhaseColdInit, 0, 1, "cpu4", "prewarm", 1)
-	r.BeginExec(1, "a", "cpu4", 4, 1)
+	r.BeginExec(1, "a", "cpu4", 0, 4, 1)
 	a.Finish(6, true)
 	r.EndExec(1, 6, false)
 	b := r.BeginNode(0, "b", 6, false)

@@ -1,6 +1,7 @@
 package smiless_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func TestServeFacade(t *testing.T) {
 	}
 	rt.Start()
 	defer rt.Close()
-	ch, err := rt.Invoke()
+	ch, err := rt.Invoke(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
