@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt serve-smoke chaos-smoke
+.PHONY: all build test race lint fmt bench bench-opt serve-smoke chaos-smoke invariants
 
 all: build test lint
 
@@ -23,7 +23,15 @@ serve-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
-# Mirrors CI's lint job: vet, the repo's own analyzer suite, and gofmt.
+# Runtime invariant mode: rebuilds the serving/simulator suites with
+# -tags smiless_invariants, turning on in-code assertions (deadline-heap
+# ordering, admission-slot accounting, done-map idempotency, node health
+# transitions) and the goroutine-leak checker adopted by TestMain.
+invariants:
+	$(GO) test -tags smiless_invariants ./internal/serving/... ./internal/simulator/... ./internal/clock/...
+
+# Mirrors CI's lint and hygiene jobs: vet, the repo's own analyzer suite,
+# and gofmt.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/smilint ./...

@@ -2,19 +2,26 @@
 // module: determinism (no wall clocks / global rand / goroutines in
 // //lint:deterministic packages), maporder (randomized map iteration must
 // not order appends, float sums or event scheduling), floateq (no exact
-// float equality outside tests) and unitsafety (no silent ms/sec mixing).
+// float equality outside tests), unitsafety (no silent ms/sec mixing),
+// clockhygiene (raw time access only inside internal/clock and main),
+// lockcheck (mutex copies, missing unlocks, blocking under locks, ordering
+// inversions), ctxflow (cancellation plumbing) and goroleak (goroutine
+// shutdown paths and loop captures).
 //
 // Usage:
 //
 //	go run ./cmd/smilint ./...
 //	go run ./cmd/smilint -only determinism,maporder ./internal/simulator
+//	go run ./cmd/smilint -json ./... > findings.json
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
-// finding with a trailing `//lint:allow <analyzer> <reason>`; stale or
-// malformed suppressions are findings themselves.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure — identical
+// with and without -json. Suppress a finding with a trailing
+// `//lint:allow <analyzer> <reason>`; stale or malformed suppressions are
+// findings themselves.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,16 @@ import (
 	"smiless/internal/lint"
 )
 
+// jsonFinding is one diagnostic in -json output: a flat array of these is
+// printed, machine-readable for problem matchers and editor integrations.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -32,6 +49,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("smilint", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: smilint [flags] [packages]\n\n")
 		fs.PrintDefaults()
@@ -81,15 +99,31 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "smilint: %v\n", err)
 		return 2
 	}
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		pos := d.Position
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		findings = append(findings, jsonFinding{
+			File: pos.Filename, Line: pos.Line, Column: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smilint: %d finding(s)\n", len(diags))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "smilint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "smilint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

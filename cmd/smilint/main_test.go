@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	code := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("reading captured stdout: %v", err)
+	}
+	return string(out), code
+}
+
+// The clockhygiene fixture is a package outside the module's ./... walk but
+// listable by explicit path; it carries known true positives, which makes it
+// a stable target for output-format tests.
+const dirtyFixture = "../../internal/lint/testdata/clockhygiene"
+
+func TestJSONOutput(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-json", dirtyFixture}) })
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present)", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not a JSON array of findings: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded from a fixture with known true positives")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "clockhygiene" {
+			t.Errorf("finding from unexpected analyzer %q: %+v", f.Analyzer, f)
+		}
+		if !strings.HasSuffix(f.File, "clockhygiene.go") || f.Line <= 0 || f.Column <= 0 {
+			t.Errorf("finding with unresolved position: %+v", f)
+		}
+		if f.Message == "" {
+			t.Errorf("finding with empty message: %+v", f)
+		}
+	}
+}
+
+func TestJSONOutputCleanPackage(t *testing.T) {
+	out, code := capture(t, func() int { return run([]string{"-json", "../../internal/units"}) })
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (clean package)", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("clean run did not print a JSON array: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean package produced findings: %+v", findings)
+	}
+}
+
+// TestTextOutputMatchesProblemMatcher pins the text format to the GitHub
+// Actions problem matcher shipped in .github/problem-matchers/smilint.json:
+// if either side drifts, PR annotations silently stop working.
+func TestTextOutputMatchesProblemMatcher(t *testing.T) {
+	raw, err := os.ReadFile("../../.github/problem-matchers/smilint.json")
+	if err != nil {
+		t.Fatalf("reading problem matcher: %v", err)
+	}
+	var matcher struct {
+		ProblemMatcher []struct {
+			Owner   string `json:"owner"`
+			Pattern []struct {
+				Regexp string `json:"regexp"`
+			} `json:"pattern"`
+		} `json:"problemMatcher"`
+	}
+	if err := json.Unmarshal(raw, &matcher); err != nil {
+		t.Fatalf("parsing problem matcher: %v", err)
+	}
+	if len(matcher.ProblemMatcher) != 1 || len(matcher.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("expected exactly one matcher with one pattern, got %+v", matcher)
+	}
+	re, err := regexp.Compile(matcher.ProblemMatcher[0].Pattern[0].Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+
+	out, code := capture(t, func() int { return run([]string{dirtyFixture}) })
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present)", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no text findings printed")
+	}
+	for _, line := range lines {
+		if !re.MatchString(line) {
+			t.Errorf("finding line does not match the problem matcher regexp %q:\n%s", re, line)
+		}
+	}
+}
+
+func TestUnknownAnalyzerExitCode(t *testing.T) {
+	_, code := capture(t, func() int { return run([]string{"-only", "nosuch", dirtyFixture}) })
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (usage error)", code)
+	}
+}

@@ -109,6 +109,20 @@ func (s *ScaledWall) Sleep(d float64) {
 	time.Sleep(duration(d / s.factor))
 }
 
+// monotonicEpoch anchors Monotonic: readings are deltas against a single
+// process-lifetime instant, so they are monotone and comparable but carry no
+// absolute wall-clock meaning.
+var monotonicEpoch = time.Now()
+
+// Monotonic returns nanoseconds elapsed since process start, read from the
+// runtime's monotonic clock. It is the sanctioned wall-nanos source for
+// measurement-only instrumentation (search timings, experiment stopwatches):
+// code outside this package must not call time.Now directly — the
+// clockhygiene analyzer enforces that everything routes through either a
+// Scheduler (behavioral time) or Monotonic (measurement time), keeping
+// fake-clock and scaled-wall runs exact.
+func Monotonic() int64 { return int64(time.Since(monotonicEpoch)) }
+
 // duration converts seconds to time.Duration, saturating instead of
 // overflowing for absurd inputs.
 func duration(seconds float64) time.Duration {

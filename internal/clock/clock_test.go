@@ -144,3 +144,18 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+func TestMonotonic(t *testing.T) {
+	a := Monotonic()
+	if a < 0 {
+		t.Fatalf("Monotonic() = %d before any work, want >= 0", a)
+	}
+	time.Sleep(2 * time.Millisecond)
+	b := Monotonic()
+	if b <= a {
+		t.Fatalf("Monotonic did not advance across a sleep: %d then %d", a, b)
+	}
+	if c := Monotonic(); c < b {
+		t.Fatalf("Monotonic went backwards: %d then %d", b, c)
+	}
+}

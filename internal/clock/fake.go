@@ -35,7 +35,7 @@ func (f *Fake) After(d float64) <-chan struct{} {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if d <= 0 {
-		ch <- struct{}{}
+		ch <- struct{}{} //lint:allow lockcheck send to the locally created buffered channel cannot block
 		return ch
 	}
 	f.waiters = append(f.waiters, fakeWaiter{at: f.now + d, ch: ch})
@@ -43,6 +43,8 @@ func (f *Fake) After(d float64) <-chan struct{} {
 }
 
 // Sleep implements Scheduler.
+//
+//lint:allow ctxflow fake-clock sleep parks until a test advances the clock; the Scheduler contract has no cancellation
 func (f *Fake) Sleep(d float64) { <-f.After(d) }
 
 // Advance moves the fake time forward by d seconds, firing every timer whose

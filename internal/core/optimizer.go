@@ -11,8 +11,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"time"
 
+	"smiless/internal/clock"
 	"smiless/internal/coldstart"
 	"smiless/internal/dag"
 	"smiless/internal/hardware"
@@ -107,12 +107,18 @@ type Optimizer struct {
 	// EvalCache). New attaches a fresh cache; set nil to disable. Disabling
 	// never changes results, only recomputation cost.
 	Cache *EvalCache
+	// Nanotime is the monotonic stopwatch behind PathStats.Nanos, the only
+	// wall-time quantity the search reports (and the only field excluded
+	// from determinism guarantees). New installs clock.Monotonic; tests may
+	// inject a fake to make search timings deterministic. Nil disables
+	// timing (Nanos stays zero).
+	Nanotime func() int64
 }
 
 // New returns an Optimizer over the given hardware catalog with top-1
 // search, an attached evaluation cache, and the default worker-pool width.
 func New(cat *hardware.Catalog) *Optimizer {
-	return &Optimizer{Catalog: cat, TopK: 1, Cache: NewEvalCache()}
+	return &Optimizer{Catalog: cat, TopK: 1, Cache: NewEvalCache(), Nanotime: clock.Monotonic}
 }
 
 // workers resolves the effective worker-pool width for n paths.
@@ -536,9 +542,13 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 	errs := make([]error, len(paths))
 	workers := o.workers(len(paths))
 	searchPath := func(pi int) {
-		start := time.Now()
+		if o.Nanotime == nil {
+			results[pi], errs[pi] = o.optimizeChain(paths[pi], req, table)
+			return
+		}
+		start := o.Nanotime()
 		results[pi], errs[pi] = o.optimizeChain(paths[pi], req, table)
-		results[pi].nanos = time.Since(start).Nanoseconds()
+		results[pi].nanos = o.Nanotime() - start
 	}
 	if workers <= 1 {
 		for pi := range paths {

@@ -5,6 +5,8 @@ import (
 	"math"
 	"time"
 
+	"smiless/internal/clock"
+
 	"smiless/internal/apps"
 	"smiless/internal/autoscaler"
 	"smiless/internal/coldstart"
@@ -88,7 +90,7 @@ func Fig16(p Fig16Params) *Fig16Result {
 		// full path search, the Fig. 16(a) quantity.
 		opt := core.New(cat)
 		opt.Cache = nil
-		start := time.Now()
+		start := clock.Monotonic()
 		var res core.Result
 		for i := 0; i < p.Repeats; i++ {
 			r, err := opt.Optimize(req)
@@ -97,7 +99,7 @@ func Fig16(p Fig16Params) *Fig16Result {
 			}
 			res = r
 		}
-		row.SMIless = time.Since(start) / time.Duration(p.Repeats)
+		row.SMIless = time.Duration(clock.Monotonic()-start) / time.Duration(p.Repeats)
 		for _, ps := range res.Paths {
 			for _, w := range ps.PerLayer {
 				if w > row.LayerPeak {
@@ -113,26 +115,26 @@ func Fig16(p Fig16Params) *Fig16Result {
 		if _, err := cached.Optimize(req); err != nil {
 			panic(err)
 		}
-		start = time.Now()
+		start = clock.Monotonic()
 		for i := 0; i < p.Repeats; i++ {
 			if _, err := cached.Optimize(req); err != nil {
 				panic(err)
 			}
 		}
-		row.WarmSearch = time.Since(start) / time.Duration(p.Repeats)
+		row.WarmSearch = time.Duration(clock.Monotonic()-start) / time.Duration(p.Repeats)
 		row.CacheHitRate = cached.Cache.Stats().HitRate()
 
 		// Exhaustive: M^N complete enumeration; only tractable for tiny N.
 		if math.Pow(float64(cat.Len()), float64(n)) <= 3e5 {
-			start = time.Now()
+			start = clock.Monotonic()
 			exhaustiveSearch(app.Graph.TopoSort(), profiles, cat, p.SLA, 10)
-			row.Exhaustive = time.Since(start)
+			row.Exhaustive = time.Duration(clock.Monotonic() - start)
 		}
 
 		// Random restarts with the same number of evaluated nodes.
-		start = time.Now()
+		start = clock.Monotonic()
 		randCost := randomSearch(app.Graph.TopoSort(), profiles, cat, p.SLA, 10, res.NodesExplored*4, int64(n))
-		row.Random = time.Since(start)
+		row.Random = time.Duration(clock.Monotonic() - start)
 		if res.Eval.CostPerInvocation > 0 && !math.IsInf(randCost, 1) {
 			row.RandomCostRatio = randCost / res.Eval.CostPerInvocation
 		}
@@ -144,20 +146,20 @@ func Fig16(p Fig16Params) *Fig16Result {
 	raw := &autoscaler.Scaler{Catalog: cat, MaxBatch: autoscaler.DefaultMaxBatch}
 	prof := apps.Functions["TRS"].TrueProfile(perfmodel.DefaultUncertainty)
 	const reps = 2000
-	start := time.Now()
+	start := clock.Monotonic()
 	for i := 0; i < reps; i++ {
 		raw.DecideOrFallback(prof, 16+i%16, 1.0, 0.8)
 	}
-	out.AutoscalerPerDecision = time.Since(start) / reps
+	out.AutoscalerPerDecision = time.Duration(clock.Monotonic()-start) / reps
 
 	// The same decision stream through the memoized scaler: burst windows
 	// re-ask a handful of (G, budget) points, so most decisions hit.
 	memoized := autoscaler.New(cat)
-	start = time.Now()
+	start = clock.Monotonic()
 	for i := 0; i < reps; i++ {
 		memoized.DecideOrFallback(prof, 16+i%16, 1.0, 0.8)
 	}
-	out.AutoscalerMemoized = time.Since(start) / reps
+	out.AutoscalerMemoized = time.Duration(clock.Monotonic()-start) / reps
 	out.AutoscalerMemoHitRate = memoized.MemoStats().HitRate()
 	return out
 }

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation plumbing in library packages:
+//
+//  1. context.Background() and context.TODO() are flagged outside package
+//     main — a library that mints its own root context severs the caller's
+//     cancellation chain. Roots belong at the process edge.
+//  2. An exported function or method that blocks (channel receive, or a
+//     select with no default) must give callers a way out: either a
+//     context.Context parameter or a channel parameter they control.
+//  3. A goroutine spawned inside a function that received a context must
+//     reference that context — a `go` statement that ignores ctx outlives
+//     the caller's cancellation.
+//
+// Test files are never loaded by the framework; main packages are the
+// sanctioned home for context roots.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background/TODO outside main, exported blocking APIs " +
+		"without a context or channel parameter, and goroutines that drop " +
+		"an in-scope context",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectorPackage(pass.TypesInfo, sel)
+			if !ok || pkgPath != "context" {
+				return true
+			}
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				pass.Reportf(sel.Pos(), "context.%s mints a root context in library package %s: accept a context.Context from the caller so cancellation propagates", sel.Sel.Name, pass.Pkg.Name())
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := contextParam(pass.TypesInfo, fd)
+			if ast.IsExported(fd.Name.Name) && ctxObj == nil && !hasEscapeHatchParam(pass.TypesInfo, fd) {
+				// The diagnostic anchors on the declaration so the allow
+				// directive sits on the signature, where the API contract is
+				// documented.
+				if op := firstBlockingOp(fd.Body); op != "" {
+					pass.Reportf(fd.Pos(), "exported %s blocks on a %s but accepts neither a context.Context nor a channel: callers cannot cancel or bound the wait", fd.Name.Name, op)
+				}
+			}
+			if ctxObj != nil {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if !referencesObject(pass.TypesInfo, g.Call, ctxObj) {
+						pass.Reportf(g.Pos(), "goroutine drops the in-scope context %s: pass it through (or select on %s.Done()) so cancellation reaches the spawned work", ctxObj.Name(), ctxObj.Name())
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// contextParam returns the context.Context parameter's object, if the
+// function declares one (including variadic or later positions).
+func contextParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasEscapeHatchParam reports whether any parameter is a channel (a stop
+// channel or result channel the caller controls is an accepted alternative
+// to a context).
+func hasEscapeHatchParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+			return true
+		}
+	}
+	return false
+}
+
+// firstBlockingOp finds the first unbounded blocking operation executed
+// synchronously by the function body: a channel receive or a select with no
+// default. Sends are deliberately not counted — this codebase sends almost
+// exclusively to locally created buffered channels (timer firings, result
+// slots), and the send that does block is lockcheck's business when it
+// happens under a mutex. Goroutine bodies, deferred calls and nested
+// function literals run on their own schedule and are skipped.
+func firstBlockingOp(body *ast.BlockStmt) string {
+	var op string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				op = "channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				op = "select with no default"
+			}
+			// Either way the comm clauses are the select's, not standalone
+			// blocking ops; the clause bodies still run synchronously.
+			for _, clause := range n.Body.List {
+				if cc, isComm := clause.(*ast.CommClause); isComm {
+					for _, s := range cc.Body {
+						if op == "" {
+							if inner := firstBlockingOp(&ast.BlockStmt{List: []ast.Stmt{s}}); inner != "" {
+								op = inner
+							}
+						}
+					}
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return op
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// referencesObject reports whether any identifier under n resolves to obj.
+func referencesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -21,7 +21,9 @@ import (
 //
 //	//lint:allow <analyzer> <reason>
 //	    Suppresses that analyzer's diagnostics on the directive's line (a
-//	    trailing comment) or on the following line (a standalone comment).
+//	    trailing comment) or on the following line (a standalone comment);
+//	    consecutive standalone directives all bind to the first line after
+//	    the stack, so one line can hold allows for several analyzers.
 //	    The reason is mandatory; a directive that names an unknown analyzer,
 //	    omits the reason, or suppresses nothing (stale) is itself reported.
 type Directive struct {
@@ -41,6 +43,8 @@ const directivePrefix = "//lint:"
 // file contents, used to decide whether a comment trails code on its line.
 func parseDirectives(fset *token.FileSet, f *ast.File, src []byte) []*Directive {
 	var out []*Directive
+	var standalone []*Directive
+	standaloneLines := make(map[int]bool)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
@@ -67,13 +71,26 @@ func parseDirectives(fset *token.FileSet, f *ast.File, src []byte) []*Directive 
 					d.Reason = strings.Join(fields[2:], " ")
 				}
 			}
-			line := pos.Line
-			if !trailsCode(src, pos) {
-				line++ // standalone comment: applies to the next line
+			if trailsCode(src, pos) {
+				d.Line = lineKey(pos.Filename, pos.Line)
+			} else {
+				// Standalone comment: resolved below, once every standalone
+				// directive line in the file is known.
+				standalone = append(standalone, d)
+				standaloneLines[pos.Line] = true
 			}
-			d.Line = lineKey(pos.Filename, line)
 			out = append(out, d)
 		}
+	}
+	// A standalone directive applies to the next line that is not itself a
+	// standalone directive, so a stack of allows — one per analyzer — all
+	// bind to the same code line.
+	for _, d := range standalone {
+		line := d.Position.Line + 1
+		for standaloneLines[line] {
+			line++
+		}
+		d.Line = lineKey(d.Position.Filename, line)
 	}
 	return out
 }
@@ -113,8 +130,11 @@ func hasDeterministicTag(files []*ast.File) bool {
 // directives and appends directive-error diagnostics: unknown verbs,
 // unknown analyzer names, missing reasons, and stale allows. Directive
 // errors use the pseudo-analyzer name "directive" and cannot themselves be
-// allowlisted.
-func applyDirectives(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+// allowlisted. ran is the set of analyzers that executed this invocation:
+// staleness is only judged for those, so running a subset (smilint -only)
+// never misreports an allow held for an analyzer that was skipped. known is
+// the full registry, gating the unknown-name error.
+func applyDirectives(pkg *Package, diags []Diagnostic, ran, known map[string]bool) []Diagnostic {
 	var dirs []*Directive
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
@@ -163,7 +183,7 @@ func applyDirectives(pkg *Package, diags []Diagnostic, known map[string]bool) []
 		}
 	}
 	for _, d := range valid {
-		if !d.used {
+		if !d.used && ran[d.Analyzer] {
 			out = append(out, directiveError(d, "stale //lint:allow %s: no %s diagnostic on this line — remove the directive", d.Analyzer, d.Analyzer))
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -54,6 +55,120 @@ func TestParseDirectiveStripsWantMarker(t *testing.T) {
 	}
 	if dirs[0].Reason != "migrating" {
 		t.Errorf("reason %q should not contain the want marker", dirs[0].Reason)
+	}
+}
+
+func TestParseStackedDirectivesBindToSameLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:allow maporder iteration feeds a sort\n\t//lint:allow floateq exact by construction\n\t_ = 1\n}\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	for _, d := range dirs {
+		if d.Line != "d.go:6" {
+			t.Errorf("//lint:allow %s applies to %s, want d.go:6 (stacked allows must share the code line)", d.Analyzer, d.Line)
+		}
+	}
+}
+
+func TestParseStandaloneThenTrailingDirective(t *testing.T) {
+	// A trailing directive on the next line must not absorb the standalone
+	// one above it: both bind to the code line, not past it.
+	src := "package p\n\nfunc f() {\n\t//lint:allow maporder iteration feeds a sort\n\t_ = 1 //lint:allow floateq exact by construction\n}\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	for _, d := range dirs {
+		if d.Line != "d.go:5" {
+			t.Errorf("//lint:allow %s applies to %s, want d.go:5", d.Analyzer, d.Line)
+		}
+	}
+}
+
+func TestParseDirectiveOnStructField(t *testing.T) {
+	src := "package p\n\ntype s struct {\n\tlatency float64 //lint:allow unitsafety stored in model seconds\n\t//lint:allow unitsafety milliseconds at the wire boundary\n\twireMs int64\n}\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	if dirs[0].Line != "d.go:4" {
+		t.Errorf("trailing field directive applies to %s, want d.go:4", dirs[0].Line)
+	}
+	if dirs[1].Line != "d.go:6" {
+		t.Errorf("field doc directive applies to %s, want d.go:6", dirs[1].Line)
+	}
+}
+
+func TestParseDirectiveOnPackageClause(t *testing.T) {
+	src := "package p //lint:allow maporder demo\n\nvar x = 1\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d directives, want 1", len(dirs))
+	}
+	if dirs[0].Line != "d.go:1" {
+		t.Errorf("package-clause directive applies to %s, want d.go:1", dirs[0].Line)
+	}
+}
+
+func TestParseDirectivesCRLF(t *testing.T) {
+	src := "package p\r\n\r\nfunc f() {\r\n\t//lint:allow maporder carriage returns stay out of the reason\r\n\t_ = 1 //lint:allow floateq same on a trailing comment\r\n}\r\n"
+	dirs := parseOne(t, src)
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2", len(dirs))
+	}
+	for _, d := range dirs {
+		if d.Line != "d.go:5" {
+			t.Errorf("//lint:allow %s applies to %s, want d.go:5", d.Analyzer, d.Line)
+		}
+		if strings.ContainsAny(d.Reason, "\r\n") {
+			t.Errorf("//lint:allow %s reason %q contains line-ending bytes", d.Analyzer, d.Reason)
+		}
+	}
+}
+
+func TestApplyDirectivesStackedSuppression(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:allow maporder iteration feeds a sort\n\t//lint:allow floateq exact by construction\n\t_ = 1\n}\n"
+	pkg := packageFromSource(t, src)
+	diags := []Diagnostic{
+		{Position: token.Position{Filename: "d.go", Line: 6}, Analyzer: "maporder", Message: "m1"},
+		{Position: token.Position{Filename: "d.go", Line: 6}, Analyzer: "floateq", Message: "m2"},
+	}
+	ran := map[string]bool{"maporder": true, "floateq": true}
+	out := applyDirectives(pkg, diags, ran, ran)
+	if len(out) != 0 {
+		t.Fatalf("stacked allows left %d diagnostics: %v", len(out), out)
+	}
+}
+
+func TestApplyDirectivesStaleOnlyForRanAnalyzers(t *testing.T) {
+	src := "package p\n\nvar x = 1 //lint:allow floateq held for a skipped analyzer\n"
+	pkg := packageFromSource(t, src)
+	known := map[string]bool{"maporder": true, "floateq": true}
+	// floateq did not run: the unused allow must not be reported stale.
+	out := applyDirectives(pkg, nil, map[string]bool{"maporder": true}, known)
+	if len(out) != 0 {
+		t.Fatalf("allow for a skipped analyzer reported: %v", out)
+	}
+	// floateq ran and suppressed nothing: now it is stale.
+	out = applyDirectives(pkg, nil, known, known)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale") {
+		t.Fatalf("want one stale-directive error, got %v", out)
+	}
+}
+
+func packageFromSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{
+		ImportPath: "p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Src:        map[string][]byte{"d.go": []byte(src)},
 	}
 }
 

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// GoroLeak looks for goroutines that can never be shut down and for
+// goroutines racing on loop-shared state:
+//
+//  1. A `go` statement whose body (a function literal, or a same-package
+//     function resolved through the type info) contains an unconditional
+//     infinite loop — `for { ... }` or `for true { ... }` — with no exit in
+//     the loop body (no select, no channel receive, no return, no break)
+//     leaks: nothing ties it to Drain/Quiesced/ctx-done, so it outlives the
+//     runtime that spawned it and fails the linttest leak checker.
+//  2. A `go` closure inside a loop that captures a variable declared before
+//     the loop and reassigned inside it shares that variable across
+//     iterations: by the time the goroutine runs, the value has moved on.
+//     (Go 1.22 made loop variables per-iteration; variables hoisted above
+//     the loop still alias.)
+//
+// The analyzer applies to all non-test code, main packages included — a CLI
+// leaks goroutines as readily as a library. Test files are never loaded by
+// the framework.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "flag goroutines with no reachable shutdown path (unconditional " +
+		"infinite loops with no select/receive/return/break) and go-closures " +
+		"capturing loop-reassigned variables",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	// Map same-package functions to their declarations so `go fn()` and
+	// `go recv.method()` resolve to an inspectable body.
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if body := goBody(pass.TypesInfo, decls, n); body != nil {
+					if loop := unstoppableLoop(body); loop != nil {
+						pass.Reportf(n.Pos(), "goroutine has no reachable shutdown path: its loop never selects, receives, returns or breaks — tie it to a ctx.Done()/stop channel so Drain and the leak checker can collect it")
+					}
+				}
+			case *ast.ForStmt:
+				checkLoopCapture(pass, n, n.Body)
+			case *ast.RangeStmt:
+				checkLoopCapture(pass, n, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goBody resolves the body a GoStmt will run: an inline function literal,
+// or the declaration of a same-package function or method.
+func goBody(info *types.Info, decls map[types.Object]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd, ok := decls[info.Uses[fun]]; ok {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[info.Uses[fun.Sel]]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// unstoppableLoop returns an infinite for-loop in body that offers no way
+// out, or nil. Nested function literals are skipped: their loops run on yet
+// another goroutine's schedule.
+func unstoppableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if isInfiniteFor(n) && !hasLoopExit(n.Body) {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isInfiniteFor(f *ast.ForStmt) bool {
+	if f.Cond == nil {
+		return true
+	}
+	id, ok := f.Cond.(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// hasLoopExit reports whether the loop body contains any construct that can
+// end or park the iteration: select, channel receive, return, break, or a
+// panic call. Nested function literals don't count — code inside them runs
+// elsewhere.
+func hasLoopExit(body *ast.BlockStmt) bool {
+	exit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.ReturnStmt:
+			exit = true
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				exit = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				exit = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// range over a channel parks until the channel closes.
+			exit = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+				return false
+			}
+		}
+		return true
+	})
+	return exit
+}
+
+// checkLoopCapture flags go-closures inside loop bodies that capture a
+// variable declared before the loop and reassigned within it.
+func checkLoopCapture(pass *Pass, loop ast.Node, body *ast.BlockStmt) {
+	// Variables assigned in the loop body whose declaration precedes the
+	// loop: these are shared across iterations. Kept in declaration order so
+	// the diagnostic message is deterministic.
+	var shared []types.Object
+	seen := make(map[types.Object]bool)
+	record := func(id *ast.Ident) {
+		obj := pass.TypesInfo.Uses[id]
+		if obj != nil && obj.Pos() < loop.Pos() && !seen[obj] {
+			seen[obj] = true
+			shared = append(shared, obj)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					record(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				record(id)
+			}
+		}
+		return true
+	})
+	if len(shared) == 0 {
+		return
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i].Pos() < shared[j].Pos() })
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, obj := range shared {
+			if referencesObject(pass.TypesInfo, lit.Body, obj) {
+				pass.Reportf(g.Pos(), "go closure captures %s, which is declared before the loop and reassigned inside it: each goroutine sees whatever iteration last wrote — pass it as an argument or declare it inside the loop", obj.Name())
+				return true
+			}
+		}
+		return true
+	})
+}

@@ -93,9 +93,20 @@ func (d Diagnostic) String() string {
 // errors: unknown analyzer names, missing reasons, stale allows) sorted by
 // position. The returned error reports analyzer crashes, not findings.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	known := make(map[string]bool, len(analyzers))
+	// ran gates staleness: an allow for an analyzer that did not run this
+	// invocation (smilint -only, fixture subsets) is left alone rather than
+	// reported stale. known gates the unknown-name error and includes the
+	// full registry, so partial runs don't misreport valid directives.
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool, len(ran))
+	for _, a := range All() {
 		known[a.Name] = true
+	}
+	for n := range ran {
+		known[n] = true
 	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -117,7 +128,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
-		diags = applyDirectives(pkg, diags, known)
+		diags = applyDirectives(pkg, diags, ran, known)
 		out = append(out, diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -138,5 +149,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, FloatEq, UnitSafety}
+	return []*Analyzer{
+		Determinism, MapOrder, FloatEq, UnitSafety,
+		ClockHygiene, LockCheck, CtxFlow, GoroLeak,
+	}
 }

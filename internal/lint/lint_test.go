@@ -27,6 +27,29 @@ func TestUnitSafetyFixture(t *testing.T) {
 	linttest.Run(t, "testdata/unitsafety", lint.UnitSafety)
 }
 
+func TestClockHygieneFixture(t *testing.T) {
+	linttest.Run(t, "testdata/clockhygiene", lint.ClockHygiene)
+}
+
+// TestClockHygieneHomeFixture proves the home-package exemption: a package
+// whose import path ends in /clock may touch time directly, so the fixture
+// carries no want markers.
+func TestClockHygieneHomeFixture(t *testing.T) {
+	linttest.Run(t, "testdata/clock", lint.ClockHygiene)
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/lockcheck", lint.LockCheck)
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	linttest.Run(t, "testdata/ctxflow", lint.CtxFlow)
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	linttest.Run(t, "testdata/goroleak", lint.GoroLeak)
+}
+
 // TestDirectivesFixture covers //lint:allow handling end to end: unknown
 // analyzer names, missing reasons, unknown verbs, stale allows, and the
 // rule that an invalid allow suppresses nothing.

@@ -1,0 +1,582 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockCheck enforces sync.Mutex/RWMutex discipline in the concurrent
+// runtime. Four checks, all syntactic approximations tuned for the lock
+// patterns this codebase actually uses (lock at the top of a block, unlock
+// via defer or at top level of the same block):
+//
+//  1. copy-by-value: parameters, receivers and plain assignments that copy a
+//     value whose type contains a mutex — the copy's lock state diverges
+//     from the original's.
+//  2. early return: between a Lock and its same-block Unlock, a statement
+//     whose subtree returns without unlocking leaves the mutex held forever
+//     (panics are exempt: the process is going down anyway).
+//  3. held-across-blocking: between a Lock and its release, a channel send,
+//     channel receive, select without default, or a call named
+//     Invoke/InvokeWithDeadline/Drain/Wait/Sleep blocks while holding the
+//     lock, stalling every other acquirer. Goroutine bodies, defers and
+//     nested function literals are skipped; flagging stops after the first
+//     conditional unlock on the path.
+//  4. lock ordering: a package-level graph over type-scoped lock identities
+//     ("Runtime.mu", "Fake.mu"). Nested acquisitions and one level of
+//     same-package calls contribute edges; a pair of opposite edges is an
+//     inversion candidate (ABBA deadlock), and re-acquiring a lock already
+//     held (directly or via a called function) is reported outright.
+//
+// Test files are never loaded by the framework.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flag mutex copies, missing unlocks on early returns, locks held " +
+		"across channel ops or blocking calls, and lock-ordering inversion " +
+		"candidates",
+	Run: runLockCheck,
+}
+
+// blockingCallNames are method names that block unboundedly by contract in
+// this codebase: runtime invocation entry points, drain barriers, waits and
+// sleeps.
+var blockingCallNames = map[string]bool{
+	"Invoke": true, "InvokeWithDeadline": true, "Drain": true,
+	"Wait": true, "Sleep": true,
+}
+
+func runLockCheck(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	// funcLocks: type-scoped lock IDs each function acquires directly, for
+	// the one-level call edges of the ordering graph.
+	funcLocks := make(map[*ast.FuncDecl][]lockAcq)
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+				funcLocks[fd] = directAcquisitions(pass, fd)
+			}
+		}
+	}
+	checkCopyLocks(pass)
+	g := newLockGraph()
+	for _, fd := range fns {
+		checkRegions(pass, fd, decls, funcLocks, g)
+	}
+	g.reportInversions(pass)
+	return nil
+}
+
+// ---- mutex operation recognition ----
+
+// mutexOp matches a call of the form <expr>.Lock/RLock/Unlock/RUnlock()
+// where the method is sync.(*Mutex) or sync.(*RWMutex)'s (including when
+// promoted through embedding). key is the syntactic identity of the locked
+// value; reader marks the RLock/RUnlock pair.
+func mutexOp(pass *Pass, call *ast.CallExpr) (key string, recv ast.Expr, op string, reader, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, "", false, false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock":
+	case "RLock", "RUnlock":
+		reader = true
+	default:
+		return "", nil, "", false, false
+	}
+	selection, found := pass.TypesInfo.Selections[sel]
+	if !found {
+		return "", nil, "", false, false
+	}
+	m := selection.Obj()
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", nil, "", false, false
+	}
+	key = exprString(sel.X)
+	if reader {
+		key += "/r"
+	}
+	return key, sel.X, op, reader, true
+}
+
+func isLockOp(op string) bool   { return op == "Lock" || op == "RLock" }
+func isUnlockOp(op string) bool { return op == "Unlock" || op == "RUnlock" }
+
+// stmtMutexOp unwraps an ExprStmt or DeferStmt down to a mutex operation.
+func stmtMutexOp(pass *Pass, s ast.Stmt) (key string, recv ast.Expr, op string, deferred, ok bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, isCall := s.X.(*ast.CallExpr); isCall {
+			key, recv, op, _, ok = mutexOp(pass, call)
+			return key, recv, op, false, ok
+		}
+	case *ast.DeferStmt:
+		key, recv, op, _, ok = mutexOp(pass, s.Call)
+		return key, recv, op, true, ok
+	}
+	return "", nil, "", false, false
+}
+
+// lockID maps the locked expression to a type-scoped identity for the
+// ordering graph: "Runtime.mu" for rt.mu / g.rt.mu, "Fake.mu" for f.mu, the
+// package-qualified name for a package-level mutex var. Locals and
+// unresolvable shapes return "" and stay out of the graph.
+func lockID(pass *Pass, recv ast.Expr) string {
+	switch recv := recv.(type) {
+	case *ast.SelectorExpr:
+		tv, ok := pass.TypesInfo.Types[recv.X]
+		if !ok {
+			return ""
+		}
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + recv.Sel.Name
+		}
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[recv]
+		if obj == nil {
+			return ""
+		}
+		if obj.Parent() == pass.Pkg.Scope() {
+			return pass.Pkg.Name() + "." + obj.Name()
+		}
+		// An embedded mutex locked through its enclosing value: identify by
+		// the value's named type.
+		t := obj.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// ---- check 1: copies of mutex-bearing values ----
+
+func checkCopyLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldListCopies(pass, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldListCopies(pass, n.Type.Params, "parameter")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for _, rhs := range n.Rhs {
+					if !copiesStorage(rhs) {
+						continue
+					}
+					tv, ok := pass.TypesInfo.Types[rhs]
+					if ok && containsMutex(tv.Type) {
+						pass.Reportf(rhs.Pos(), "assignment copies %s, whose type %s contains a mutex: the copy's lock state diverges from the original — use a pointer", exprString(rhs), tv.Type.String())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldListCopies(pass *Pass, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if containsMutex(tv.Type) {
+			pass.Reportf(field.Pos(), "%s passes %s by value, copying its mutex: lock state diverges from the caller's — use a pointer", what, tv.Type.String())
+		}
+	}
+}
+
+// copiesStorage reports whether evaluating e copies an existing variable or
+// field (as opposed to constructing a fresh value or calling a function).
+func copiesStorage(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesStorage(e.X)
+	}
+	return false
+}
+
+func containsMutex(t types.Type) bool { return containsMutexRec(t, 0) }
+
+func containsMutexRec(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsMutexRec(named.Underlying(), depth+1)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsMutexRec(t.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexRec(t.Elem(), depth+1)
+	}
+	return false
+}
+
+// ---- checks 2–4: region analysis ----
+
+// lockAcq is one direct acquisition inside a function, for call edges.
+type lockAcq struct {
+	id  string // type-scoped identity ("" if local)
+	pos token.Pos
+}
+
+func directAcquisitions(pass *Pass, fd *ast.FuncDecl) []lockAcq {
+	var out []lockAcq
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, recv, op, _, isMu := mutexOp(pass, call); isMu && isLockOp(op) {
+				out = append(out, lockAcq{id: lockID(pass, recv), pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkRegions walks every block in fd looking for Lock statements, derives
+// the held region (up to the same-block Unlock, or the rest of the block
+// when the unlock is deferred), and applies the early-return, blocking-call
+// and ordering checks to it.
+func checkRegions(pass *Pass, fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl, funcLocks map[*ast.FuncDecl][]lockAcq, g *lockGraph) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			key, recv, op, deferred, isMu := stmtMutexOp(pass, s)
+			if !isMu || deferred || !isLockOp(op) {
+				continue
+			}
+			analyzeRegion(pass, fd, block.List[i+1:], key, recv, s.Pos(), decls, funcLocks, g)
+		}
+		return true
+	})
+}
+
+func analyzeRegion(pass *Pass, fd *ast.FuncDecl, tail []ast.Stmt, key string, recv ast.Expr, lockPos token.Pos, decls map[types.Object]*ast.FuncDecl, funcLocks map[*ast.FuncDecl][]lockAcq, g *lockGraph) {
+	unlockName := "Unlock"
+	if len(key) > 2 && key[len(key)-2:] == "/r" {
+		unlockName = "RUnlock"
+	}
+	lockName := exprString(recv) + "." + unlockName
+
+	// Delimit the region: deferred unlock covers the whole tail; an explicit
+	// top-level unlock closes it there. No unlock anywhere in the tail means
+	// the lock escapes the function still held.
+	region := tail
+	closed := false
+	deferredUnlock := false
+	for j, s := range tail {
+		k, _, op, deferred, isMu := stmtMutexOp(pass, s)
+		if !isMu || k != key {
+			continue
+		}
+		if isUnlockOp(op) {
+			if deferred {
+				region = tail[j+1:]
+				closed = true
+				deferredUnlock = true
+				break
+			}
+			region = tail[:j]
+			closed = true
+			break
+		}
+		if isLockOp(op) && !deferred {
+			// Same lock re-acquired at the same block level while held.
+			pass.Reportf(s.Pos(), "%s acquired again while already held (locked at %s): self-deadlock", exprString(recv), pass.Fset.Position(lockPos))
+			return
+		}
+	}
+	if !closed {
+		// Look for any unlock in nested positions before concluding it leaks.
+		if !subtreeUnlocks(pass, tail, key) {
+			pass.Reportf(lockPos, "%s.Lock() has no matching %s in this function: every path out leaves it held", exprString(recv), lockName)
+			return
+		}
+	}
+
+	// Check 2: a statement inside the region whose subtree returns without
+	// unlocking. A deferred unlock covers every return path, so the check
+	// only applies to explicit-unlock regions.
+	if !deferredUnlock {
+		for _, s := range region {
+			if _, isRet := s.(*ast.ReturnStmt); isRet {
+				pass.Reportf(s.Pos(), "return with %s still locked: unlock before returning or use defer %s()", exprString(recv), lockName)
+				continue
+			}
+			if stmtReturnsWithoutUnlock(pass, s, key) {
+				pass.Reportf(s.Pos(), "path through this statement returns with %s still locked: unlock on the early-return path or use defer %s()", exprString(recv), lockName)
+			}
+		}
+	}
+
+	// Checks 3 & 4 over the region in source order. Flagging stops at the
+	// first nested (conditional) unlock: past it the lock may already be
+	// released.
+	stopped := false
+	for _, s := range region {
+		if stopped {
+			break
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			if stopped {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt, *ast.DeferStmt, *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(n) {
+					pass.Reportf(n.Pos(), "select with no default while holding %s: every other acquirer stalls until a case fires", exprString(recv))
+				}
+				// Comm clauses of a select with default are non-blocking;
+				// either way the select's own ops are accounted for.
+				return false
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while holding %s: an unbuffered or full channel blocks every other acquirer", exprString(recv))
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while holding %s: blocks every other acquirer until a value arrives", exprString(recv))
+					return false
+				}
+			case *ast.CallExpr:
+				k, r, op, _, isMu := mutexOp(pass, n)
+				if isMu {
+					if k == key && isUnlockOp(op) {
+						stopped = true
+						return false
+					}
+					if isLockOp(op) {
+						held := lockID(pass, recv)
+						nested := lockID(pass, r)
+						if k == key {
+							pass.Reportf(n.Pos(), "%s acquired again while already held (locked at %s): self-deadlock", exprString(recv), pass.Fset.Position(lockPos))
+						} else if held != "" && nested != "" && held != nested {
+							g.addEdge(held, nested, n.Pos(), "")
+						}
+					}
+					return true
+				}
+				if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel && blockingCallNames[sel.Sel.Name] {
+					if pass.TypesInfo.Selections[sel] != nil || selectorIsPackageFunc(pass, sel) {
+						pass.Reportf(n.Pos(), "call to %s while holding %s: it blocks by contract, stalling every other acquirer", exprString(n.Fun), exprString(recv))
+					}
+				}
+				// One-level call edge: a same-package callee that locks
+				// contributes ordering edges (and a self-deadlock report if
+				// it re-acquires what we hold).
+				if callee := calleeDecl(pass, decls, n); callee != nil && callee != fd {
+					held := lockID(pass, recv)
+					for _, acq := range funcLocks[callee] {
+						if held == "" || acq.id == "" {
+							continue
+						}
+						if acq.id == held {
+							pass.Reportf(n.Pos(), "call to %s while holding %s: %s acquires %s itself (at %s) — self-deadlock", callee.Name.Name, held, callee.Name.Name, held, pass.Fset.Position(acq.pos))
+						} else {
+							g.addEdge(held, acq.id, n.Pos(), callee.Name.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stmtReturnsWithoutUnlock reports whether s's subtree contains a return
+// statement but no unlock of key (and no deferred unlock). Function literals
+// are skipped: their returns are not this function's.
+func stmtReturnsWithoutUnlock(pass *Pass, s ast.Stmt, key string) bool {
+	returns := false
+	unlocks := false
+	panics := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = true
+		case *ast.CallExpr:
+			if k, _, op, _, isMu := mutexOp(pass, n); isMu && k == key && isUnlockOp(op) {
+				unlocks = true
+			}
+			if id, isIdent := n.Fun.(*ast.Ident); isIdent && id.Name == "panic" {
+				panics = true
+			}
+		}
+		return true
+	})
+	return returns && !unlocks && !panics
+}
+
+// subtreeUnlocks reports whether any statement subtree contains an unlock of
+// key (deferred or not), including inside nested blocks.
+func subtreeUnlocks(pass *Pass, stmts []ast.Stmt, key string) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if k, _, op, _, isMu := mutexOp(pass, call); isMu && k == key && isUnlockOp(op) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// calleeDecl resolves a call to a same-package function or method
+// declaration, or nil.
+func calleeDecl(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.FuncDecl {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return decls[pass.TypesInfo.Uses[fun]]
+	case *ast.SelectorExpr:
+		return decls[pass.TypesInfo.Uses[fun.Sel]]
+	}
+	return nil
+}
+
+// selectorIsPackageFunc reports whether sel resolves to a function in this
+// module (as opposed to, say, strings.Sleep — which doesn't exist, but the
+// guard keeps the blocking-name heuristic from firing on arbitrary foreign
+// APIs that happen to reuse a name with non-blocking semantics).
+func selectorIsPackageFunc(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil
+}
+
+// packageFuncDecls maps function/method objects to declarations, shared by
+// the ordering graph's call edges.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// ---- lock-ordering graph ----
+
+type lockEdge struct {
+	pos token.Pos
+	via string // callee name for call edges, "" for direct nesting
+}
+
+type lockGraph struct {
+	edges map[string]map[string]lockEdge
+}
+
+func newLockGraph() *lockGraph {
+	return &lockGraph{edges: make(map[string]map[string]lockEdge)}
+}
+
+func (g *lockGraph) addEdge(from, to string, pos token.Pos, via string) {
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[string]lockEdge)
+		g.edges[from] = m
+	}
+	if _, dup := m[to]; !dup {
+		m[to] = lockEdge{pos: pos, via: via}
+	}
+}
+
+// reportInversions reports each unordered pair {A, B} with edges both ways:
+// some code path acquires A before B while another acquires B before A — the
+// classic ABBA deadlock shape.
+func (g *lockGraph) reportInversions(pass *Pass) {
+	froms := make([]string, 0, len(g.edges))
+	for from := range g.edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, a := range froms {
+		tos := make([]string, 0, len(g.edges[a]))
+		for to := range g.edges[a] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, b := range tos {
+			if a >= b {
+				continue // report each pair once, from the smaller name
+			}
+			back, ok := g.edges[b][a]
+			if !ok {
+				continue
+			}
+			fwd := g.edges[a][b]
+			pass.Reportf(fwd.pos, "lock ordering inversion candidate: %s is acquired before %s here, but %s before %s at %s — pick one order", a, b, b, a, pass.Fset.Position(back.pos))
+		}
+	}
+}
+
+// exprString renders the syntactic identity of a locked expression — enough
+// to match Lock/Unlock pairs within one function.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	}
+	return "?"
+}

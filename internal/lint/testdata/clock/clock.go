@@ -1,0 +1,12 @@
+// Package clock is a fixture proving the clockhygiene home-package
+// exemption: a package whose import path ends in /clock is the sanctioned
+// wrapper around raw time and may touch it directly.
+package clock
+
+import "time"
+
+// Raw would be a finding anywhere else.
+func Raw() time.Time { return time.Now() }
+
+// Park would be a finding anywhere else.
+func Park() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,28 @@
+// Package clockhygiene is a fixture: direct wall-clock access outside the
+// clock package and package main.
+package clockhygiene
+
+import "time"
+
+func stamps() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func waits() {
+	time.Sleep(time.Second)         // want `time.Sleep blocks on the wall clock`
+	<-time.After(time.Second)       // want `time.After blocks on the wall clock`
+	t := time.NewTimer(time.Second) // want `time.NewTimer ticks on the wall clock`
+	t.Stop()
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time.Since reads the wall clock`
+}
+
+func formatting(t time.Time) string {
+	return t.Format(time.RFC3339) // formatting and constants are fine
+}
+
+func allowedStopwatch() int64 {
+	return time.Now().UnixNano() //lint:allow clockhygiene fixture: measurement-only stopwatch, excluded from replayed outputs
+}

@@ -1,0 +1,68 @@
+// Package ctxflow is a fixture: cancellation plumbing in library code.
+package ctxflow
+
+import "context"
+
+func mint() context.Context {
+	return context.Background() // want `context.Background mints a root context`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO mints a root context`
+}
+
+// Block is an exported API with no way out of the receive.
+func Block() int { // want `exported Block blocks on a channel receive`
+	ch := make(chan int)
+	return <-ch
+}
+
+// Stall parks on a select no caller can interrupt.
+func Stall() { // want `exported Stall blocks on a select with no default`
+	ch := make(chan int)
+	select {
+	case <-ch:
+	}
+}
+
+// Wait is fine: the caller owns the channel and can close it.
+func Wait(ch chan int) int {
+	return <-ch
+}
+
+// WaitCtx is fine: the context bounds the wait.
+func WaitCtx(ctx context.Context, n int) {
+	<-ctx.Done()
+}
+
+// Poll is fine: the default case makes the select non-blocking.
+func Poll() bool {
+	ch := make(chan int)
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Spawn has a context in scope; the first goroutine drops it.
+func Spawn(ctx context.Context) {
+	go func() { // want `goroutine drops the in-scope context ctx`
+		work()
+	}()
+	go run(ctx) // threads ctx: fine
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func work() {}
+
+// Join is a true positive suppressed with a reason.
+//
+//lint:allow ctxflow fixture: shutdown join, the counterpart goroutine always closes done
+func Join(n int) {
+	done := make(chan struct{})
+	close(done)
+	<-done
+}

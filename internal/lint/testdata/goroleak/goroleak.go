@@ -1,0 +1,70 @@
+// Package goroleak is a fixture: goroutine shutdown paths and loop-shared
+// captures.
+package goroleak
+
+func spin() {
+	go func() { // want `goroutine has no reachable shutdown path`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func worker() {
+	for {
+		process()
+	}
+}
+
+func process() {}
+
+func spawnWorker() {
+	go worker() // want `goroutine has no reachable shutdown path`
+}
+
+func drains(ch chan int) {
+	go func() {
+		for range ch { // parks until ch closes: fine
+			process()
+		}
+	}()
+}
+
+func shared(items []int) {
+	var cur int
+	for _, it := range items {
+		cur = it
+		go func() { // want `go closure captures cur`
+			sink(cur)
+		}()
+	}
+}
+
+func perIteration(items []int) {
+	for _, it := range items {
+		go func() { sink(it) }() // go 1.22 loop vars are per-iteration: fine
+	}
+}
+
+func sink(int) {}
+
+func allowedSampler(counter *int) {
+	go func() { //lint:allow goroleak fixture: process-lifetime sampler, intentionally never stops
+		for {
+			*counter++
+		}
+	}()
+}

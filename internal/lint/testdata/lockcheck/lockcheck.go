@@ -1,0 +1,117 @@
+// Package lockcheck is a fixture: mutex discipline in concurrent code.
+package lockcheck
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `parameter passes .* by value`
+	return g.n
+}
+
+func (g guarded) valueReceiver() int { // want `receiver passes .* by value`
+	return g.n
+}
+
+func copies(g *guarded) int {
+	snapshot := *g // want `assignment copies \*g`
+	return snapshot.n
+}
+
+func pointers(g *guarded) int {
+	p := g // copying the pointer is fine
+	return p.n
+}
+
+func earlyReturn(g *guarded, fail bool) error {
+	g.mu.Lock()
+	if fail { // want `returns with g.mu still locked`
+		return errFail
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+func unlockedReturn(g *guarded, fail bool) error {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return errFail
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+func neverUnlocks(g *guarded) {
+	g.mu.Lock() // want `has no matching g.mu.Unlock in this function`
+	g.n++
+}
+
+func sendUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n // want `channel send while holding g.mu`
+}
+
+func recvUnderLock(g *guarded, ch chan int) {
+	g.mu.Lock()
+	n := <-ch // want `channel receive while holding g.mu`
+	g.n = n
+	g.mu.Unlock()
+}
+
+func waitUnderLock(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want `call to wg.Wait while holding g.mu`
+}
+
+func doubleLock(g *guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want `g.mu acquired again while already held`
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func lockHelper(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func callsWhileHeld(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lockHelper(g) // want `lockHelper acquires guarded.mu itself`
+}
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+func abOrder(x *a, y *b) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock ordering inversion candidate`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func baOrder(x *a, y *b) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+func allowedSend(g *guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- 1 //lint:allow lockcheck fixture: the channel is buffered and drained by the harness, the send cannot block
+}

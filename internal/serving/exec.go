@@ -443,8 +443,10 @@ func (rt *Runtime) onExecDone(cid, epoch int) {
 		}
 		inv.done[ni.node] = true
 		inv.remaining--
+		invariant(inv.remaining >= 0, "request %d finished more members than its DAG has: remaining %d", inv.id, inv.remaining)
 		for _, succ := range g.Successors(ni.node) {
 			inv.pending[succ]--
+			invariant(inv.pending[succ] >= 0, "request %d released successor %s more times than it has predecessors", inv.id, succ)
 			if inv.pending[succ] == 0 {
 				rt.enqueue(&nodeInv{inv: inv, node: succ, readyAt: now})
 			}
@@ -672,6 +674,7 @@ func (rt *Runtime) terminate(c *container) {
 }
 
 func (rt *Runtime) completeInvocation(inv *appInv) {
+	invariant(!inv.resolved && !inv.failed, "request %d completed twice (resolved=%t failed=%t): done-map dedup broke", inv.id, inv.resolved, inv.failed)
 	now := rt.now()
 	e2e := now - inv.arrival
 	rt.stats.Completed++
@@ -730,6 +733,7 @@ func (rt *Runtime) resolve(inv *appInv, res Result) {
 	}
 	inv.resolved = true
 	rt.inflight--
+	invariant(rt.inflight >= 0, "admission accounting went negative: inflight %d after resolving request %d", rt.inflight, inv.id)
 	if inv.resCh != nil {
 		inv.resCh <- res
 		inv.resCh = nil

@@ -1,0 +1,22 @@
+//go:build smiless_invariants
+
+package serving
+
+import "fmt"
+
+// invariantsEnabled selects the runtime assertion layer: `go test -tags
+// smiless_invariants` (or `make invariants`) compiles every invariant()
+// call into a live check that panics on violation. Untagged builds compile
+// the checks out entirely, so production and tier-1 test behaviour is
+// byte-identical with or without this file.
+const invariantsEnabled = true
+
+// invariant panics when cond is false. It guards properties the runtime's
+// correctness argument relies on but that no single function can prove
+// locally: deadline-heap pop ordering, admission-slot accounting,
+// done-map/completion idempotency and node health-transition legality.
+func invariant(cond bool, format string, args ...any) {
+	if !cond {
+		panic("serving: invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -160,6 +160,7 @@ func (rt *Runtime) onGossip() {
 // its down time into NodeDownSeconds and re-pumping queued work.
 func (rt *Runtime) recoverNode(i int) {
 	n := rt.nodes[i]
+	invariant(n.health == nodeSuspect || (n.health == nodeDown && n.detectorDown), "node %d recovered from illegal state %s (detectorDown=%t): only suspect or detector-declared down nodes recover", i, n.health, n.detectorDown)
 	if n.health == nodeDown {
 		rt.stats.NodeDownSeconds += rt.now() - n.downSince
 	}
@@ -176,6 +177,7 @@ func (rt *Runtime) recoverNode(i int) {
 // failover twins through the first-completion-wins dedup.
 func (rt *Runtime) markNodeDown(i int) {
 	n := rt.nodes[i]
+	invariant(n.health != nodeDown, "node %d marked down twice", i)
 	n.health = nodeDown
 	n.detectorDown = true
 	n.downSince = rt.now()

@@ -108,6 +108,10 @@ type Runtime struct {
 	events eventHeap
 	seq    int
 	nodes  []*nodeAgent
+	// lastPop records the deadline of the most recently popped event; only
+	// written under -tags smiless_invariants, where the event loop asserts
+	// pops never run backwards.
+	lastPop float64
 
 	fns      map[dag.NodeID]*fnState
 	conts    map[int]*container
@@ -274,6 +278,10 @@ func (rt *Runtime) loop() {
 		rt.wakePending = false
 		for len(rt.events) > 0 && rt.events[0].at <= rt.now() {
 			e := heap.Pop(&rt.events).(*event)
+			if invariantsEnabled {
+				invariant(e.at >= rt.lastPop, "deadline heap popped out of order: %.9f after %.9f (kind %d)", e.at, rt.lastPop, e.kind)
+				rt.lastPop = e.at
+			}
 			rt.handle(e)
 		}
 		// Register the wake-up timer BEFORE publishing sleeping=true and
@@ -387,7 +395,7 @@ func (rt *Runtime) Invoke(ctx context.Context) (<-chan Result, error) {
 // unresolved when it elapses fails with Result.DeadlineExceeded.
 func (rt *Runtime) InvokeWithDeadline(ctx context.Context, budget float64) (<-chan Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxflow nil-ctx compatibility fallback: the caller explicitly declined cancellation
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -416,6 +424,7 @@ func (rt *Runtime) InvokeWithDeadline(ctx context.Context, budget float64) (<-ch
 		budget = rt.cfg.DefaultDeadline
 	}
 	rt.inflight++
+	invariant(rt.inflight <= rt.cfg.MaxInflight, "admission slots over-committed: inflight %d > max %d", rt.inflight, rt.cfg.MaxInflight)
 	inv, ch := rt.onArrival()
 	if budget > 0 {
 		inv.deadline = inv.arrival + budget
@@ -509,6 +518,8 @@ func (rt *Runtime) onArrival() (*appInv, <-chan Result) {
 // Drain stops admitting new requests and blocks until every inflight
 // request has resolved, or the real-time timeout elapses. It is idempotent;
 // concurrent calls share the same drain.
+//
+//lint:allow ctxflow the wait is bounded by the timeout parameter; a context would duplicate it
 func (rt *Runtime) Drain(timeout time.Duration) error {
 	rt.mu.Lock()
 	if rt.closed {
@@ -527,7 +538,7 @@ func (rt *Runtime) Drain(timeout time.Duration) error {
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(timeout):
+	case <-time.After(timeout): //lint:allow clockhygiene drain timeout is a real-time operational bound by contract, not model time
 		return fmt.Errorf("serving: drain timed out after %v with %d inflight", timeout, rt.Inflight())
 	}
 }
@@ -535,6 +546,8 @@ func (rt *Runtime) Drain(timeout time.Duration) error {
 // Close stops the scheduler loop and terminates every container, settling
 // the cost ledger. Pending requests that have not resolved receive a failed
 // Result. Close is idempotent.
+//
+//lint:allow ctxflow shutdown joins the scheduler goroutine, which always terminates once stopCh closes
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
 	if rt.closed {

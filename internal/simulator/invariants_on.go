@@ -1,0 +1,21 @@
+//go:build smiless_invariants
+
+package simulator
+
+import "fmt"
+
+// invariantsEnabled selects the runtime assertion layer: `go test -tags
+// smiless_invariants` (or `make invariants`) compiles every invariant()
+// call into a live check that panics on violation. Untagged builds compile
+// the checks out entirely, preserving byte-identical replay.
+const invariantsEnabled = true
+
+// invariant panics when cond is false. The simulator's event loop already
+// panics on time travel in every build; the tagged layer adds the
+// accounting properties around it: done-map idempotency, pending/remaining
+// counters never going negative, and single-fire completion.
+func invariant(cond bool, format string, args ...any) {
+	if !cond {
+		panic("simulator: invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

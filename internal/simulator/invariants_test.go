@@ -1,0 +1,32 @@
+//go:build smiless_invariants
+
+package simulator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvariantModeEnabled(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("built with -tags smiless_invariants but invariantsEnabled is false")
+	}
+}
+
+func TestInvariantPanicsWithMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("invariant(false, ...) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated") || !strings.Contains(msg, "request 7") {
+			t.Fatalf("panic payload %v lacks the formatted invariant message", r)
+		}
+	}()
+	invariant(false, "request %d", 7)
+}
+
+func TestInvariantHoldsSilently(t *testing.T) {
+	invariant(true, "never formatted")
+}

@@ -1138,8 +1138,10 @@ func (s *Simulator) onExecDone(cid int) {
 		}
 		inv.done[ni.node] = true
 		inv.remaining--
+		invariant(inv.remaining >= 0, "request %d finished more members than its DAG has: remaining %d", inv.id, inv.remaining)
 		for _, succ := range g.Successors(ni.node) {
 			inv.pending[succ]--
+			invariant(inv.pending[succ] >= 0, "request %d released successor %s more times than it has predecessors", inv.id, succ)
 			if inv.pending[succ] == 0 {
 				s.enqueue(&nodeInv{inv: inv, node: succ, readyAt: s.now})
 			}
@@ -1617,6 +1619,7 @@ func (s *Simulator) drainPendingLaunches() {
 }
 
 func (s *Simulator) completeInvocation(inv *appInv) {
+	invariant(inv.remaining == 0 && !inv.failed, "request %d completed with remaining=%d failed=%t: done-map dedup broke", inv.id, inv.remaining, inv.failed)
 	e2e := (s.now - inv.arrival).Seconds()
 	s.stats.Completed++
 	var bd tracing.Breakdown
