@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt serve-smoke chaos-smoke invariants
+.PHONY: all build test race lint fmt bench bench-opt bench-serve serve-smoke chaos-smoke invariants
 
 all: build test lint
 
@@ -51,3 +51,10 @@ bench-opt:
 	$(GO) test -bench 'BenchmarkOptimizer/' -benchtime 20x -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -o BENCH_optimizer.json
 	@echo "wrote BENCH_optimizer.json"
+
+# Serve/harness perf gate: run the BenchmarkServe suite (pacer null-sink
+# ceiling, in-process gateway end to end, runtime invoke hot path), emit
+# BENCH_serve.json, and fail on regression beyond the noise band against
+# the committed baseline. NOISE/BENCHTIME/OUT env knobs tune it.
+bench-serve:
+	sh scripts/bench_serve.sh

@@ -1,0 +1,200 @@
+// Command benchgate compares a current cmd/benchjson document against a
+// committed baseline and exits non-zero on regression beyond a configurable
+// noise band — the CI perf gate seeding the BENCH_* trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -baseline BENCH_serve.json -current BENCH_serve.new.json -noise 0.5
+//
+// Per matched benchmark (keyed by package + name, GOMAXPROCS suffix
+// stripped) the gate checks:
+//
+//   - ns/op, B/op, allocs/op: lower is better; fail when the current value
+//     exceeds baseline*(1+noise) plus a small absolute slack that keeps
+//     near-zero baselines from tripping on quantization.
+//   - custom units (rps, lag_p99_ms, ...): direction comes from
+//     -higher-better (default "rps"); everything else is lower-is-better.
+//
+// Custom units are gated only when listed in -gate-extra (default "rps"):
+// near-saturation tail percentiles (p99/p999 latency, send lag) are
+// heavy-tailed run-to-run noise on small shared runners, so they ride in
+// the artifact for cross-PR trending but do not fail the gate. Throughput
+// and per-op cost, which are central-tendency metrics, do.
+//
+// A benchmark present in the baseline but missing from the current run
+// fails the gate (silent coverage shrink reads as a speedup otherwise).
+// New benchmarks only in the current run pass — that is how the trajectory
+// grows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result and Document mirror cmd/benchjson's artifact schema (the subset
+// the gate reads).
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+type Document struct {
+	Benchs []Result `json:"benchmarks"`
+}
+
+// gateConfig tunes the comparison.
+type gateConfig struct {
+	// noise is the allowed fractional regression: 0.5 passes anything up
+	// to 1.5x worse (or, for higher-is-better units, down to 1/1.5).
+	noise float64
+	// higherBetter lists Extra units where bigger numbers are better.
+	higherBetter map[string]bool
+	// gateExtra lists the Extra units the gate enforces; every other unit
+	// is trend-only (archived, never failing).
+	gateExtra map[string]bool
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline benchjson document (committed trajectory point)")
+	currentPath := flag.String("current", "", "current benchjson document (this run)")
+	noise := flag.Float64("noise", 0.5, "allowed fractional regression before the gate fails")
+	higher := flag.String("higher-better", "rps", "comma-separated Extra units where higher is better")
+	gateExtra := flag.String("gate-extra", "rps", "comma-separated Extra units the gate enforces; others are trend-only")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := gateConfig{noise: *noise, higherBetter: unitSet(*higher), gateExtra: unitSet(*gateExtra)}
+	violations := gate(base, cur, cfg)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) beyond the %.0f%% noise band:\n", len(violations), *noise*100)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: ok (%d benchmarks within the %.0f%% noise band)\n", len(base.Benchs), *noise*100)
+}
+
+func unitSet(csv string) map[string]bool {
+	out := map[string]bool{}
+	for _, u := range strings.Split(csv, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+func load(path string) (*Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	if err := json.Unmarshal(raw, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// benchKey identifies a benchmark across runs: package plus name with the
+// trailing "-<GOMAXPROCS>" stripped, so runs on differently-sized hosts
+// still match.
+func benchKey(r Result) string {
+	name := r.Name
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return r.Package + " " + name
+}
+
+// gate returns one violation string per metric that regressed beyond the
+// noise band, sorted for stable output.
+func gate(base, cur *Document, cfg gateConfig) []string {
+	curByKey := make(map[string]Result, len(cur.Benchs))
+	for _, r := range cur.Benchs {
+		curByKey[benchKey(r)] = r
+	}
+	var out []string
+	for _, b := range base.Benchs {
+		key := benchKey(b)
+		c, ok := curByKey[key]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but missing from current run", key))
+			continue
+		}
+		out = append(out, compare(key, b, c, cfg)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compare checks every metric of one benchmark pair. Absolute slack floors
+// keep quantization noise on tiny baselines (0 allocs, sub-µs timings)
+// from reading as a ratio blow-up.
+func compare(key string, base, cur Result, cfg gateConfig) []string {
+	var out []string
+	check := func(metric string, b, c, slack float64, higherBetter bool) {
+		if b <= 0 {
+			return // no meaningful ratio against a zero/absent baseline
+		}
+		if higherBetter {
+			if c < b/(1+cfg.noise)-slack {
+				out = append(out, fmt.Sprintf("%s: %s fell %.4g -> %.4g (floor %.4g)",
+					key, metric, b, c, b/(1+cfg.noise)))
+			}
+			return
+		}
+		if c > b*(1+cfg.noise)+slack {
+			out = append(out, fmt.Sprintf("%s: %s rose %.4g -> %.4g (ceiling %.4g)",
+				key, metric, b, c, b*(1+cfg.noise)))
+		}
+	}
+	check("ns/op", base.NsPerOp, cur.NsPerOp, 100, false)
+	check("B/op", base.BytesPerOp, cur.BytesPerOp, 64, false)
+	check("allocs/op", base.AllocsOp, cur.AllocsOp, 2, false)
+	units := make([]string, 0, len(base.Extra))
+	for u := range base.Extra {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		c, ok := cur.Extra[u]
+		if !ok || !cfg.gateExtra[u] {
+			continue // trend-only unit: archived, never gated
+		}
+		// Millisecond-scale latency metrics get a 1ms absolute floor: a
+		// 0.2ms -> 0.5ms wiggle is scheduler noise, not a regression.
+		slack := 0.0
+		if strings.HasSuffix(u, "_ms") {
+			slack = 1.0
+		}
+		check(u, base.Extra[u], c, slack, cfg.higherBetter[u])
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(benchs ...Result) *Document { return &Document{Benchs: benchs} }
+
+func baseline() *Document {
+	return doc(
+		Result{
+			Name: "BenchmarkServe/pacer=nullsink-8", Package: "smiless/cmd/loadgen",
+			NsPerOp: 7500, AllocsOp: 0,
+			Extra: map[string]float64{"rps": 150000, "lag_p99_ms": 2.2},
+		},
+		Result{
+			Name: "BenchmarkServeRuntime/invoke=serial-8", Package: "smiless/internal/serving",
+			NsPerOp: 4200, BytesPerOp: 1550, AllocsOp: 19,
+		},
+	)
+}
+
+func cfg() gateConfig {
+	return gateConfig{
+		noise:        0.5,
+		higherBetter: map[string]bool{"rps": true},
+		gateExtra:    map[string]bool{"rps": true},
+	}
+}
+
+// scale returns a copy of d with ns/op multiplied by f and rps divided by
+// f: a uniform f-times slowdown.
+func scale(d *Document, f float64) *Document {
+	out := doc()
+	for _, r := range d.Benchs {
+		r2 := r
+		r2.NsPerOp *= f
+		if r.Extra != nil {
+			r2.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				if k == "rps" {
+					r2.Extra[k] = v / f
+				} else {
+					r2.Extra[k] = v * f
+				}
+			}
+		}
+		out.Benchs = append(out.Benchs, r2)
+	}
+	return out
+}
+
+// TestInjectedSlowdownFailsGate is the gate's reason to exist: a uniform 2x
+// slowdown must trip it on every timing metric, including the
+// higher-is-better rps direction.
+func TestInjectedSlowdownFailsGate(t *testing.T) {
+	violations := gate(baseline(), scale(baseline(), 2), cfg())
+	if len(violations) == 0 {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	joined := strings.Join(violations, "\n")
+	for _, want := range []string{"ns/op rose", "rps fell"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestNoiseLevelJitterPasses: 10% wiggle in either direction stays inside
+// the 50% band, including proc-suffix changes from differently-sized hosts.
+func TestNoiseLevelJitterPasses(t *testing.T) {
+	cur := scale(baseline(), 1.1)
+	// Same benchmarks measured on a 16-proc host.
+	for i := range cur.Benchs {
+		cur.Benchs[i].Name = strings.Replace(cur.Benchs[i].Name, "-8", "-16", 1)
+	}
+	if violations := gate(baseline(), cur, cfg()); len(violations) != 0 {
+		t.Fatalf("noise-level jitter tripped the gate:\n%s", strings.Join(violations, "\n"))
+	}
+	if violations := gate(baseline(), scale(baseline(), 0.7), cfg()); len(violations) != 0 {
+		t.Fatalf("a speedup tripped the gate:\n%s", strings.Join(violations, "\n"))
+	}
+}
+
+// TestTrendOnlyUnitsNeverGate: tail percentiles ride in the artifact for
+// trending but a blowup in one must not fail the gate — on small shared
+// runners a near-saturation p99 is heavy-tailed noise, not signal.
+func TestTrendOnlyUnitsNeverGate(t *testing.T) {
+	cur := baseline()
+	cur.Benchs[0].Extra = map[string]float64{"rps": 150000, "lag_p99_ms": 500}
+	if violations := gate(baseline(), cur, cfg()); len(violations) != 0 {
+		t.Fatalf("trend-only lag_p99_ms tripped the gate: %v", violations)
+	}
+	// But a unit listed in gateExtra with the same blowup does fail.
+	c := cfg()
+	c.gateExtra["lag_p99_ms"] = true
+	if violations := gate(baseline(), cur, c); len(violations) != 1 {
+		t.Fatalf("gated lag_p99_ms blowup not flagged: %v", violations)
+	}
+}
+
+func TestUnitSet(t *testing.T) {
+	got := unitSet(" rps, lag_p99_ms ,")
+	if len(got) != 2 || !got["rps"] || !got["lag_p99_ms"] {
+		t.Fatalf("unitSet parsed %v", got)
+	}
+}
+
+func TestMissingBenchmarkFailsGate(t *testing.T) {
+	cur := doc(baseline().Benchs[0])
+	violations := gate(baseline(), cur, cfg())
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing from current run") {
+		t.Fatalf("dropped benchmark not flagged: %v", violations)
+	}
+}
+
+func TestAllocRegressionFailsGate(t *testing.T) {
+	cur := baseline()
+	cur.Benchs[1].AllocsOp = 50 // 19 -> 50: beyond 1.5x + slack 2
+	violations := gate(baseline(), cur, cfg())
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op rose") {
+		t.Fatalf("alloc regression not flagged: %v", violations)
+	}
+	cur.Benchs[1].AllocsOp = 21 // within absolute slack: quantization, not creep
+	if violations := gate(baseline(), cur, cfg()); len(violations) != 0 {
+		t.Fatalf("alloc quantization tripped the gate: %v", violations)
+	}
+}
+
+func TestZeroBaselineMetricsAreSkipped(t *testing.T) {
+	base := doc(Result{Name: "BenchmarkX", NsPerOp: 0, AllocsOp: 0})
+	cur := doc(Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsOp: 3})
+	if violations := gate(base, cur, cfg()); len(violations) != 0 {
+		t.Fatalf("zero baseline produced violations: %v", violations)
+	}
+}
+
+// TestLoadRoundTrip exercises the file path: write two docs, load them, and
+// gate — wiring the same code path main uses.
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Document) string {
+		path := filepath.Join(dir, name)
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return path
+	}
+	basePath := write("base.json", baseline())
+	curPath := write("cur.json", scale(baseline(), 2))
+	base, err := load(basePath)
+	if err != nil {
+		t.Fatalf("load baseline: %v", err)
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		t.Fatalf("load current: %v", err)
+	}
+	if violations := gate(base, cur, cfg()); len(violations) == 0 {
+		t.Fatal("2x slowdown passed after file round trip")
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"smiless/internal/apps"
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/serving"
+	"smiless/internal/simulator"
+)
+
+// handlerTransport short-circuits the HTTP client onto an in-process
+// handler: the full client stack (request build, header round trip, body
+// decode) runs without sockets, so benches measure the harness and the
+// gateway, not the kernel's loopback.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// benchChain builds a one-function app with the given exec/init latencies.
+func benchChain(execLat, initLat float64) *apps.Application {
+	g := dag.New()
+	id := dag.NodeID("F1")
+	g.MustAddNode(id, "bench")
+	return &apps.Application{
+		Name:  "bench-chain",
+		Graph: g,
+		Specs: map[dag.NodeID]*apps.FunctionSpec{
+			id: {
+				Name: "F1", Model: "bench", Field: "bench",
+				CPUG: execLat, GPUG: execLat,
+				CPUInitMu: initLat, GPUInitMu: initLat,
+			},
+		},
+	}
+}
+
+// benchDriver pins every function to a warm CPU pool and does nothing per
+// window, so the bench measures the runtime hot path, not planning.
+type benchDriver struct{ instances int }
+
+func (d benchDriver) Name() string { return "static" }
+func (d benchDriver) Setup(cp simulator.ControlPlane) {
+	for _, id := range cp.App().Graph.Nodes() {
+		cp.SetDirective(id, simulator.Directive{
+			Config:    hardware.Config{Kind: hardware.CPU, Cores: 4},
+			Policy:    coldstart.KeepAlive,
+			KeepAlive: 3600,
+			Batch:     1,
+			Instances: d.instances,
+		})
+	}
+}
+func (d benchDriver) OnWindow(cp simulator.ControlPlane, now float64) {}
+
+func constArrivals(n int, rate float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / rate
+	}
+	return out
+}
+
+// BenchmarkServe is the bench-serve suite behind BENCH_serve.json: the
+// pacer against a null sink (pure harness ceiling) and against a live
+// in-process gateway runtime (end-to-end hot path). Custom units feed the
+// regression gate: rps higher-is-better, *_ms lower-is-better.
+func BenchmarkServe(b *testing.B) {
+	b.Run("pacer=nullsink", func(b *testing.B) {
+		sink := func(ctx context.Context) Outcome { return Outcome{Status: 200, E2E: 0.001} }
+		eng := NewEngine(EngineConfig{
+			Arrivals: constArrivals(b.N, 150000), Timescale: 1,
+			Workers: 64, Spin: 100 * time.Microsecond, Sink: sink,
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		rep := eng.Run(context.Background())
+		b.StopTimer()
+		reportRates(b, rep)
+	})
+
+	b.Run("pacer=gateway", func(b *testing.B) {
+		app := benchChain(0.001, 0.001)
+		rt, err := serving.New(serving.Config{
+			App: app, SLA: 10, MaxInflight: 4096, QueueCap: 65536,
+		}, benchDriver{instances: 8})
+		if err != nil {
+			b.Fatalf("serving.New: %v", err)
+		}
+		rt.Start()
+		defer rt.Close()
+		gw := serving.NewGateway(rt, "bench")
+		client := &http.Client{Transport: handlerTransport{gw}}
+		eng := NewEngine(EngineConfig{
+			Arrivals: constArrivals(b.N, 1000), Timescale: 1,
+			Workers: 128, Spin: 100 * time.Microsecond,
+			Sink: httpSink(client, "", 0),
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		rep := eng.Run(context.Background())
+		b.StopTimer()
+		if rep.TransportErrors > 0 {
+			b.Fatalf("gateway bench hit %d transport errors:\n%s", rep.TransportErrors, rep.Text())
+		}
+		reportRates(b, rep)
+		b.ReportMetric(rep.LatencyP50*1000, "lat_p50_ms")
+		b.ReportMetric(rep.LatencyP99*1000, "lat_p99_ms")
+		b.ReportMetric(rep.LatencyP999*1000, "lat_p999_ms")
+	})
+}
+
+func reportRates(b *testing.B, rep Report) {
+	b.ReportMetric(rep.AchievedRPS, "rps")
+	b.ReportMetric(rep.SendLagP99*1000, "lag_p99_ms")
+	b.ReportMetric(rep.SendLagP999*1000, "lag_p999_ms")
+}
+
+// sanity check handlerTransport against the real gateway handler shape so
+// the bench path stays honest.
+func TestHandlerTransportRoundTrip(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"e2e_seconds": 0.5, "failed": false, "sla_violated": true}`)
+	})
+	client := &http.Client{Transport: handlerTransport{h}}
+	out := httpSink(client, "", 0)(context.Background())
+	if out.Status != 200 || out.E2E != 0.5 || !out.Violated {
+		t.Fatalf("round trip outcome = %+v", out)
+	}
+}

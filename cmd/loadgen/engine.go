@@ -1,0 +1,257 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smiless/internal/mathx"
+)
+
+// Outcome is the classified result of one fired request.
+type Outcome struct {
+	Status    int     // HTTP status (0 on transport-level failure)
+	Transport bool    // transport-level failure (dial/read error, bad body)
+	Timeout   bool    // per-request deadline elapsed
+	Canceled  bool    // run canceled (SIGINT) while the request was in flight
+	E2E       float64 // model-time end-to-end latency from the gateway
+	Failed    bool    // application-level failure (lost after retries)
+	Violated  bool    // SLA violated
+}
+
+// Sink fires one request and classifies its outcome. ctx carries the run's
+// cancellation; per-request deadlines are layered on by the sink itself.
+type Sink func(ctx context.Context) Outcome
+
+// EngineConfig parameterizes one open-loop run.
+type EngineConfig struct {
+	// Arrivals are the model-time offsets of the schedule, ascending.
+	Arrivals []float64
+	// Timescale compresses model time: N model seconds per wall second.
+	Timescale float64
+	// Cycles replays the schedule this many times back to back (soak mode);
+	// values < 1 mean one pass.
+	Cycles int
+	// CycleLen is the model-seconds offset between replays (the trace
+	// horizon). Only read when Cycles > 1.
+	CycleLen float64
+	// Shards is the number of pacer goroutines; each owns the strided
+	// slice Arrivals[shard::Shards] of the schedule, so no shard ever
+	// waits on another and the achievable rate is not capped by one
+	// goroutine's timer granularity. Values < 1 mean GOMAXPROCS.
+	Shards int
+	// Workers bounds in-flight requests: a fixed pool consumes the paced
+	// schedule, so a stalled server saturates the pool and the overflow
+	// shows up as send lag instead of as an unbounded goroutine herd.
+	// Values < 1 mean 256.
+	Workers int
+	// Spin is the busy-wait window: each shard sleeps until Spin before
+	// the next due instant, then yields-and-polls the clock so the fire
+	// time is not quantized by timer granularity. 0 disables spinning.
+	Spin time.Duration
+	// Sink fires one request.
+	Sink Sink
+	// Progress, when non-nil, is called every ProgressEvery with the
+	// running sent/resolved counts (soak-mode liveness reporting).
+	Progress      func(sent, done int64)
+	ProgressEvery time.Duration
+}
+
+// counters is the shared atomic tally. Workers classify outcomes straight
+// into it; the progress reporter reads it concurrently.
+type counters struct {
+	sent, done                    atomic.Int64
+	completed, failed             atomic.Int64
+	rejected, serverErr           atomic.Int64
+	transport, timeouts, canceled atomic.Int64
+	violations                    atomic.Int64
+}
+
+// workerStats is one worker's lock-free measurement shard, merged after the
+// run. Histograms keep memory constant at any request count.
+type workerStats struct {
+	lat    *mathx.Histogram // model-time E2E of completed requests
+	lag    *mathx.Histogram // wall-time send lag (intended vs. actual send)
+	lagSum float64
+}
+
+// Engine drives the sharded open-loop pacer: Shards goroutines walk the
+// arrival schedule and hand due instants to Workers bounded senders. The
+// gap between intended and actual send time is recorded per request
+// (coordinated-omission accounting): a client that cannot keep up reports
+// its own lag instead of silently masking server queueing.
+type Engine struct {
+	cfg EngineConfig
+}
+
+// NewEngine validates and normalizes cfg.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Shards < 1 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 256
+	}
+	if cfg.Cycles < 1 {
+		cfg.Cycles = 1
+	}
+	if cfg.Timescale <= 0 {
+		cfg.Timescale = 1
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Run paces the schedule until it is exhausted or ctx is canceled, then
+// returns the merged report. Cancellation is graceful: pacers stop
+// scheduling, in-flight requests resolve (as Canceled if their sink aborts),
+// and the report covers everything that happened.
+func (e *Engine) Run(ctx context.Context) Report {
+	cfg := e.cfg
+	total := int64(cfg.Cycles) * int64(len(cfg.Arrivals))
+	var c counters
+	stats := make([]*workerStats, cfg.Workers)
+	for i := range stats {
+		stats[i] = &workerStats{lat: mathx.NewHistogram(), lag: mathx.NewHistogram()}
+	}
+
+	// Rendezvous-plus-small-buffer: the buffer absorbs scheduler jitter
+	// between pacer and worker goroutines without meaningfully loosening
+	// the in-flight bound (due instants, not requests, queue here, and
+	// their wait is charged to send lag at dequeue time).
+	jobs := make(chan time.Time, cfg.Workers)
+	start := time.Now()
+
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		workers.Add(1)
+		go func(ws *workerStats) {
+			defer workers.Done()
+			for due := range jobs {
+				lag := time.Since(due)
+				if lag < 0 {
+					lag = 0
+				}
+				ws.lag.ObserveNs(int64(lag))
+				ws.lagSum += lag.Seconds()
+				c.sent.Add(1)
+				record(&c, ws, cfg.Sink(ctx))
+			}
+		}(stats[w])
+	}
+
+	var progressDone chan struct{}
+	if cfg.Progress != nil && cfg.ProgressEvery > 0 {
+		progressDone = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(cfg.ProgressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cfg.Progress(c.sent.Load(), c.done.Load())
+				case <-progressDone:
+					return
+				}
+			}
+		}()
+	}
+
+	var pacers sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		pacers.Add(1)
+		go func(shard int) {
+			defer pacers.Done()
+			e.pace(ctx, shard, start, jobs)
+		}(s)
+	}
+	pacers.Wait()
+	close(jobs)
+	workers.Wait()
+	duration := time.Since(start)
+	if progressDone != nil {
+		close(progressDone)
+	}
+
+	lat, lag := mathx.NewHistogram(), mathx.NewHistogram()
+	lagSum := 0.0
+	for _, ws := range stats {
+		lat.Merge(ws.lat)
+		lag.Merge(ws.lag)
+		lagSum += ws.lagSum
+	}
+	offered := 0.0
+	if n := len(cfg.Arrivals); n > 0 {
+		span := cfg.Arrivals[n-1]
+		if cfg.Cycles > 1 {
+			span += float64(cfg.Cycles-1) * cfg.CycleLen
+		}
+		if wall := span / cfg.Timescale; wall > 0 {
+			offered = float64(total) / wall
+		}
+	}
+	return summarize(&c, lat, lag, lagSum, int(total), duration.Seconds(), offered)
+}
+
+// pace walks one shard's stride of the schedule: sleep until just before
+// each due instant, spin across the last Spin window, then hand the due
+// time to the worker pool. A full pool blocks the handoff, which is exactly
+// the moment send lag starts accruing.
+func (e *Engine) pace(ctx context.Context, shard int, start time.Time, jobs chan<- time.Time) {
+	cfg := e.cfg
+	for cyc := 0; cyc < cfg.Cycles; cyc++ {
+		base := float64(cyc) * cfg.CycleLen
+		for i := shard; i < len(cfg.Arrivals); i += cfg.Shards {
+			due := start.Add(time.Duration((base + cfg.Arrivals[i]) / cfg.Timescale * float64(time.Second)))
+			if d := time.Until(due); d > cfg.Spin {
+				t := time.NewTimer(d - cfg.Spin)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+			}
+			for time.Until(due) > 0 {
+				runtime.Gosched()
+			}
+			select {
+			case jobs <- due:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// record classifies one outcome into the tally and the worker's histograms.
+// Precedence mirrors the report columns: transport-level failures first,
+// then HTTP-level rejections, then application-level results.
+func record(c *counters, ws *workerStats, out Outcome) {
+	defer c.done.Add(1)
+	switch {
+	case out.Timeout:
+		c.timeouts.Add(1)
+	case out.Canceled:
+		c.canceled.Add(1)
+	case out.Transport:
+		c.transport.Add(1)
+	case out.Status == 429:
+		c.rejected.Add(1)
+	case out.Status >= 500:
+		c.serverErr.Add(1)
+	case out.Status == 200 && out.Failed:
+		c.failed.Add(1)
+	case out.Status == 200:
+		c.completed.Add(1)
+		ws.lat.Observe(out.E2E)
+		if out.Violated {
+			c.violations.Add(1)
+		}
+	default:
+		// Unexpected 2xx/3xx/4xx: count as transport-level noise so the
+		// exit status stays honest rather than silently dropping them.
+		c.transport.Add(1)
+	}
+}

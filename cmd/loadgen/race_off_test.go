@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race runtime is active.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race runtime is active, so rate-floor
+// tests can skip themselves rather than flake under instrumentation.
+const raceEnabled = true

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"smiless/internal/mathx"
+	"smiless/internal/metrics"
+)
+
+// Report mirrors the simulator Report's latency/SLA fields for the live
+// replay, so runs are comparable side by side, and extends them with the
+// harness's own accounting: timeouts, cancellations, offered vs. achieved
+// rate, and the coordinated-omission send-lag distribution.
+type Report struct {
+	Requests        int `json:"requests"`
+	Completed       int `json:"completed"`
+	Failed          int `json:"failed_requests"`
+	Rejected        int `json:"rejected_429"`
+	ServerErrors    int `json:"server_errors_5xx"`
+	TransportErrors int `json:"transport_errors"`
+	// Timeouts counts requests that hit the client-side per-request
+	// deadline (-timeout): distinct from transport errors, because a
+	// saturated server times requests out without any transport fault.
+	Timeouts int `json:"timeouts"`
+	// Canceled counts in-flight requests aborted by run cancellation
+	// (SIGINT); Unsent counts scheduled arrivals never fired at all.
+	Canceled int `json:"canceled"`
+	Unsent   int `json:"unsent"`
+
+	ViolationRate float64 `json:"violation_rate"`
+	LatencyMean   float64 `json:"latency_mean_seconds"`
+	LatencyP50    float64 `json:"latency_p50_seconds"`
+	LatencyP95    float64 `json:"latency_p95_seconds"`
+	LatencyP99    float64 `json:"latency_p99_seconds"`
+	LatencyP999   float64 `json:"latency_p999_seconds"`
+	LatencyMax    float64 `json:"latency_max_seconds"`
+
+	// Coordinated-omission accounting: how late requests actually left
+	// relative to their trace timestamps (wall seconds). A large gap means
+	// the client, not the server, bounded the measured load.
+	SendLagMean float64 `json:"send_lag_mean_seconds"`
+	SendLagP50  float64 `json:"send_lag_p50_seconds"`
+	SendLagP99  float64 `json:"send_lag_p99_seconds"`
+	SendLagP999 float64 `json:"send_lag_p999_seconds"`
+	SendLagMax  float64 `json:"send_lag_max_seconds"`
+
+	// OfferedRPS is the schedule's intended rate; AchievedRPS is what the
+	// client actually sustained (sent / wall duration). A gap between the
+	// two is the client-side bottleneck the send-lag columns quantify.
+	OfferedRPS      float64 `json:"offered_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// HistRelError is the worst-case relative error of the percentile
+	// columns (log-bucketed histogram midpoint reporting). Mean, max and
+	// all counters are exact.
+	HistRelError float64 `json:"histogram_relative_error"`
+}
+
+// summarize folds the run tally and the merged histograms into a Report.
+func summarize(c *counters, lat, lag *mathx.Histogram, lagSum float64, requests int, duration, offered float64) Report {
+	rep := Report{
+		Requests:        requests,
+		Completed:       int(c.completed.Load()),
+		Failed:          int(c.failed.Load()),
+		Rejected:        int(c.rejected.Load()),
+		ServerErrors:    int(c.serverErr.Load()),
+		TransportErrors: int(c.transport.Load()),
+		Timeouts:        int(c.timeouts.Load()),
+		Canceled:        int(c.canceled.Load()),
+		OfferedRPS:      offered,
+		DurationSeconds: duration,
+		HistRelError:    lat.RelativeError(),
+	}
+	sent := int(c.sent.Load())
+	if rep.Unsent = requests - sent; rep.Unsent < 0 {
+		rep.Unsent = 0
+	}
+	if duration > 0 {
+		rep.AchievedRPS = float64(sent) / duration
+	}
+	if rep.Completed > 0 {
+		rep.ViolationRate = float64(c.violations.Load()) / float64(rep.Completed)
+		rep.LatencyMean = lat.Mean()
+		rep.LatencyP50 = lat.Quantile(50)
+		rep.LatencyP95 = lat.Quantile(95)
+		rep.LatencyP99 = lat.Quantile(99)
+		rep.LatencyP999 = lat.Quantile(99.9)
+		rep.LatencyMax = lat.Max()
+	}
+	if lag.Count() > 0 {
+		rep.SendLagMean = lagSum / float64(lag.Count())
+		rep.SendLagP50 = lag.Quantile(50)
+		rep.SendLagP99 = lag.Quantile(99)
+		rep.SendLagP999 = lag.Quantile(99.9)
+		rep.SendLagMax = lag.Max()
+	}
+	return rep
+}
+
+// Text renders the report in the same shape as RunStats.Summary.
+func (r Report) Text() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "requests=%d completed=%d failed=%d rejected(429)=%d 5xx=%d transport=%d timeouts=%d canceled=%d unsent=%d\n",
+		r.Requests, r.Completed, r.Failed, r.Rejected, r.ServerErrors, r.TransportErrors, r.Timeouts, r.Canceled, r.Unsent)
+	fmt.Fprintf(&b, "violation_rate=%.4f p50=%.4fs p95=%.4fs p99=%.4fs p999=%.4fs max=%.4fs\n",
+		r.ViolationRate, r.LatencyP50, r.LatencyP95, r.LatencyP99, r.LatencyP999, r.LatencyMax)
+	fmt.Fprintf(&b, "send_lag (coordinated omission): mean=%.4fs p50=%.4fs p99=%.4fs p999=%.4fs max=%.4fs\n",
+		r.SendLagMean, r.SendLagP50, r.SendLagP99, r.SendLagP999, r.SendLagMax)
+	fmt.Fprintf(&b, "rate: offered=%.1f req/s achieved=%.1f req/s over %.2fs\n",
+		r.OfferedRPS, r.AchievedRPS, r.DurationSeconds)
+	return b.String()
+}
+
+// verifyMetrics scrapes /metrics and cross-checks it against the replay.
+func verifyMetrics(url string, rep Report) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	store, err := metrics.ParseText(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("exposition not parseable: %w", err)
+	}
+	// Counters round-trip through float64 exposition, so compare at the
+	// nearest integer: int() truncation used to turn 100-ε into 99 and
+	// fail runs whose counters matched exactly.
+	completed := int(math.Round(store.SumValues("smiless_requests_completed_total", nil)))
+	if completed < rep.Completed {
+		return fmt.Errorf("smiless_requests_completed_total=%d < %d observed completions",
+			completed, rep.Completed)
+	}
+	rejected := int(math.Round(store.SumValues("smiless_gateway_rejected_total", nil)))
+	if rejected < rep.Rejected {
+		return fmt.Errorf("smiless_gateway_rejected_total=%d < %d observed 429s",
+			rejected, rep.Rejected)
+	}
+	return nil
+}

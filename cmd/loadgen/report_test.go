@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smiless/internal/mathx"
+)
+
+// tally builds a counters struct plus matching histograms from a list of
+// synthetic outcomes, the way workers would.
+func tally(outs []Outcome, lags []float64) (*counters, *mathx.Histogram, *mathx.Histogram, float64) {
+	c := &counters{}
+	lat, lag := mathx.NewHistogram(), mathx.NewHistogram()
+	ws := &workerStats{lat: lat, lag: lag}
+	for _, o := range outs {
+		c.sent.Add(1)
+		record(c, ws, o)
+	}
+	sum := 0.0
+	for _, l := range lags {
+		lag.Observe(l)
+		sum += l
+	}
+	return c, lat, lag, sum
+}
+
+func TestSummarizeClassification(t *testing.T) {
+	outs := []Outcome{
+		{Status: 200, E2E: 0.5},
+		{Status: 200, E2E: 1.5, Violated: true},
+		{Status: 200, Failed: true},
+		{Status: 429},
+		{Status: 503},
+		{Transport: true},
+		{Timeout: true},
+		{Canceled: true},
+		{Status: 302}, // unexpected status counts as transport-level noise
+	}
+	c, lat, lag, lagSum := tally(outs, nil)
+	rep := summarize(c, lat, lag, lagSum, len(outs)+1, 2.0, 100)
+
+	if rep.Requests != 10 || rep.Unsent != 1 {
+		t.Fatalf("requests/unsent = %d/%d, want 10/1", rep.Requests, rep.Unsent)
+	}
+	if rep.Completed != 2 || rep.Failed != 1 || rep.Rejected != 1 || rep.ServerErrors != 1 {
+		t.Fatalf("completed/failed/rejected/5xx = %d/%d/%d/%d, want 2/1/1/1",
+			rep.Completed, rep.Failed, rep.Rejected, rep.ServerErrors)
+	}
+	if rep.TransportErrors != 2 || rep.Timeouts != 1 || rep.Canceled != 1 {
+		t.Fatalf("transport/timeouts/canceled = %d/%d/%d, want 2/1/1",
+			rep.TransportErrors, rep.Timeouts, rep.Canceled)
+	}
+	if rep.ViolationRate != 0.5 {
+		t.Fatalf("violation rate = %v, want 0.5 (1 of 2 completed)", rep.ViolationRate)
+	}
+	if rep.LatencyMax != 1.5 {
+		t.Fatalf("latency max = %v, want exact 1.5", rep.LatencyMax)
+	}
+	if rep.AchievedRPS != float64(9)/2.0 {
+		t.Fatalf("achieved rps = %v, want 4.5 (9 sent over 2s)", rep.AchievedRPS)
+	}
+	if rep.OfferedRPS != 100 {
+		t.Fatalf("offered rps = %v, want 100", rep.OfferedRPS)
+	}
+}
+
+func TestSummarizeSendLag(t *testing.T) {
+	lags := []float64{0.001, 0.002, 0.003, 0.004, 0.5}
+	c, lat, lag, lagSum := tally(nil, lags)
+	rep := summarize(c, lat, lag, lagSum, len(lags), 1, 0)
+	if rep.SendLagMax != 0.5 {
+		t.Fatalf("send lag max = %v, want exact 0.5", rep.SendLagMax)
+	}
+	wantMean := (0.001 + 0.002 + 0.003 + 0.004 + 0.5) / 5
+	if !mathx.ApproxEq(rep.SendLagMean, wantMean, 1e-9) {
+		t.Fatalf("send lag mean = %v, want %v", rep.SendLagMean, wantMean)
+	}
+	if rep.SendLagP99 < rep.SendLagP50 {
+		t.Fatalf("p99 %v < p50 %v", rep.SendLagP99, rep.SendLagP50)
+	}
+}
+
+// TestReportJSONShape pins the artifact schema: every key other tooling
+// (bench gate, simulator report diffing) reads must be present, including
+// all keys the pre-harness loadgen emitted.
+func TestReportJSONShape(t *testing.T) {
+	c, lat, lag, lagSum := tally([]Outcome{{Status: 200, E2E: 1}}, []float64{0.01})
+	rep := summarize(c, lat, lag, lagSum, 1, 1, 1)
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	want := []string{
+		// legacy keys, kept bit-compatible for side-by-side comparisons
+		"requests", "completed", "failed_requests", "rejected_429",
+		"server_errors_5xx", "transport_errors", "violation_rate",
+		"latency_p50_seconds", "latency_p95_seconds", "latency_p99_seconds",
+		"latency_max_seconds", "send_lag_mean_seconds", "send_lag_p99_seconds",
+		"send_lag_max_seconds",
+		// harness extensions
+		"timeouts", "canceled", "unsent", "latency_p999_seconds",
+		"latency_mean_seconds", "send_lag_p50_seconds", "send_lag_p999_seconds",
+		"offered_rps", "achieved_rps", "duration_seconds",
+		"histogram_relative_error",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("report JSON missing key %q", k)
+		}
+	}
+}
+
+func TestReportText(t *testing.T) {
+	c, lat, lag, lagSum := tally([]Outcome{
+		{Status: 200, E2E: 1, Violated: true},
+		{Timeout: true},
+	}, []float64{0.25})
+	rep := summarize(c, lat, lag, lagSum, 2, 1, 2)
+	text := rep.Text()
+	for _, want := range []string{
+		"requests=2", "completed=1", "timeouts=1", "canceled=0",
+		"violation_rate=1.0000", "send_lag", "max=0.2500s",
+		"offered=2.0", "achieved=2.0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -30,7 +30,7 @@ type TraceFlags struct {
 // shared defaults.
 func AddTraceFlags(fs *flag.FlagSet) *TraceFlags {
 	return &TraceFlags{
-		Workload: fs.String("workload", "azure", "workload: azure, diurnal, poisson, bursty"),
+		Workload: fs.String("workload", "azure", "workload: azure, diurnal, poisson, bursty, const"),
 		Rate:     fs.Float64("rate", 0.2, "mean rate for poisson/diurnal traces (req/s)"),
 		Horizon:  fs.Float64("horizon", 1800, "trace horizon in seconds"),
 	}
@@ -55,9 +55,25 @@ func (tf *TraceFlags) Build(seed int64) (*trace.Trace, error) {
 		return trace.Poisson(r, *tf.Rate, *tf.Horizon), nil
 	case "bursty":
 		return experiments.BurstTrace(seed), nil
+	case "const":
+		return ConstTrace(*tf.Rate, *tf.Horizon), nil
 	default:
-		return nil, fmt.Errorf("unknown -workload %q (want azure, diurnal, poisson or bursty)", *tf.Workload)
+		return nil, fmt.Errorf("unknown -workload %q (want azure, diurnal, poisson, bursty or const)", *tf.Workload)
 	}
+}
+
+// ConstTrace builds a deterministic constant-rate trace: exactly
+// round(rate*horizon) arrivals evenly spaced at 1/rate seconds, starting at
+// t=0. It is the load-harness calibration workload — at a fixed offered
+// rate the pacer's send-lag distribution isolates client-side scheduling
+// error from arrival-process burstiness, which Poisson traces conflate.
+func ConstTrace(rate, horizon float64) *trace.Trace {
+	n := int(rate*horizon + 0.5)
+	arrivals := make([]float64, n)
+	for i := range arrivals {
+		arrivals[i] = float64(i) / rate
+	}
+	return &trace.Trace{Horizon: horizon, Arrivals: arrivals}
 }
 
 // AddSeedFlag registers the shared -seed flag.

@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"flag"
+	"math"
+	"testing"
+)
+
+func buildWorkload(t *testing.T, kind string, rate, horizon float64) (*TraceFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := AddTraceFlags(fs)
+	*tf.Workload, *tf.Rate, *tf.Horizon = kind, rate, horizon
+	_, err := tf.Build(1)
+	return tf, err
+}
+
+func TestBuildKnownWorkloads(t *testing.T) {
+	for _, kind := range []string{"azure", "diurnal", "poisson", "bursty", "const"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		tf := AddTraceFlags(fs)
+		*tf.Workload = kind
+		*tf.Rate, *tf.Horizon = 2, 60
+		tr, err := tf.Build(1)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		if len(tr.Arrivals) == 0 {
+			t.Fatalf("Build(%q): empty trace", kind)
+		}
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	if _, err := buildWorkload(t, "nope", 1, 60); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := buildWorkload(t, "poisson", -1, 60); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := buildWorkload(t, "poisson", 1, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestConstTraceSpacing(t *testing.T) {
+	tr := ConstTrace(100000, 0.5)
+	if len(tr.Arrivals) != 50000 {
+		t.Fatalf("ConstTrace(100k, 0.5s) produced %d arrivals, want 50000", len(tr.Arrivals))
+	}
+	if tr.Arrivals[0] != 0 {
+		t.Fatalf("first arrival at %v, want 0", tr.Arrivals[0])
+	}
+	for i := 1; i < len(tr.Arrivals); i++ {
+		gap := tr.Arrivals[i] - tr.Arrivals[i-1]
+		if math.Abs(gap-1e-5) > 1e-12 {
+			t.Fatalf("arrival %d gap %v, want 10µs", i, gap)
+		}
+	}
+	if last := tr.Arrivals[len(tr.Arrivals)-1]; last >= tr.Horizon {
+		t.Fatalf("last arrival %v beyond horizon %v", last, tr.Horizon)
+	}
+}

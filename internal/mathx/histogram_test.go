@@ -1,0 +1,156 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: count=%d mean=%v min=%v max=%v",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(99); q != 0 {
+		t.Fatalf("Quantile(99) on empty = %v, want 0", q)
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram()
+	vals := []float64{0.004, 0.001, 2.5, 0.000001, 0.25}
+	sum := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(vals))
+	}
+	if !ApproxEq(h.Sum(), sum, 1e-9) {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), sum)
+	}
+	if !ApproxEq(h.Min(), 0.000001, 1e-9) || !ApproxEq(h.Max(), 2.5, 1e-9) {
+		t.Fatalf("Min/Max = %v/%v, want 1e-6/2.5", h.Min(), h.Max())
+	}
+	if got := h.Quantile(100); got != h.Max() {
+		t.Fatalf("Quantile(100) = %v, want exact max %v", got, h.Max())
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Fatalf("Quantile(0) = %v, want exact min %v", got, h.Min())
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-1)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: min=%v max=%v count=%d",
+			h.Min(), h.Max(), h.Count())
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the documented relative error bound
+// against the exact full-sample Percentile on a log-uniform value sweep:
+// every quantile of the histogram must agree with the exact percentile
+// within RelativeError (plus the 1ns quantization floor).
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	h := NewHistogram()
+	r := NewRand(7)
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// log-uniform over [1µs, 100s]: eight decades, covering the exact
+		// sub-octave region through deep log buckets.
+		v := math.Pow(10, -6+8*r.Float64())
+		h.Observe(v)
+		xs = append(xs, float64(int64(v*1e9))/1e9) // same ns quantization
+	}
+	bound := h.RelativeError()
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9, 99.99} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if exact <= 0 {
+			continue
+		}
+		relErr := math.Abs(got-exact) / exact
+		// Percentile interpolates between ranks while Quantile reports one
+		// bucket midpoint; allow one bucket of slack on either side.
+		if relErr > 2*bound+1e-9 {
+			t.Errorf("p%v: histogram %v vs exact %v (rel err %.5f > bound %.5f)",
+				p, got, exact, relErr, 2*bound)
+		}
+	}
+}
+
+func TestHistogramMergeMatchesSingle(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	r := NewRand(11)
+	for i := 0; i < 5000; i++ {
+		v := r.Float64() * 10
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Count() != all.Count() || !ApproxEq(a.Sum(), all.Sum(), 1e-9) {
+		t.Fatalf("merge count/sum mismatch: %d/%v vs %d/%v",
+			a.Count(), a.Sum(), all.Count(), all.Sum())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge min/max mismatch: %v/%v vs %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+	for _, p := range []float64{50, 99, 99.9} {
+		if a.Quantile(p) != all.Quantile(p) {
+			t.Fatalf("p%v after merge = %v, want %v", p, a.Quantile(p), all.Quantile(p))
+		}
+	}
+}
+
+// TestHistogramBucketsAreMonotone sweeps nanosecond values across every
+// octave and asserts the index function is monotone non-decreasing, in
+// range, and that each bucket's midpoint is within its value's relative
+// error bound.
+func TestHistogramBucketsAreMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range bucketSweep() {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d: not monotone", ns, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", ns, i, histBuckets)
+		}
+		mid := bucketMid(i)
+		if v := float64(ns) / 1e9; v > 0 {
+			relErr := math.Abs(mid-v) / v
+			if relErr > 1.0/float64(subBucketCount) && ns >= subBucketCount {
+				t.Fatalf("bucketMid(%d)=%v for ns=%d: rel err %.5f beyond bound", i, mid, ns, relErr)
+			}
+		}
+		prev = i
+	}
+}
+
+func bucketSweep() []int64 {
+	var out []int64
+	for ns := int64(0); ns < 4*subBucketCount; ns++ {
+		out = append(out, ns)
+	}
+	for shift := uint(10); shift < 62; shift++ {
+		base := int64(1) << shift
+		out = append(out, base-1, base, base+base/3, base+base/2, 2*base-1)
+	}
+	return out
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i)*1003 + 1)
+	}
+}

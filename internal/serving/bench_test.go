@@ -1,0 +1,64 @@
+package serving
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkServeRuntime measures the runtime's invoke hot path — admission,
+// arrival bookkeeping, dispatch, completion delivery — on a wall clock with
+// zero model latencies, so ns/op and allocs/op track the fixed
+// per-request overhead the gateway adds on top of model time. The
+// regression gate in CI (scripts/bench_serve.sh) watches allocs/op here:
+// allocation creep on this path is the first thing a 100k RPS target
+// surfaces.
+func BenchmarkServeRuntime(b *testing.B) {
+	newRT := func(b *testing.B) *Runtime {
+		b.Helper()
+		app := testChain([]float64{0}, 0)
+		rt, err := New(Config{
+			App: app, SLA: 10, MaxInflight: 4096, QueueCap: 65536,
+		}, keepAliveDriver(1))
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		rt.Start()
+		return rt
+	}
+
+	b.Run("invoke=serial", func(b *testing.B) {
+		rt := newRT(b)
+		defer rt.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch, err := rt.Invoke(ctx)
+			if err != nil {
+				b.Fatalf("Invoke: %v", err)
+			}
+			if res := <-ch; res.Failed {
+				b.Fatalf("request %d failed: %+v", i, res)
+			}
+		}
+	})
+
+	b.Run("invoke=parallel", func(b *testing.B) {
+		rt := newRT(b)
+		defer rt.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				ch, err := rt.Invoke(ctx)
+				if err != nil {
+					b.Fatalf("Invoke: %v", err)
+				}
+				if res := <-ch; res.Failed {
+					b.Fatalf("request failed: %+v", res)
+				}
+			}
+		})
+	})
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench-serve: run the serving/harness benchmark suite (sharded pacer
+# against a null sink, the full in-process gateway path, and the runtime
+# invoke hot path), convert the output to BENCH_serve.json via
+# cmd/benchjson, and — when a committed baseline exists — fail on any
+# regression beyond the noise band via cmd/benchgate. This is the perf gate
+# that seeds the BENCH_* trajectory across PRs.
+#
+# Environment knobs:
+#   NOISE      allowed fractional regression (default 0.75 = fail >1.75x)
+#   BENCHTIME  go test -benchtime value (default 10000x: fixed iteration
+#              counts keep run-to-run variance out of the gate)
+#   OUT        artifact path (default BENCH_serve.json)
+set -eu
+
+GO=${GO:-go}
+NOISE=${NOISE:-0.75}
+BENCHTIME=${BENCHTIME:-10000x}
+OUT=${OUT:-BENCH_serve.json}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "bench-serve: running BenchmarkServe suite (-benchtime $BENCHTIME)"
+$GO test -bench 'BenchmarkServe' -benchtime "$BENCHTIME" -benchmem -run '^$' \
+    ./cmd/loadgen ./internal/serving | tee "$tmp/bench.txt"
+$GO run ./cmd/benchjson -o "$tmp/BENCH_serve.json" <"$tmp/bench.txt"
+
+if [ -f "$OUT" ]; then
+    echo "bench-serve: gating against committed $OUT (noise band $NOISE)"
+    $GO run ./cmd/benchgate \
+        -baseline "$OUT" \
+        -current "$tmp/BENCH_serve.json" \
+        -noise "$NOISE" \
+        -higher-better rps \
+        -gate-extra rps
+else
+    echo "bench-serve: no baseline at $OUT yet; seeding the trajectory"
+fi
+
+mv "$tmp/BENCH_serve.json" "$OUT"
+echo "bench-serve: wrote $OUT"
