@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt bench-serve serve-smoke chaos-smoke invariants
+.PHONY: all build test race lint fmt bench bench-opt bench-serve bench-forecast forecast-sweep serve-smoke chaos-smoke invariants
 
 all: build test lint
 
@@ -58,3 +58,14 @@ bench-opt:
 # the committed baseline. NOISE/BENCHTIME/OUT env knobs tune it.
 bench-serve:
 	sh scripts/bench_serve.sh
+
+# Forecasting perf gate: per-family refit/predict/harness-step cost as
+# BENCH_forecast.json, failing on regression beyond the noise band against
+# the committed baseline. NOISE/BENCHTIME/OUT env knobs tune it.
+bench-forecast:
+	sh scripts/bench_forecast.sh
+
+# Short-horizon predictor-quality sweep (CI sanity check on the forecaster
+# registry): every family, walk-forward scored on the three trace regimes.
+forecast-sweep:
+	$(GO) run ./cmd/experiments -fig forecast -short

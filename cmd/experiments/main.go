@@ -20,12 +20,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep) or 'churn' (node-churn sweep; neither in 'all'), or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep), 'churn' (node-churn sweep) or 'forecast' (predictor-quality sweep; none of these three in 'all'), or 'all'")
 	horizon := flag.Float64("horizon", 0, "trace horizon in seconds (0 = per-figure default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
 	lstm := flag.Bool("lstm", false, "enable the LSTM predictors in SMIless (slower, more faithful)")
 	seeds := flag.Int("seeds", 1, "for -fig 8: run this many trace seeds and print medians")
+	forecasters := flag.String("forecasters", "", "for -fig forecast: comma-separated forecaster families (empty = all registered)")
+	short := flag.Bool("short", false, "for -fig forecast: short mode (900 s horizon) for CI")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -106,6 +108,25 @@ func main() {
 			p.Horizon = *horizon
 		}
 		fmt.Println(experiments.Churn(p).Table())
+	}
+	// The predictor-quality sweep is opt-in: the forecaster comparison is an
+	// extension beyond the paper's figures.
+	if want["forecast"] {
+		p := experiments.PredictorSweepParams{Seed: *seed, Horizon: *horizon}
+		if *short {
+			p.Horizon = 900
+		}
+		if *forecasters != "" {
+			for _, f := range strings.Split(*forecasters, ",") {
+				p.Forecasters = append(p.Forecasters, strings.TrimSpace(f))
+			}
+		}
+		res, err := experiments.PredictorSweep(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table())
 	}
 	if !all && len(want) == 0 {
 		fmt.Fprintln(os.Stderr, "no figure selected; use -fig")

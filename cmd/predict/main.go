@@ -1,29 +1,98 @@
-// Command predict trains the Online Predictor components on a synthetic
-// Azure-like trace and reports the Fig. 12 accuracy metrics.
+// Command predict runs the prediction-quality harness over the registered
+// forecaster families: walk-forward forecasting of per-window invocation
+// counts on seeded diurnal/bursty/adversarial traces, with per-horizon
+// MAE/sMAPE, upper-bound violation rate and refit counts per family.
 //
 // Usage:
 //
-//	predict                       # default train/test split
-//	predict -train 3600 -test 7200
+//	predict                         # compare every registered forecaster
+//	predict -forecaster transformer # one family only
+//	predict -list                   # enumerate registered forecasters
+//	predict -json report.json       # also write the quality report as JSON
+//	predict -fig12                  # the legacy Fig. 12 train/test study
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
+	"smiless/internal/cliutil"
 	"smiless/internal/experiments"
+	"smiless/internal/forecast"
 )
 
 func main() {
-	train := flag.Int("train", 1200, "training windows (1 s each); paper uses 3600 (1 h)")
-	test := flag.Int("test", 2400, "test windows; paper uses 75600 (21 h)")
-	seed := flag.Int64("seed", 1, "trace seed")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.CommandLine
+	forecaster := cliutil.AddForecasterFlag(fs)
+	list := fs.Bool("list", false, "list registered forecaster families and exit")
+	seed := cliutil.AddSeedFlag(fs)
+	horizon := fs.Float64("horizon", 3600, "trace horizon in seconds")
+	steps := fs.Int("steps", 4, "forecast horizon scored, in windows ahead")
+	refitEvery := fs.Int("refit-every", 600, "scheduled refit cadence in windows (drift still forces earlier refits)")
+	jsonOut := fs.String("json", "", "also write the quality report as JSON to this file")
+	fig12 := fs.Bool("fig12", false, "run the legacy Fig. 12 predictor study instead of the sweep")
+	train := fs.Int("train", 1200, "fig12: training windows (1 s each); paper uses 3600 (1 h)")
+	test := fs.Int("test", 2400, "fig12: test windows; paper uses 75600 (21 h)")
 	flag.Parse()
 
-	res := experiments.Fig12(experiments.Fig12Params{
-		TrainWindows: *train,
-		TestWindows:  *test,
-		Seed:         *seed,
+	if *list {
+		fmt.Println(strings.Join(forecast.Names(), "\n"))
+		return nil
+	}
+	if *fig12 {
+		res := experiments.Fig12(experiments.Fig12Params{
+			TrainWindows: *train,
+			TestWindows:  *test,
+			Seed:         *seed,
+		})
+		fmt.Println(res.Table())
+		return nil
+	}
+
+	if err := cliutil.ValidateForecaster(*forecaster); err != nil {
+		return err
+	}
+	var names []string
+	if *forecaster != "" {
+		names = []string{*forecaster}
+	}
+	res, err := experiments.PredictorSweep(experiments.PredictorSweepParams{
+		Seed:        *seed,
+		Horizon:     *horizon,
+		Forecasters: names,
+		StepsAhead:  *steps,
+		RefitEvery:  *refitEvery,
 	})
+	if err != nil {
+		return err
+	}
 	fmt.Println(res.Table())
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return fmt.Errorf("write json: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("quality report written to %s\n", *jsonOut)
+	}
+	return nil
 }

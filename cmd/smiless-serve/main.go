@@ -50,6 +50,7 @@ func run() error {
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
 	seed := cliutil.AddSeedFlag(flag.CommandLine)
 	lstm := flag.Bool("lstm", false, "enable LSTM predictors in SMIless variants")
+	forecaster := cliutil.AddForecasterFlag(flag.CommandLine)
 	window := flag.Float64("window", 1.0, "decision-window length in model seconds")
 	linger := flag.Float64("batch-linger", 0.05, "batch aggregation window in model seconds (0 disables)")
 	maxInflight := flag.Int("max-inflight", 256, "admission cap on concurrent requests (429 beyond)")
@@ -87,6 +88,7 @@ func run() error {
 	}
 	driver, err := experiments.NewDriver(experiments.SystemName(*system), experiments.RunParams{
 		App: application, SLA: *sla, Seed: *seed, UseLSTM: *lstm,
+		Forecaster: *forecaster,
 	})
 	if err != nil {
 		return err

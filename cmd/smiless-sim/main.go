@@ -60,6 +60,7 @@ func main() {
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
 	seed := cliutil.AddSeedFlag(flag.CommandLine)
 	lstm := flag.Bool("lstm", false, "enable LSTM predictors in SMIless variants")
+	forecaster := cliutil.AddForecasterFlag(flag.CommandLine)
 	tf := cliutil.AddTraceFlags(flag.CommandLine)
 	of := cliutil.AddOutputFlags(flag.CommandLine)
 	faultRate := flag.Float64("faults", 0, "base failure rate: init-crash prob = rate, exec-crash = 0.6*rate, straggler = rate (0 = fault-free)")
@@ -104,6 +105,10 @@ func main() {
 		return
 	}
 
+	if err := cliutil.ValidateForecaster(*forecaster); err != nil {
+		fatal(err)
+	}
+
 	tr, err := tf.Build(*seed)
 	if err != nil {
 		fatal(err)
@@ -137,11 +142,12 @@ func main() {
 		fatal(err)
 	}
 	params := experiments.RunParams{
-		App:     application,
-		SLA:     *sla,
-		Seed:    *seed,
-		UseLSTM: *lstm,
-		Faults:  plan,
+		App:        application,
+		SLA:        *sla,
+		Seed:       *seed,
+		UseLSTM:    *lstm,
+		Forecaster: *forecaster,
+		Faults:     plan,
 	}
 	if *p2c {
 		params.Placement = simulator.PlaceP2C

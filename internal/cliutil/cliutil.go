@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"smiless/internal/apps"
 	"smiless/internal/experiments"
+	"smiless/internal/forecast"
 	"smiless/internal/mathx"
 	"smiless/internal/metrics"
 	"smiless/internal/simulator"
@@ -79,6 +81,25 @@ func ConstTrace(rate, horizon float64) *trace.Trace {
 // AddSeedFlag registers the shared -seed flag.
 func AddSeedFlag(fs *flag.FlagSet) *int64 {
 	return fs.Int64("seed", 1, "random seed")
+}
+
+// AddForecasterFlag registers the shared -forecaster flag: the forecaster
+// family behind the SMIless Online Predictor. Empty keeps the default
+// moving-window/LSTM behaviour of the binary.
+func AddForecasterFlag(fs *flag.FlagSet) *string {
+	return fs.String("forecaster", "",
+		fmt.Sprintf("forecaster family for SMIless predictors (one of %s; empty = default)",
+			strings.Join(forecast.Names(), ", ")))
+}
+
+// ValidateForecaster checks a -forecaster value against the registry; the
+// empty name is always valid (it selects the default family).
+func ValidateForecaster(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := forecast.Lookup(name)
+	return err
 }
 
 // App resolves an application by name (WL1, WL2, WL3, PIPE3, ...),

@@ -15,10 +15,10 @@ import (
 	"smiless/internal/core"
 	"smiless/internal/dag"
 	"smiless/internal/faults"
+	"smiless/internal/forecast"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/perfmodel"
-	"smiless/internal/predictor"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -28,13 +28,24 @@ type Options struct {
 	// DisableDAG reproduces SMIless-No-DAG: every function is pre-warmed
 	// simultaneously at the predicted arrival time, ignoring DAG position.
 	DisableDAG bool
-	// UseLSTM enables the LSTM predictors once enough history accumulates;
-	// when false a lightweight moving-window estimator is used throughout
-	// (useful to keep unit tests fast).
+	// UseLSTM enables the trained forecasters once enough history
+	// accumulates; when false a lightweight moving-window estimator is used
+	// throughout (useful to keep unit tests fast). The name is historical:
+	// which forecaster family trains is selected by Forecaster.
 	UseLSTM bool
-	// TrainAfter is the number of observed arrivals before LSTM training.
+	// Forecaster names the forecaster family (internal/forecast registry)
+	// serving both predictor roles; empty means forecast.Default (the
+	// paper's LSTM pair). Callers that need typed errors on unknown names
+	// validate before constructing the controller (experiments does); New
+	// itself falls back to the default family.
+	Forecaster string
+	// NewForecaster, when non-nil, overrides the registry lookup with an
+	// explicit constructor — the injection point for external families.
+	NewForecaster forecast.Constructor
+	// TrainAfter is the number of observed arrivals before training.
 	TrainAfter int
-	// RetrainEvery re-fits the LSTMs after this many further arrivals.
+	// RetrainEvery re-fits the forecasters after this many further
+	// arrivals; detected prediction drift forces an earlier refit.
 	RetrainEvery int
 	// SLAMargin shrinks the SLA the optimizer plans against so realized
 	// latency noise does not push boundary plans over the real SLA.
@@ -76,11 +87,15 @@ type SMIless struct {
 	offsets    map[dag.NodeID]float64
 	planInfer  map[dag.NodeID]float64
 
-	// Predictors.
-	itPred     *predictor.InterArrivalPredictor
-	invPred    *predictor.InvocationPredictor
-	trainedAt  int
-	lstmActive bool
+	// Online Predictor: one forecaster instance per role, consumed strictly
+	// through the forecast.Forecaster interface and wrapped with the
+	// quality/drift harness. fedIAT/fedCnt track how much of the live
+	// series has been streamed into each wrapper.
+	itFc, cntFc    *forecast.Online
+	forecastName   string
+	fedIAT, fedCnt int
+	trainedAt      int
+	fcActive       bool
 
 	// Burst mode bookkeeping.
 	bursting bool
@@ -125,15 +140,37 @@ func New(cat *hardware.Catalog, profiles map[dag.NodeID]*perfmodel.Profile, sla 
 	if opts.DisableEvalCache {
 		opt.Cache = nil
 	}
+	ctor := opts.NewForecaster
+	if ctor == nil {
+		c, err := forecast.Lookup(opts.Forecaster)
+		if err != nil {
+			// Unknown name: New cannot return an error, so degrade to the
+			// default family. Config surfaces that want a typed error
+			// validate the name before reaching here (experiments does).
+			c, _ = forecast.Lookup("")
+		}
+		ctor = c
+	}
+	// Both roles share the base seed so the default family reproduces the
+	// historical in-controller predictor initialization bit for bit.
+	itFc := ctor(forecast.Config{Seed: opts.Seed, Role: forecast.RoleInterArrival, Budget: forecast.BudgetOnline})
+	cntFc := ctor(forecast.Config{Seed: opts.Seed, Role: forecast.RoleCount, Budget: forecast.BudgetOnline})
 	return &SMIless{
-		Catalog:  cat,
-		Profiles: profiles,
-		SLA:      sla,
-		Opts:     opts,
-		opt:      opt,
-		scaler:   autoscaler.New(cat),
+		Catalog:      cat,
+		Profiles:     profiles,
+		SLA:          sla,
+		Opts:         opts,
+		opt:          opt,
+		scaler:       autoscaler.New(cat),
+		itFc:         forecast.NewOnline(itFc, forecastHorizon),
+		cntFc:        forecast.NewOnline(cntFc, forecastHorizon),
+		forecastName: itFc.Name(),
 	}
 }
+
+// forecastHorizon is how many windows ahead forecasts are scored by the
+// prediction-quality harness.
+const forecastHorizon = 4
 
 // Name implements simulator.Driver.
 func (s *SMIless) Name() string {
@@ -387,14 +424,10 @@ func (s *SMIless) predictIT(sim simulator.ControlPlane) float64 {
 		// to the neutral prior rather than planning against garbage.
 		mw = 10
 	}
-	if !s.lstmActive {
+	if !s.fcActive {
 		return mw
 	}
-	iats, counts := alignedSeries(sim)
-	if len(iats) <= s.itPred.SeqLen {
-		return mw
-	}
-	v := s.itPred.PredictIAT(iats, counts)
+	v := s.itFc.Forecast()[0]
 	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		// Predictor failure degrades to the moving-window estimate.
 		return mw
@@ -403,24 +436,20 @@ func (s *SMIless) predictIT(sim simulator.ControlPlane) float64 {
 }
 
 // predictCount returns the predicted invocation count for the next window:
-// the upper-bound LSTM bucket forecast joined (max) with a recent-window
+// the forecaster's upper-bound forecast joined (max) with a recent-window
 // heuristic, so neither a model miss nor a cold model underestimates.
 func (s *SMIless) predictCount(sim simulator.ControlPlane) int {
 	counts := sim.CountsHistory()
 	if len(counts) == 0 {
 		return 0
 	}
-	lstm := 0
-	if s.lstmActive {
-		hist := make([]float64, len(counts))
-		for i, c := range counts {
-			hist[i] = float64(c)
-		}
-		lstm = int(s.invPred.Predict(hist))
+	fc := 0
+	if s.fcActive {
+		fc = int(s.cntFc.Forecast()[0])
 	}
 	// Recent-window maximum plus linear ramp extrapolation: a conservative
 	// upper bound in the spirit of the bucket classifier's upper-bound rule.
-	best := lstm
+	best := fc
 	start := len(counts) - 8
 	if start < 0 {
 		start = 0
@@ -463,7 +492,29 @@ func alignedSeries(sim simulator.ControlPlane) (iats, cnts []float64) {
 	return iats, cnts
 }
 
-// maybeTrain trains or refreshes the LSTM predictors.
+// observeForecasts streams the live series' new tail into the forecaster
+// wrappers: each Observe scores the in-flight forecasts registered on
+// earlier windows (the walk-forward quality harness) and feeds the drift
+// detector before updating the model's own history.
+func (s *SMIless) observeForecasts(sim simulator.ControlPlane) {
+	if !s.Opts.UseLSTM {
+		return
+	}
+	iats, cnts := alignedSeries(sim)
+	for i := s.fedIAT; i < len(iats); i++ {
+		s.itFc.Observe(forecast.Observation{Value: iats[i], Cov: cnts[i]})
+	}
+	s.fedIAT = len(iats)
+	counts := sim.CountsHistory()
+	for i := s.fedCnt; i < len(counts); i++ {
+		s.cntFc.Observe(forecast.Observation{Value: float64(counts[i])})
+	}
+	s.fedCnt = len(counts)
+}
+
+// maybeTrain trains or refreshes the forecasters: on the configured
+// arrival-count schedule, or early when either role's one-step errors
+// drifted (the Page-Hinkley detector inside the Online wrappers).
 func (s *SMIless) maybeTrain(sim simulator.ControlPlane) {
 	if !s.Opts.UseLSTM {
 		return
@@ -472,21 +523,22 @@ func (s *SMIless) maybeTrain(sim simulator.ControlPlane) {
 	if n < s.Opts.TrainAfter {
 		return
 	}
-	if s.lstmActive && n-s.trainedAt < s.Opts.RetrainEvery {
+	if s.fcActive && n-s.trainedAt < s.Opts.RetrainEvery &&
+		!s.itFc.Drifted() && !s.cntFc.Drifted() {
 		return
 	}
 	iats, cnts := alignedSeries(sim)
 	if len(iats) < 64 {
 		return
 	}
-	// Bound training cost on long traces.
+	// Bound training cost on long traces. Every registered family predicts
+	// from a bounded tail, so trimming cannot change the forecasts.
 	if len(iats) > 1500 {
 		iats = iats[len(iats)-1500:]
 		cnts = cnts[len(cnts)-1500:]
 	}
-	s.itPred = predictor.NewInterArrivalPredictor(s.Opts.Seed)
-	s.itPred.Epochs = 3
-	s.itPred.FitIAT(iats, cnts)
+	// A failed fit (e.g. ErrShortSeries) keeps the previous model serving.
+	_ = s.itFc.Refit(forecast.Obs(iats, cnts))
 
 	counts := sim.CountsHistory()
 	hist := make([]float64, len(counts))
@@ -496,13 +548,22 @@ func (s *SMIless) maybeTrain(sim simulator.ControlPlane) {
 	if len(hist) > 3000 {
 		hist = hist[len(hist)-3000:]
 	}
-	s.invPred = predictor.NewInvocationPredictor(1, s.Opts.Seed)
-	s.invPred.Epochs = 2
-	if len(hist) > s.invPred.SeqLen+10 {
-		s.invPred.Fit(hist)
-		s.lstmActive = true
+	if err := s.cntFc.Refit(forecast.Obs(hist, nil)); err == nil {
+		s.fcActive = true
 		s.trainedAt = n
 	}
+}
+
+// publishForecastStats exports the quality harness into RunStats so
+// experiment tables and /metrics report prediction quality per forecaster.
+func (s *SMIless) publishForecastStats(sim simulator.ControlPlane) {
+	if !s.Opts.UseLSTM {
+		return
+	}
+	st := sim.Stats()
+	st.ForecastName = s.forecastName
+	st.ForecastIT = s.itFc.Report()
+	st.ForecastCount = s.cntFc.Report()
 }
 
 // updateQuantiles refreshes the conservative inter-arrival quantiles from
@@ -535,6 +596,7 @@ func (s *SMIless) updateQuantiles(sim simulator.ControlPlane, it float64) {
 
 // OnWindow implements simulator.Driver.
 func (s *SMIless) OnWindow(sim simulator.ControlPlane, now float64) {
+	s.observeForecasts(sim)
 	s.maybeTrain(sim)
 
 	it := s.predictIT(sim)
@@ -698,6 +760,8 @@ func (s *SMIless) OnWindow(sim simulator.ControlPlane, now float64) {
 			}
 		}
 	}
+
+	s.publishForecastStats(sim)
 
 	if rec := sim.TraceRecorder(); rec != nil {
 		rec.AddInstant(now, "window", []tracing.KV{

@@ -18,6 +18,7 @@ import (
 	"smiless/internal/controller"
 	"smiless/internal/dag"
 	"smiless/internal/faults"
+	"smiless/internal/forecast"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
 	"smiless/internal/simulator"
@@ -89,8 +90,13 @@ type RunParams struct {
 	App  *apps.Application
 	SLA  float64
 	Seed int64
-	// UseLSTM enables the full LSTM predictors in SMIless variants.
+	// UseLSTM enables the full trained predictors in SMIless variants.
 	UseLSTM bool
+	// Forecaster names the forecaster family (internal/forecast registry)
+	// behind SMIless variants' Online Predictor; empty keeps the default
+	// (the paper's LSTM pair), and a non-empty name implies UseLSTM.
+	// Unknown names fail with a typed *simulator.ConfigError.
+	Forecaster string
 	// Faults optionally injects failures (crashes, stragglers, node
 	// outages, node crashes/partitions) into the run; nil evaluates the
 	// fault-free substrate.
@@ -126,6 +132,11 @@ func NewDriver(name SystemName, p RunParams) (simulator.Driver, error) {
 
 // buildDriver constructs the driver for a system name.
 func buildDriver(name SystemName, p RunParams, tr *trace.Trace) (simulator.Driver, error) {
+	if p.Forecaster != "" {
+		if _, err := forecast.Lookup(p.Forecaster); err != nil {
+			return nil, &simulator.ConfigError{Field: "forecaster", Reason: err.Error()}
+		}
+	}
 	cat := hardware.DefaultCatalog()
 	profiles := p.App.TrueProfiles(perfmodel.DefaultUncertainty)
 	smilessOpts := func() controller.Options {
@@ -135,6 +146,10 @@ func buildDriver(name SystemName, p RunParams, tr *trace.Trace) (simulator.Drive
 		o := controller.DefaultOptions(p.Seed)
 		o.UseLSTM = p.UseLSTM
 		o.Parallelism = p.Parallelism
+		if p.Forecaster != "" {
+			o.Forecaster = p.Forecaster
+			o.UseLSTM = true
+		}
 		return o
 	}
 	switch name {

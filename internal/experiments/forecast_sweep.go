@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"smiless/internal/forecast"
+	"smiless/internal/trace"
+)
+
+// PredictorSweepParams configures the forecaster comparison.
+type PredictorSweepParams struct {
+	// Seed drives trace generation and forecaster initialization.
+	Seed int64
+	// Horizon is the trace duration in seconds (default 3600).
+	Horizon float64
+	// Forecasters lists the registry names to compare; empty means every
+	// registered family.
+	Forecasters []string
+	// StepsAhead is the number of windows each forecast is scored over
+	// (default 4).
+	StepsAhead int
+	// RefitEvery is the scheduled refit cadence in observed windows on top
+	// of drift-forced refits (default 600).
+	RefitEvery int
+}
+
+// PredictorSweepResult holds the walk-forward quality of each forecaster
+// family on each trace regime.
+type PredictorSweepResult struct {
+	// Traces lists the trace regimes in presentation order.
+	Traces []string
+	// Reports maps trace regime → forecaster name → quality report.
+	Reports map[string]map[string]forecast.QualityReport
+}
+
+// sweepTraces builds the three regimes where predictor families disagree
+// most: learnable periodic load, on/off bursts, and adversarial regime
+// switches that punish frozen models.
+func sweepTraces(seed int64, horizon float64) []struct {
+	name string
+	tr   *trace.Trace
+} {
+	return []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"diurnal", trace.Diurnal(newRand(forecast.DeriveSeed(seed, "sweep/diurnal")), 2.0, 0.9, 300, horizon)},
+		{"bursty", trace.Bursty(newRand(forecast.DeriveSeed(seed, "sweep/bursty")), 120, 20, 6, horizon)},
+		{"adversarial", trace.Adversarial(newRand(forecast.DeriveSeed(seed, "sweep/adversarial")), 1.5, 300, horizon)},
+	}
+}
+
+// PredictorSweep runs the prediction-quality harness for every requested
+// forecaster family over seeded diurnal/bursty/adversarial traces: each
+// family walk-forward forecasts the per-window invocation counts, refitting
+// on schedule or when its own drift detector trips. It returns the
+// per-(trace, forecaster) quality reports; unknown forecaster names fail
+// with the registry's typed error.
+func PredictorSweep(p PredictorSweepParams) (*PredictorSweepResult, error) {
+	if p.Horizon <= 0 {
+		p.Horizon = 3600
+	}
+	names := p.Forecasters
+	if len(names) == 0 {
+		names = forecast.Names()
+	}
+	for _, n := range names {
+		if _, err := forecast.Lookup(n); err != nil {
+			return nil, err
+		}
+	}
+	steps := p.StepsAhead
+	if steps <= 0 {
+		steps = 4
+	}
+	refitEvery := p.RefitEvery
+	if refitEvery <= 0 {
+		refitEvery = 600
+	}
+	res := &PredictorSweepResult{Reports: map[string]map[string]forecast.QualityReport{}}
+	for _, tc := range sweepTraces(p.Seed, p.Horizon) {
+		res.Traces = append(res.Traces, tc.name)
+		counts := tc.tr.Counts(1)
+		hist := make([]forecast.Observation, len(counts))
+		for i, c := range counts {
+			hist[i].Value = float64(c)
+		}
+		byName := map[string]forecast.QualityReport{}
+		for _, name := range names {
+			cfg := forecast.Config{
+				Seed:   forecast.DeriveSeed(p.Seed, "sweep/"+tc.name+"/"+name),
+				Role:   forecast.RoleCount,
+				Budget: forecast.BudgetOnline,
+			}
+			rep, err := forecast.EvaluateSeries(name, cfg, hist, forecast.EvalOpts{
+				Horizon:    steps,
+				RefitEvery: refitEvery,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s/%s: %w", tc.name, name, err)
+			}
+			byName[name] = rep
+		}
+		res.Reports[tc.name] = byName
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (trace, forecaster), ordered by
+// trace then ascending one-step sMAPE, so the best-calibrated family on
+// each regime reads first.
+func (r *PredictorSweepResult) Table() *Table {
+	t := &Table{
+		Title: "Predictor sweep: walk-forward forecast quality by trace regime",
+		Header: []string{"trace", "forecaster", "mae@1", "smape@1", "mae@H", "smape@H",
+			"upper_viol", "refits", "drift_refits"},
+	}
+	for _, tn := range r.Traces {
+		byName := r.Reports[tn]
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			a, b := byName[names[i]].OneStepSMAPE(), byName[names[j]].OneStepSMAPE()
+			if a != b { //lint:allow floateq comparator tie-break: exact equality decides when the name ordering applies
+				return a < b
+			}
+			return names[i] < names[j]
+		})
+		for _, n := range names {
+			rep := byName[n]
+			last := len(rep.MAE) - 1
+			t.Rows = append(t.Rows, []string{
+				tn, n,
+				fmt.Sprintf("%.3f", rep.OneStepMAE()),
+				fmt.Sprintf("%.3f", rep.OneStepSMAPE()),
+				fmt.Sprintf("%.3f", rep.MAE[last]),
+				fmt.Sprintf("%.3f", rep.SMAPE[last]),
+				fmt.Sprintf("%.3f", rep.UpperViolationRate),
+				fmt.Sprintf("%d", rep.Refits),
+				fmt.Sprintf("%d", rep.DriftRefits),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,382 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"smiless/internal/predictor"
+)
+
+// synth builds a deterministic test series: a two-tone sine over a base
+// level, floored at zero, with a small cycling covariate. No RNG — the
+// package is lint:deterministic and the tests honour that.
+func synth(n int, base, amp float64) []Observation {
+	out := make([]Observation, n)
+	for i := range out {
+		v := base + amp*math.Sin(float64(i)/7) + 0.3*amp*math.Sin(float64(i)/3)
+		if v < 0 {
+			v = 0
+		}
+		out[i] = Observation{Value: v, Cov: float64(i%5) + 1}
+	}
+	return out
+}
+
+// counts builds an integer-valued count-like series.
+func counts(n int) []Observation {
+	src := synth(n, 6, 4)
+	for i := range src {
+		src[i] = Observation{Value: math.Floor(src[i].Value)}
+	}
+	return src
+}
+
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"arima", "fip", "gbt", "histogram", "lstm", "naive", "transformer"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(duplicate) did not panic")
+		}
+	}()
+	Register("lstm", func(cfg Config) Forecaster { return &naiveForecaster{cfg: cfg} })
+}
+
+func TestLookupUnknownTyped(t *testing.T) {
+	_, err := Lookup("bogus")
+	var ue *UnknownError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Lookup(bogus) err = %T %v, want *UnknownError", err, err)
+	}
+	if ue.Name != "bogus" {
+		t.Errorf("UnknownError.Name = %q", ue.Name)
+	}
+	if !strings.Contains(err.Error(), "lstm") {
+		t.Errorf("error should list registered families: %v", err)
+	}
+}
+
+func TestLookupEmptyIsDefault(t *testing.T) {
+	ctor, err := Lookup("")
+	if err != nil {
+		t.Fatalf("Lookup(\"\"): %v", err)
+	}
+	if name := ctor(Config{}).Name(); name != Default {
+		t.Errorf("Lookup(\"\") built %q, want Default %q", name, Default)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "count") != DeriveSeed(1, "count") {
+		t.Error("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, "count") == DeriveSeed(1, "iat") {
+		t.Error("DeriveSeed should decorrelate tags")
+	}
+	if DeriveSeed(1, "count") == DeriveSeed(2, "count") {
+		t.Error("DeriveSeed should decorrelate base seeds")
+	}
+}
+
+func TestUntrainedPersistence(t *testing.T) {
+	for _, name := range Names() {
+		f := MustNew(name, Config{Seed: 1})
+		got := f.Predict(3)
+		if len(got) != 3 {
+			t.Fatalf("%s: Predict(3) len %d", name, len(got))
+		}
+		for _, v := range got {
+			if !bitsEq(v, 0) {
+				t.Errorf("%s: untrained no-history forecast = %v, want 0", name, v)
+			}
+		}
+		f.Update(Observation{Value: 7})
+		for _, v := range f.Predict(2) {
+			if !bitsEq(v, 7) {
+				t.Errorf("%s: untrained persistence = %v, want 7", name, v)
+			}
+		}
+	}
+}
+
+func TestPredictPanicsOnBadHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict(0) did not panic")
+		}
+	}()
+	MustNew("naive", Config{}).Predict(0)
+}
+
+func TestShortSeriesKeepsPriorFit(t *testing.T) {
+	hist := counts(120)
+	f := MustNew("lstm", Config{Seed: 3, Role: RoleCount})
+	if err := f.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	want := f.Predict(1)[0]
+	if err := f.Fit(hist[:5]); err != ErrShortSeries {
+		t.Fatalf("short Fit err = %v, want ErrShortSeries", err)
+	}
+	if got := f.Predict(1)[0]; !bitsEq(got, want) {
+		t.Errorf("short Fit disturbed the prior model: %v != %v", got, want)
+	}
+}
+
+// TestAdapterMatchesConcrete pins the adapters to their legacy concrete
+// predictors: Fit+Predict(1) through the interface must be bitwise equal to
+// constructing and using the concrete type directly, as the controller's
+// window loop historically did.
+func TestAdapterMatchesConcrete(t *testing.T) {
+	const seed = 42
+	cnt := counts(160)
+	iats := synth(140, 2, 1.2)
+
+	sv := series{}
+	sv.replace(cnt)
+	cntVals := sv.values()
+	sv.replace(iats)
+	iatVals, iatCovs := sv.values(), sv.covs()
+
+	t.Run("lstm-count", func(t *testing.T) {
+		p := predictor.NewInvocationPredictor(1, seed)
+		p.Fit(cntVals)
+		want := p.Predict(cntVals)
+		f := MustNew("lstm", Config{Seed: seed, Role: RoleCount})
+		if err := f.Fit(cnt); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("adapter %v != concrete %v", got, want)
+		}
+	})
+	t.Run("lstm-iat", func(t *testing.T) {
+		p := predictor.NewInterArrivalPredictor(seed)
+		p.FitIAT(iatVals, iatCovs)
+		want := p.PredictIAT(iatVals, iatCovs)
+		f := MustNew("lstm", Config{Seed: seed, Role: RoleInterArrival})
+		if err := f.Fit(iats); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("adapter %v != concrete %v", got, want)
+		}
+	})
+	t.Run("lstm-online-budget", func(t *testing.T) {
+		p := predictor.NewInvocationPredictor(1, seed)
+		p.Epochs = 2
+		p.Fit(cntVals)
+		want := p.Predict(cntVals)
+		f := MustNew("lstm", Config{Seed: seed, Role: RoleCount, Budget: BudgetOnline})
+		if err := f.Fit(cnt); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("online-budget adapter %v != concrete %v", got, want)
+		}
+	})
+	t.Run("arima", func(t *testing.T) {
+		a := predictor.NewARIMA(8, 0)
+		a.Fit(iatVals)
+		want := a.Predict(iatVals)
+		f := MustNew("arima", Config{Seed: seed})
+		if err := f.Fit(iats); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("adapter %v != concrete %v", got, want)
+		}
+	})
+	t.Run("gbt", func(t *testing.T) {
+		g := predictor.NewGBT()
+		g.Fit(cntVals)
+		want := g.Predict(cntVals)
+		f := MustNew("gbt", Config{Seed: seed})
+		if err := f.Fit(cnt); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("adapter %v != concrete %v", got, want)
+		}
+	})
+	t.Run("fip", func(t *testing.T) {
+		want := predictor.NewFIP().Predict(cntVals)
+		f := MustNew("fip", Config{Seed: seed})
+		if err := f.Fit(cnt); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := f.Predict(1)[0]; !bitsEq(got, want) {
+			t.Errorf("adapter %v != concrete %v", got, want)
+		}
+	})
+}
+
+// TestUpdateExtendsPredictionSeries pins Update semantics: appending the
+// tail via Update must predict exactly as the concrete model (fitted on the
+// prefix only) reading the full series.
+func TestUpdateExtendsPredictionSeries(t *testing.T) {
+	const seed = 7
+	cnt := counts(200)
+	prefix := cnt[:150]
+
+	sv := series{}
+	sv.replace(cnt)
+	full := sv.values()
+	sv.replace(prefix)
+	prefixVals := sv.values()
+
+	p := predictor.NewInvocationPredictor(1, seed)
+	p.Fit(prefixVals)
+	want := p.Predict(full)
+
+	f := MustNew("lstm", Config{Seed: seed, Role: RoleCount})
+	if err := f.Fit(prefix); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for _, o := range cnt[150:] {
+		f.Update(o)
+	}
+	if got := f.Predict(1)[0]; !bitsEq(got, want) {
+		t.Errorf("Update-extended forecast %v != concrete-on-full %v", got, want)
+	}
+}
+
+func TestCloneReproducible(t *testing.T) {
+	hist := counts(160)
+	for _, name := range Names() {
+		f := MustNew(name, Config{Seed: 1, Role: RoleCount})
+		c1 := f.Clone(99)
+		c2 := f.Clone(99)
+		// Clones start untrained regardless of the parent's state.
+		if err := f.Fit(hist); err != nil {
+			t.Fatalf("%s: Fit: %v", name, err)
+		}
+		if got := c1.Predict(1)[0]; !bitsEq(got, 0) {
+			t.Errorf("%s: clone inherited training: %v", name, got)
+		}
+		if err := c1.Fit(hist); err != nil {
+			t.Fatalf("%s: clone Fit: %v", name, err)
+		}
+		if err := c2.Fit(hist); err != nil {
+			t.Fatalf("%s: clone Fit: %v", name, err)
+		}
+		a, b := c1.Predict(4), c2.Predict(4)
+		for i := range a {
+			if !bitsEq(a[i], b[i]) {
+				t.Errorf("%s: clones diverge at step %d: %v != %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRollForwardConsistency(t *testing.T) {
+	hist := counts(160)
+	for _, name := range Names() {
+		f := MustNew(name, Config{Seed: 1, Role: RoleCount})
+		if err := f.Fit(hist); err != nil {
+			t.Fatalf("%s: Fit: %v", name, err)
+		}
+		one := f.Predict(1)
+		multi := f.Predict(5)
+		if len(one) != 1 || len(multi) != 5 {
+			t.Fatalf("%s: horizon lengths %d/%d", name, len(one), len(multi))
+		}
+		if !bitsEq(one[0], multi[0]) {
+			t.Errorf("%s: Predict(1)[0]=%v != Predict(5)[0]=%v", name, one[0], multi[0])
+		}
+	}
+}
+
+func TestTransformerDeterministicAndBounded(t *testing.T) {
+	hist := synth(300, 5, 3)
+	a := MustNew("transformer", Config{Seed: 11})
+	b := MustNew("transformer", Config{Seed: 11})
+	if err := a.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if err := b.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	pa, pb := a.Predict(6), b.Predict(6)
+	for i := range pa {
+		if !bitsEq(pa[i], pb[i]) {
+			t.Fatalf("transformer not deterministic at step %d: %v != %v", i, pa[i], pb[i])
+		}
+		if math.IsNaN(pa[i]) || math.IsInf(pa[i], 0) || pa[i] < 0 {
+			t.Fatalf("transformer forecast out of range at step %d: %v", i, pa[i])
+		}
+	}
+	ub, ok := a.(UpperBounder)
+	if !ok {
+		t.Fatal("transformer should implement UpperBounder")
+	}
+	up := ub.PredictUpper(6)
+	for i := range up {
+		if up[i] < pa[i] {
+			t.Errorf("upper bound below point forecast at step %d: %v < %v", i, up[i], pa[i])
+		}
+	}
+}
+
+func TestTransformerAllZeroHistory(t *testing.T) {
+	// Regression: all-zero context windows once produced astronomically
+	// scaled retrievals (the embed scale collapsed to ~0). Forecasts over a
+	// zero series must stay at zero.
+	hist := make([]Observation, 120)
+	f := MustNew("transformer", Config{Seed: 1})
+	if err := f.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for i, v := range f.Predict(4) {
+		if math.Abs(v) > 1e-6 {
+			t.Errorf("zero-series forecast at step %d = %v, want ~0", i, v)
+		}
+	}
+}
+
+func TestHistogramUpperAboveMedian(t *testing.T) {
+	hist := synth(400, 10, 6)
+	f := MustNew("histogram", Config{})
+	if err := f.Fit(hist); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	point := f.Predict(1)[0]
+	upper := f.(UpperBounder).PredictUpper(1)[0]
+	if upper < point {
+		t.Errorf("histogram upper %v below median %v", upper, point)
+	}
+}
+
+func TestSeriesTrimBounded(t *testing.T) {
+	f := MustNew("naive", Config{}).(*naiveForecaster)
+	for i := 0; i < maxHistory+500; i++ {
+		f.Update(Observation{Value: float64(i)})
+	}
+	if len(f.hist) != maxHistory {
+		t.Errorf("history len %d, want %d", len(f.hist), maxHistory)
+	}
+	if got := f.Predict(1)[0]; !bitsEq(got, float64(maxHistory+499)) {
+		t.Errorf("trim lost the tail: %v", got)
+	}
+}

@@ -75,6 +75,16 @@ func (h *IdleHistogram) Observe(idle float64) {
 // Samples returns the number of observed idle times.
 func (h *IdleHistogram) Samples() int { return h.total }
 
+// Usable reports whether the histogram carries enough in-bounds signal for
+// Quantile to be meaningful; below the gate the policy accessors apply the
+// plain keep-alive fallback and callers should do likewise.
+func (h *IdleHistogram) Usable() bool { return h.usable() }
+
+// Quantile returns the approximate q-quantile of observed in-bounds idle
+// times (bin upper edge), or FallbackKeepAlive when nothing in-bounds has
+// been observed. Gate on Usable for the ATC'20 signal check.
+func (h *IdleHistogram) Quantile(q float64) float64 { return h.quantile(q) }
+
 // usable reports whether the histogram carries enough in-bounds signal.
 func (h *IdleHistogram) usable() bool {
 	if h.total < h.MinSamples {

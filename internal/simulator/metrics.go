@@ -3,6 +3,7 @@ package simulator
 import (
 	"sort"
 
+	"smiless/internal/forecast"
 	"smiless/internal/metrics"
 )
 
@@ -37,6 +38,28 @@ func (r *RunStats) RecordMetrics(store *metrics.Store, labels metrics.Labels, t 
 	rec("smiless_node_down_seconds_total", r.NodeDownSeconds)
 	rec("smiless_deadline_exceeded_total", float64(r.DeadlineExceeded))
 	rec("smiless_abandoned_total", float64(r.Abandoned))
+
+	// Prediction quality (absent unless the driver ran a forecaster, so
+	// forecast-free expositions stay byte-identical to earlier builds).
+	if r.ForecastName != "" {
+		for _, role := range []struct {
+			name   string
+			report *forecast.QualityReport
+		}{{"interarrival", &r.ForecastIT}, {"count", &r.ForecastCount}} {
+			fl := metrics.Labels{}
+			for k, v := range labels {
+				fl[k] = v
+			}
+			fl["forecaster"] = r.ForecastName
+			fl["role"] = role.name
+			rep := role.report
+			store.Record("smiless_forecast_mae_one_step", fl, t, rep.OneStepMAE())
+			store.Record("smiless_forecast_smape_one_step", fl, t, rep.OneStepSMAPE())
+			store.Record("smiless_forecast_upper_violation_ratio", fl, t, rep.UpperViolationRate)
+			store.Record("smiless_forecast_refits_total", fl, t, float64(rep.Refits))
+			store.Record("smiless_forecast_drift_refits_total", fl, t, float64(rep.DriftRefits))
+		}
+	}
 
 	// Critical-path attribution (all zero unless the run was traced).
 	rec("smiless_queue_on_path_seconds_total", r.QueueOnPathSeconds)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"smiless/internal/forecast"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 )
@@ -74,6 +75,15 @@ type RunStats struct {
 	EvictedContainers int // containers killed by node outages
 	BreakerTrips      int // circuit-breaker openings (driver-reported)
 	DegradedWindows   int // windows served on the degraded fallback plan
+
+	// Forecasting quality (populated only when the driver runs a trained
+	// forecaster; ForecastName == "" means no forecast accounting and keeps
+	// legacy summaries byte-identical). The reports carry per-horizon
+	// MAE/sMAPE, the upper-bound violation rate, and refit/drift counts for
+	// each Online Predictor role.
+	ForecastName  string
+	ForecastIT    forecast.QualityReport
+	ForecastCount forecast.QualityReport
 
 	// Multi-node control plane (all zero on single-node / first-fit runs).
 	Forwards         int     // launches placed off the locality home node (p2c overflow)
@@ -183,6 +193,10 @@ func (r *RunStats) Summary() string {
 	fmt.Fprintf(&b, "completed=%d cost=$%.4f violations=%.1f%% ", r.Completed, r.TotalCost, r.ViolationRate()*100)
 	fmt.Fprintf(&b, "p50=%.2fs p95=%.2fs p99=%.2fs ", r.LatencyPercentile(50), r.LatencyPercentile(95), r.LatencyPercentile(99))
 	fmt.Fprintf(&b, "inits=%d reinit/req=%.2f cpu:gpu=%.2f meanBatch=%.2f", r.Inits, r.ReinitFraction(), r.CPUGPURatio(), r.MeanBatch())
+	if r.ForecastName != "" {
+		fmt.Fprintf(&b, "\nforecaster=%s it[%s] count[%s]",
+			r.ForecastName, r.ForecastIT, r.ForecastCount)
+	}
 	if r.resilienceActive() {
 		fmt.Fprintf(&b, "\navailability=%.2f%% failed=%d retries=%d timeouts=%d ",
 			r.Availability()*100, r.FailedInvocations, r.Retries, r.Timeouts)

@@ -188,6 +188,48 @@ func Spikes(r *rand.Rand, nSpikes, spikeSize int, spikeWidth, horizon float64) *
 	return t
 }
 
+// Adversarial generates a regime-switching trace built to break predictors
+// that assume a stationary arrival process: the horizon is cut into
+// exponentially-distributed segments, each drawn independently as steady
+// Poisson, periodic, on/off bursty, or near-silent traffic with its own
+// rate. Every regime switch is a distribution shift, so online forecasters
+// must detect drift and refit to stay accurate — exactly the workload the
+// prediction-quality sweep uses to separate adaptive families from frozen
+// ones.
+func Adversarial(r *rand.Rand, baseRate, segMean, horizon float64) *Trace {
+	if segMean <= 0 {
+		panic("trace: non-positive segment mean")
+	}
+	parts := []*Trace{}
+	for now := 0.0; now < horizon; {
+		segLen := mathx.Exponential(r, segMean)
+		if now+segLen > horizon {
+			segLen = horizon - now
+		}
+		// Per-regime rate: up to 8x the base, so consecutive segments can
+		// differ by an order of magnitude.
+		rate := baseRate * (0.5 + 7.5*r.Float64())
+		var seg *Trace
+		switch r.Intn(4) {
+		case 0:
+			seg = Poisson(r, rate, segLen)
+		case 1:
+			seg = Diurnal(r, rate, 0.9, segLen/3+1, segLen)
+		case 2:
+			seg = Bursty(r, segLen/8+1, segLen/16+1, 4*rate, segLen)
+		default:
+			seg = Poisson(r, rate/16, segLen) // near-silence
+		}
+		shifted := &Trace{Horizon: horizon, Arrivals: make([]float64, len(seg.Arrivals))}
+		for i, a := range seg.Arrivals {
+			shifted.Arrivals[i] = a + now
+		}
+		parts = append(parts, shifted)
+		now += segLen
+	}
+	return Merge(parts...)
+}
+
 // thinned samples a non-homogeneous Poisson process by thinning.
 func thinned(r *rand.Rand, rate func(float64) float64, maxRate, horizon float64) *Trace {
 	t := &Trace{Horizon: horizon}

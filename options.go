@@ -50,9 +50,15 @@ type EvaluateOptions struct {
 	// Seed drives every stochastic component (profiler noise, predictor
 	// initialization, fault schedules).
 	Seed int64
-	// UseLSTM enables the LSTM predictors in SMIless variants; when false a
-	// lightweight moving-window estimator is used throughout.
+	// UseLSTM enables the trained predictors in SMIless variants; when false
+	// a lightweight moving-window estimator is used throughout.
 	UseLSTM bool
+	// Forecaster names the forecaster family serving the SMIless Online
+	// Predictor (see Forecasters for the registered names); empty keeps the
+	// default (the paper's LSTM pair). Unknown names make Evaluate and
+	// NewDriver-based paths fail with a typed *ConfigError. Set via
+	// WithForecaster, which also enables the trained predictors.
+	Forecaster string
 	// Recorder, when non-nil, records span trees for every invocation.
 	// Statistics are bit-identical with and without a recorder attached.
 	Recorder *Recorder
@@ -97,6 +103,24 @@ func WithLSTM(enabled bool) Option {
 	}
 }
 
+// WithForecaster selects the forecaster family behind the SMIless Online
+// Predictor by registry name — "lstm" (default), "arima", "fip", "gbt",
+// "histogram", "naive" or "transformer"; Forecasters() enumerates them.
+// Selecting a forecaster implies WithLSTM(true) (a named forecaster is
+// pointless with the trained predictors disabled); pass WithLSTM(false)
+// afterwards to keep the moving-window estimator anyway. Unknown names
+// surface as a typed *ConfigError from Evaluate.
+func WithForecaster(name string) Option {
+	return func(o *EvaluateOptions) {
+		o.Forecaster = name
+		o.UseLSTM = true
+		if o.Controller != nil {
+			o.Controller.Forecaster = name
+			o.Controller.UseLSTM = true
+		}
+	}
+}
+
 // WithRecorder attaches a span recorder to the run (see NewRecorder).
 func WithRecorder(rec *Recorder) Option {
 	return func(o *EvaluateOptions) { o.Recorder = rec }
@@ -136,6 +160,7 @@ func WithControllerOptions(co ControllerOptions) Option {
 		o.Controller = &co
 		o.Seed = co.Seed
 		o.UseLSTM = co.UseLSTM
+		o.Forecaster = co.Forecaster
 		o.Parallelism = co.Parallelism
 	}
 }
@@ -158,6 +183,7 @@ func (o *EvaluateOptions) controllerOptions() ControllerOptions {
 	}
 	co := controller.DefaultOptions(o.Seed)
 	co.UseLSTM = o.UseLSTM
+	co.Forecaster = o.Forecaster
 	co.Parallelism = o.Parallelism
 	return co
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench-forecast: run the forecasting subsystem benchmark suite (per-family
+# refit cost, per-window predict cost, and the Online quality-harness step),
+# convert the output to BENCH_forecast.json via cmd/benchjson, and — when a
+# committed baseline exists — fail on any regression beyond the noise band
+# via cmd/benchgate. Refit cost is what bounds how aggressively the drift
+# detector may force retraining, so it is gated, not just trended.
+#
+# Environment knobs:
+#   NOISE      allowed fractional regression (default 0.75 = fail >1.75x)
+#   BENCHTIME  go test -benchtime value (default 100ms, time-based: the
+#              sub-microsecond families get thousands of iterations — a
+#              fixed low count like 20x measures timer jitter for those —
+#              while the hundreds-of-ms LSTM refit runs just once, which
+#              is already low-variance for an op that long)
+#   OUT        artifact path (default BENCH_forecast.json)
+set -eu
+
+GO=${GO:-go}
+NOISE=${NOISE:-0.75}
+BENCHTIME=${BENCHTIME:-100ms}
+OUT=${OUT:-BENCH_forecast.json}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+echo "bench-forecast: running BenchmarkForecast suite (-benchtime $BENCHTIME)"
+$GO test -bench 'BenchmarkForecast' -benchtime "$BENCHTIME" -benchmem -run '^$' \
+    ./internal/forecast | tee "$tmp/bench.txt"
+$GO run ./cmd/benchjson -o "$tmp/BENCH_forecast.json" <"$tmp/bench.txt"
+
+if [ -f "$OUT" ]; then
+    echo "bench-forecast: gating against committed $OUT (noise band $NOISE)"
+    $GO run ./cmd/benchgate \
+        -baseline "$OUT" \
+        -current "$tmp/BENCH_forecast.json" \
+        -noise "$NOISE"
+else
+    echo "bench-forecast: no baseline at $OUT yet; seeding the trajectory"
+fi
+
+mv "$tmp/BENCH_forecast.json" "$OUT"
+echo "bench-forecast: wrote $OUT"

@@ -26,6 +26,7 @@ import (
 	"smiless/internal/core"
 	"smiless/internal/dag"
 	"smiless/internal/experiments"
+	"smiless/internal/forecast"
 	"smiless/internal/hardware"
 	"smiless/internal/metrics"
 	"smiless/internal/perfmodel"
@@ -74,6 +75,22 @@ type (
 	OptimizeResult = core.Result
 	// ControllerOptions configures the SMIless controller.
 	ControllerOptions = controller.Options
+	// ConfigError is the typed validation error returned for invalid run
+	// configuration (bad simulator config, unknown forecaster names, ...).
+	ConfigError = simulator.ConfigError
+	// Forecaster is the pluggable forecasting interface behind the SMIless
+	// Online Predictor (internal/forecast): Fit/Predict/Update/Clone over
+	// an observation series. Select a registered family with
+	// WithForecaster, or inject a custom one through
+	// ControllerOptions.NewForecaster.
+	Forecaster = forecast.Forecaster
+	// ForecastConfig parameterizes one forecaster instance (seed, role,
+	// training budget).
+	ForecastConfig = forecast.Config
+	// ForecastReport is the prediction-quality summary (per-horizon
+	// MAE/sMAPE, upper-bound violation rate, refit counts) surfaced in
+	// RunStats for forecaster-backed runs.
+	ForecastReport = forecast.QualityReport
 )
 
 // Hardware kinds.
@@ -171,6 +188,10 @@ func DefaultControllerOptions(seed int64) ControllerOptions {
 	return controller.DefaultOptions(seed)
 }
 
+// Forecasters lists the registered forecaster family names accepted by
+// WithForecaster, sorted.
+func Forecasters() []string { return forecast.Names() }
+
 // NewSimulator prepares the discrete-event serverless cluster for one
 // (application, driver) evaluation at the given SLA. It returns a
 // *simulator.ConfigError when the configuration is invalid (nil app or
@@ -221,7 +242,8 @@ func Evaluate(system SystemName, app *Application, tr *Trace, sla float64, opts 
 	o := newEvaluateOptions(opts)
 	p := experiments.RunParams{
 		App: app, SLA: sla, Seed: o.Seed, UseLSTM: o.UseLSTM,
-		Faults: o.Faults, Recorder: o.Recorder, Parallelism: o.Parallelism,
+		Forecaster: o.Forecaster,
+		Faults:     o.Faults, Recorder: o.Recorder, Parallelism: o.Parallelism,
 		Controller: o.Controller,
 	}
 	return experiments.Run(system, p, tr)
