@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fmt bench bench-opt bench-serve bench-forecast forecast-sweep serve-smoke chaos-smoke invariants
+.PHONY: all build test race lint fmt bench bench-opt bench-serve bench-forecast forecast-sweep affinity-sweep serve-smoke chaos-smoke invariants
 
 all: build test lint
 
@@ -69,3 +69,10 @@ bench-forecast:
 # registry): every family, walk-forward scored on the three trace regimes.
 forecast-sweep:
 	$(GO) run ./cmd/experiments -fig forecast -short
+
+# Short-horizon heterogeneous-placement sweep (CI gate): blind vs.
+# affinity-aware policies under co-location interference on bursty and
+# diurnal traces. The command exits non-zero unless the affinity-aware
+# frontier weakly dominates the blind baseline on (SLA, cost).
+affinity-sweep:
+	$(GO) run ./cmd/experiments -fig affinity -short

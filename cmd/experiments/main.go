@@ -19,20 +19,54 @@ import (
 	"smiless/internal/experiments"
 )
 
+// validFigs lists every figure and sweep name -fig accepts. The opt-in
+// sweeps (chaos, churn, forecast, affinity) are not part of 'all'.
+var validFigs = []string{
+	"all", "2", "3", "8", "9", "10", "11", "12", "13", "14", "15", "16",
+	"chaos", "churn", "forecast", "affinity",
+}
+
+// parseFigs splits and validates a -fig list. Unknown names fail with an
+// error that lists every valid figure, so typos exit non-zero instead of
+// silently printing nothing.
+func parseFigs(s string) (map[string]bool, error) {
+	valid := map[string]bool{}
+	for _, v := range validFigs {
+		valid[v] = true
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !valid[f] {
+			return nil, fmt.Errorf("unknown figure %q; valid figures: %s", f, strings.Join(validFigs, ", "))
+		}
+		want[f] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no figure selected; valid figures: %s", strings.Join(validFigs, ", "))
+	}
+	return want, nil
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep), 'churn' (node-churn sweep) or 'forecast' (predictor-quality sweep; none of these three in 'all'), or 'all'")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,8,9,10,11,12,13,14,15,16, 'chaos' (resilience sweep), 'churn' (node-churn sweep), 'forecast' (predictor-quality sweep) or 'affinity' (heterogeneous-placement sweep; none of these four in 'all'), or 'all'")
 	horizon := flag.Float64("horizon", 0, "trace horizon in seconds (0 = per-figure default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sla := flag.Float64("sla", 2.0, "SLA in seconds")
 	lstm := flag.Bool("lstm", false, "enable the LSTM predictors in SMIless (slower, more faithful)")
 	seeds := flag.Int("seeds", 1, "for -fig 8: run this many trace seeds and print medians")
 	forecasters := flag.String("forecasters", "", "for -fig forecast: comma-separated forecaster families (empty = all registered)")
-	short := flag.Bool("short", false, "for -fig forecast: short mode (900 s horizon) for CI")
+	short := flag.Bool("short", false, "for -fig forecast/affinity: short mode (900 s horizon) for CI")
+	spot := flag.Bool("spot", false, "for -fig affinity: bill against a seeded spot-price step trace")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, f := range strings.Split(*fig, ",") {
-		want[strings.TrimSpace(f)] = true
+	want, err := parseFigs(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
 	}
 	all := want["all"]
 	show := func(name string) bool { return all || want[name] }
@@ -128,8 +162,26 @@ func main() {
 		}
 		fmt.Println(res.Table())
 	}
-	if !all && len(want) == 0 {
-		fmt.Fprintln(os.Stderr, "no figure selected; use -fig")
-		os.Exit(2)
+	// The affinity sweep (placement policy vs. SLA/cost under co-location
+	// interference and optional spot pricing) is opt-in. It doubles as the
+	// CI gate: the process exits non-zero when the affinity-aware policies
+	// fail to dominate the blind baseline.
+	if want["affinity"] {
+		p := experiments.DefaultAffinityParams(*seed)
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		p.Spot = *spot
+		if *horizon > 0 {
+			p.Horizon = *horizon
+		}
+		if *short {
+			p.Horizon = 900
+		}
+		res := experiments.Affinity(p)
+		fmt.Println(res.Table())
+		if !res.Dominates() {
+			fmt.Fprintln(os.Stderr, "experiments: affinity-aware placement did not dominate the blind baseline")
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFigsAcceptsValidNames(t *testing.T) {
+	want, err := parseFigs("8, churn ,affinity")
+	if err != nil {
+		t.Fatalf("parseFigs: %v", err)
+	}
+	for _, f := range []string{"8", "churn", "affinity"} {
+		if !want[f] {
+			t.Errorf("figure %q not selected", f)
+		}
+	}
+	if len(want) != 3 {
+		t.Errorf("selected %d figures, want 3", len(want))
+	}
+}
+
+func TestParseFigsRejectsUnknownName(t *testing.T) {
+	_, err := parseFigs("8,bogus")
+	if err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error does not name the unknown figure: %s", msg)
+	}
+	// The error must list every valid name so the fix is in the message.
+	for _, f := range validFigs {
+		if !strings.Contains(msg, f) {
+			t.Errorf("error does not list valid figure %q: %s", f, msg)
+		}
+	}
+}
+
+func TestParseFigsRejectsEmptySelection(t *testing.T) {
+	for _, in := range []string{"", " , ,"} {
+		if _, err := parseFigs(in); err == nil {
+			t.Errorf("parseFigs(%q) accepted an empty selection", in)
+		}
+	}
+}

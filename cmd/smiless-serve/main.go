@@ -64,6 +64,8 @@ func run() error {
 	nodes := flag.Int("nodes", 1, "node agents the executor pool is spread over; >1 enables locality/p2c placement and the gossip failure detector")
 	gossip := flag.Float64("gossip-interval", 0, "failure-detector tick period in model seconds (0 = default 0.25; suspect after 2 ticks, down after 4)")
 	deadline := flag.Float64("default-deadline", 0, "per-request end-to-end deadline in model seconds (0 = unbounded; /invoke?deadline= overrides)")
+	pf := cliutil.AddPlacementFlags(flag.CommandLine)
+	priceHorizon := flag.Float64("price-horizon", 3600, "model-time horizon the -price-trace scenario is generated for")
 	of := cliutil.AddOutputFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -88,7 +90,7 @@ func run() error {
 	}
 	driver, err := experiments.NewDriver(experiments.SystemName(*system), experiments.RunParams{
 		App: application, SLA: *sla, Seed: *seed, UseLSTM: *lstm,
-		Forecaster: *forecaster,
+		Forecaster: *forecaster, Interference: pf.Model(),
 	})
 	if err != nil {
 		return err
@@ -100,12 +102,21 @@ func run() error {
 	} else {
 		clk = clock.NewWall()
 	}
+	pol, err := pf.Policy()
+	if err != nil {
+		return err
+	}
+	pt, err := pf.Trace(*seed, *priceHorizon, *nodes)
+	if err != nil {
+		return err
+	}
 	rec := tracing.NewRecorder(application.Graph)
 	rt, err := serving.New(serving.Config{
 		App: application, SLA: *sla, Window: *window, Seed: *seed,
 		BatchLinger: *linger, MaxInflight: *maxInflight, QueueCap: *queueCap,
 		Faults: plan, Recorder: rec, Clock: clk,
 		Nodes: *nodes, GossipInterval: *gossip, DefaultDeadline: *deadline,
+		Placement: pol, Interference: pf.Model(), PriceTrace: pt,
 	}, driver)
 	if err != nil {
 		return err

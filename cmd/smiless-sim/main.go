@@ -22,6 +22,7 @@ import (
 	"smiless/internal/cliutil"
 	"smiless/internal/experiments"
 	"smiless/internal/faults"
+	"smiless/internal/hardware"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -68,7 +69,9 @@ func main() {
 	outage := flag.Bool("outage", false, "with -faults: take node 0 down for 120s mid-run")
 	chaos := flag.Bool("chaos", false, "run the full resilience sweep (systems x failure rates) and exit")
 	churn := flag.Bool("churn", false, "run the node-churn sweep (SLA attainment vs. node count under crash/partition churn) and exit")
-	p2c := flag.Bool("p2c", false, "place launches by locality with power-of-two-choices overflow (default: first-fit)")
+	p2c := flag.Bool("p2c", false, "place launches by locality with power-of-two-choices overflow (default: first-fit); shorthand for -affinity p2c")
+	affinity := flag.Bool("affinity-sweep", false, "run the heterogeneous-placement sweep (placement policy vs. SLA/cost under interference) and exit")
+	pf := cliutil.AddPlacementFlags(flag.CommandLine)
 	var nodeFaults []faults.NodeFault
 	flag.Func("node-crash", "crash node@start:end (repeatable; end 0 = never restarts); implies the gossip failure detector", func(s string) error {
 		nf, err := parseNodeFault(s, faults.NodeCrash)
@@ -102,6 +105,26 @@ func main() {
 			p.Horizon = *tf.Horizon
 		}
 		fmt.Println(experiments.Churn(p).Table())
+		return
+	}
+
+	if *affinity {
+		p := experiments.DefaultAffinityParams(*seed)
+		p.App = *app
+		p.SLA = *sla
+		p.UseLSTM = *lstm
+		if *tf.Horizon != 1800 { //lint:allow floateq flag-default comparison: an untouched flag is bit-identical to its default
+			p.Horizon = *tf.Horizon
+		}
+		if *pf.Interference > 0 {
+			p.Scale = *pf.Interference
+		}
+		p.Spot = *pf.PriceTrace != ""
+		res := experiments.Affinity(p)
+		fmt.Println(res.Table())
+		if !res.Dominates() {
+			fatal(fmt.Errorf("affinity-aware placement did not dominate the blind baseline"))
+		}
 		return
 	}
 
@@ -149,8 +172,17 @@ func main() {
 		Forecaster: *forecaster,
 		Faults:     plan,
 	}
+	pol, err := pf.Policy()
+	if err != nil {
+		fatal(err)
+	}
+	params.Placement = pol
 	if *p2c {
 		params.Placement = simulator.PlaceP2C
+	}
+	params.Interference = pf.Model()
+	if params.PriceTrace, err = pf.Trace(*seed, *tf.Horizon, len(hardware.DefaultCluster().Nodes)); err != nil {
+		fatal(err)
 	}
 	var rec *tracing.Recorder
 	if *of.TraceOut != "" {

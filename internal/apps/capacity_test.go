@@ -1,0 +1,109 @@
+package apps_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/hardware"
+	"smiless/internal/placement"
+)
+
+// exampleApps enumerates every example DAG topology the repo ships.
+func exampleApps() []*apps.Application {
+	return []*apps.Application{
+		apps.AmberAlert(),
+		apps.ImageQuery(),
+		apps.VoiceAssistant(),
+		apps.Pipeline(3),
+		apps.Pipeline(6),
+	}
+}
+
+// appDemands builds one placement demand per function of app under cfg.
+func appDemands(app *apps.Application, cfg hardware.Config) []placement.Demand {
+	var out []placement.Demand
+	for _, id := range app.Graph.TopoSort() {
+		out = append(out, placement.Demand{Fn: string(id), Config: cfg})
+	}
+	return out
+}
+
+// Every example application must schedule on the paper's default cluster
+// under node-capacity accounting, even on the heaviest catalog configs —
+// one instance per function on full GPUs and on the largest CPU flavor.
+func TestExampleAppsFitDefaultCluster(t *testing.T) {
+	cluster := hardware.DefaultCluster()
+	configs := []hardware.Config{
+		{Kind: hardware.CPU, Cores: 16},
+		{Kind: hardware.GPU, GPUShare: 100},
+	}
+	for _, app := range exampleApps() {
+		for _, cfg := range configs {
+			t.Run(fmt.Sprintf("%s/%s", app.Name, cfg), func(t *testing.T) {
+				nodes, err := placement.CheckFit(cluster, appDemands(app, cfg))
+				if err != nil {
+					t.Fatalf("CheckFit: %v", err)
+				}
+				if len(nodes) != app.Graph.Len() {
+					t.Fatalf("placed %d of %d functions", len(nodes), app.Graph.Len())
+				}
+				for i, n := range nodes {
+					if n < 0 || n >= len(cluster.Nodes) {
+						t.Errorf("demand %d placed on invalid node %d", i, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Over-subscription must be rejected with the typed *placement.CapacityError
+// naming the function that did not fit, not a panic or a silent success.
+func TestOverSubscriptionRejected(t *testing.T) {
+	tiny := hardware.ClusterSpec{Nodes: []hardware.NodeSpec{{Cores: 4, GPUs: 0}}}
+	app := apps.ImageQuery()
+
+	// CPU demands beyond the node's 4 cores.
+	_, err := placement.CheckFit(tiny, appDemands(app, hardware.Config{Kind: hardware.CPU, Cores: 4}))
+	var ce *placement.CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("CheckFit on over-subscribed cluster = %v, want *placement.CapacityError", err)
+	}
+	if ce.Fn == "" || ce.Node < 0 {
+		t.Errorf("CapacityError lacks context: %+v", ce)
+	}
+
+	// GPU demand on a GPU-less node fails immediately.
+	_, err = placement.CheckFit(tiny, appDemands(app, hardware.Config{Kind: hardware.GPU, GPUShare: 10}))
+	if !errors.As(err, &ce) {
+		t.Fatalf("GPU demand on CPU-only cluster = %v, want *placement.CapacityError", err)
+	}
+
+	// An empty cluster reports Node -1.
+	_, err = placement.CheckFit(hardware.ClusterSpec{},
+		appDemands(app, hardware.Config{Kind: hardware.CPU, Cores: 1}))
+	if !errors.As(err, &ce) || ce.Node != -1 {
+		t.Fatalf("empty cluster = %v, want *placement.CapacityError with Node -1", err)
+	}
+}
+
+// The simulator's dynamic accounting agrees with the static check: a DAG
+// whose per-function demand exceeds every node must report capacity
+// blocking rather than scheduling phantom capacity. (The static check is
+// the admission-time counterpart; this keeps the two honest.)
+func TestCheckFitMatchesNodeCapacityVectors(t *testing.T) {
+	for _, n := range []hardware.NodeSpec{{Cores: 104, GPUs: 1}, {Cores: 8, GPUs: 0}} {
+		cap := placement.NodeCapacity(n)
+		if cap.Cores != float64(n.Cores) { //lint:allow floateq exact int conversion
+			t.Errorf("NodeCapacity(%+v).Cores = %v", n, cap.Cores)
+		}
+		if cap.GPUShare != float64(n.GPUs)*100 { //lint:allow floateq exact int conversion
+			t.Errorf("NodeCapacity(%+v).GPUShare = %v", n, cap.GPUShare)
+		}
+		if cap.MemBW <= 0 {
+			t.Errorf("NodeCapacity(%+v).MemBW = %v, want > 0", n, cap.MemBW)
+		}
+	}
+}

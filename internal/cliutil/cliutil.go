@@ -14,8 +14,10 @@ import (
 	"smiless/internal/apps"
 	"smiless/internal/experiments"
 	"smiless/internal/forecast"
+	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/metrics"
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/trace"
 	"smiless/internal/tracing"
@@ -76,6 +78,65 @@ func ConstTrace(rate, horizon float64) *trace.Trace {
 		arrivals[i] = float64(i) / rate
 	}
 	return &trace.Trace{Horizon: horizon, Arrivals: arrivals}
+}
+
+// PlacementFlags is the shared heterogeneous-placement flag set: the
+// node-placement policy, the co-location interference scale and the
+// spot-price scenario. All three default to off, which keeps runs
+// byte-identical to a build without the placement subsystem.
+type PlacementFlags struct {
+	Affinity     *string
+	Interference *float64
+	PriceTrace   *string
+}
+
+// AddPlacementFlags registers -affinity, -interference and -price-trace on
+// fs with the shared defaults.
+func AddPlacementFlags(fs *flag.FlagSet) *PlacementFlags {
+	return &PlacementFlags{
+		Affinity:     fs.String("affinity", "", "node-placement policy: blind (first-fit), p2c, pack (affinity packing) or spread (interference spreading); empty = blind"),
+		Interference: fs.Float64("interference", 0, "co-location interference scale: 0 = off, 1 = default matrix, >1 amplified"),
+		PriceTrace:   fs.String("price-trace", "", "spot-price scenario: step (random-walk multiplier) or spike (price spikes with preemptions); empty = static prices"),
+	}
+}
+
+// Policy resolves the -affinity value to a placement policy.
+func (pf *PlacementFlags) Policy() (simulator.PlacementPolicy, error) {
+	switch *pf.Affinity {
+	case "", "blind":
+		return simulator.PlaceFirstFit, nil
+	case "p2c":
+		return simulator.PlaceP2C, nil
+	case "pack":
+		return simulator.PlacePack, nil
+	case "spread":
+		return simulator.PlaceSpread, nil
+	default:
+		return simulator.PlaceFirstFit,
+			fmt.Errorf("unknown -affinity %q (want blind, p2c, pack or spread)", *pf.Affinity)
+	}
+}
+
+// Model resolves the -interference value to an interference model (nil when
+// the scale is zero, keeping the run byte-identical to interference-off).
+func (pf *PlacementFlags) Model() *placement.Model {
+	return placement.Default(*pf.Interference)
+}
+
+// Trace builds the -price-trace scenario for the given seed, horizon and
+// cluster size (spike preemptions rotate over nodes). Empty means static
+// prices (nil trace).
+func (pf *PlacementFlags) Trace(seed int64, horizon float64, nodes int) (*hardware.PriceTrace, error) {
+	switch *pf.PriceTrace {
+	case "":
+		return nil, nil
+	case "step":
+		return hardware.StepPriceTrace(seed, horizon, 60), nil
+	case "spike":
+		return hardware.SpikePriceTrace(seed, horizon, nodes), nil
+	default:
+		return nil, fmt.Errorf("unknown -price-trace %q (want step or spike)", *pf.PriceTrace)
+	}
 }
 
 // AddSeedFlag registers the shared -seed flag.

@@ -19,6 +19,7 @@ import (
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
 	"smiless/internal/perfmodel"
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -58,6 +59,16 @@ type Options struct {
 	// resulting plans are byte-identical either way; only the wall-clock
 	// stall of the decision loop changes.
 	Parallelism int
+	// Interference, when non-nil, makes the Strategy Optimizer plan against
+	// the expected co-location slowdown: each re-plan scores candidate
+	// configs with their inference times inflated by the model's expected
+	// per-class factor over the live fleet (placement.Model.PlanFactor).
+	// Nil keeps every plan byte-identical to the interference-blind search.
+	Interference *placement.Model
+	// PlanNodes is the cluster size the planning-time interference factor
+	// assumes the class population is spread over (default 8). Only
+	// consulted when Interference is non-nil.
+	PlanNodes int
 	// DisableEvalCache detaches the optimizer's memoized evaluation cache
 	// (core.EvalCache). Plans are identical with or without it; disabling
 	// only removes the cross-window amortization, so this exists for A/B
@@ -197,14 +208,18 @@ func (s *SMIless) reoptimize(sim simulator.ControlPlane, it float64) {
 		// planning budget so a once-retried request can still meet the SLA.
 		planSLA = coldstart.RetryAdjustedSLA(planSLA, s.nominalRetryPolicy().SlackBudget(), 0.4)
 	}
-	res, err := s.opt.Optimize(core.Request{
+	req := core.Request{
 		Graph:    sim.App().Graph,
 		Profiles: s.Profiles,
 		SLA:      planSLA,
 		IT:       it,
 		ITMean:   s.itMean,
 		Batch:    1,
-	})
+	}
+	if s.Opts.Interference != nil {
+		req.Interference = s.planInterference(sim)
+	}
+	res, err := s.opt.Optimize(req)
 	if err != nil {
 		s.traceReoptimize(sim, it, core.Result{}, false)
 		if s.plan == nil {
@@ -219,6 +234,34 @@ func (s *SMIless) reoptimize(sim simulator.ControlPlane, it float64) {
 	s.planITMean = s.itMean
 	s.computePlanGeometry(sim)
 	s.installPlan(sim, it)
+}
+
+// planInterference estimates the per-function interference factor the
+// optimizer should plan under: the live class population (instances ×
+// per-instance memory-bandwidth demand, read from the current directives)
+// spread uniformly over PlanNodes, fed through the model's expected-factor
+// formula. Only called when Opts.Interference is non-nil, so the default
+// controller never touches this path.
+func (s *SMIless) planInterference(sim simulator.ControlPlane) map[dag.NodeID]float64 {
+	nodes := s.Opts.PlanNodes
+	if nodes <= 0 {
+		nodes = 8
+	}
+	app := sim.App()
+	pop := map[placement.Class]float64{}
+	for _, id := range app.Graph.Nodes() {
+		live := sim.LiveInstances(id)
+		if live == 0 {
+			continue
+		}
+		class := placement.ClassOf(app.Spec(id).Field)
+		pop[class] += float64(live) * placement.DemandOf(sim.GetDirective(id).Config).MemBW
+	}
+	out := make(map[dag.NodeID]float64, app.Graph.Len())
+	for _, id := range app.Graph.Nodes() {
+		out[id] = s.Opts.Interference.PlanFactor(placement.ClassOf(app.Spec(id).Field), pop, nodes)
+	}
+	return out
 }
 
 // traceReoptimize records a "reoptimize" instant on the attached span

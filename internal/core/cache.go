@@ -97,6 +97,10 @@ type candKey struct {
 	qit, qim float64
 	sla      float64
 	batch    int
+	// ifactor is the function's quantized interference slowdown; exactly 1
+	// whenever interference is disabled, so blind-search entries occupy a
+	// single stable key point.
+	ifactor float64
 }
 
 // evalKey identifies one whole-plan evaluation.
@@ -118,6 +122,9 @@ type planKey struct {
 	sla      float64
 	batch    int
 	topK     int
+	// ifp fingerprints the request's per-function interference factors
+	// (interferenceFingerprint); empty when interference is disabled.
+	ifp string
 }
 
 type planEntry struct {
@@ -234,6 +241,28 @@ func planSignature(g *dag.Graph, plan *coldstart.Plan) string {
 		b.WriteString(strconv.FormatFloat(d.Window, 'x', -1, 64))
 		b.WriteByte('/')
 		b.WriteString(strconv.FormatFloat(d.Lead, 'x', -1, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// interferenceFingerprint serializes the quantized per-function
+// interference factors over the graph's deterministic node order. Nil (or
+// effectively factor-free) maps produce the empty string, so the
+// interference-off plan key is identical to the pre-placement one.
+func interferenceFingerprint(g *dag.Graph, m map[dag.NodeID]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, id := range g.Nodes() {
+		f, ok := m[id]
+		if !ok || f <= 1 {
+			continue
+		}
+		b.WriteString(string(id))
+		b.WriteByte('*')
+		b.WriteString(strconv.FormatFloat(f, 'x', -1, 64))
 		b.WriteByte(';')
 	}
 	return b.String()

@@ -36,6 +36,22 @@ type Request struct {
 	// Batch is the per-instance batch size (1 unless the Auto-scaler has
 	// engaged adaptive batching).
 	Batch int
+	// Interference maps each function to the expected multiplicative
+	// slowdown (>= 1) of its init and inference times under the planned
+	// co-location, as produced by placement.Model.PlanFactor. The search
+	// scores every candidate config through the inflated times, so a
+	// function whose class contends hard on packed nodes is steered toward
+	// faster (or differently placed) configs. Nil — or factors of exactly
+	// 1 — reproduces the interference-blind search byte-identically.
+	Interference map[dag.NodeID]float64
+}
+
+// factor resolves one function's interference slowdown, defaulting to 1.
+func (r Request) factor(id dag.NodeID) float64 {
+	if f, ok := r.Interference[id]; ok && f > 1 {
+		return f
+	}
+	return 1
 }
 
 // Result is the optimizer's output.
@@ -186,16 +202,17 @@ const MaxInitFactor = 2.0
 // is queue-aware: cheap-but-slow configs carry their expected queueing
 // delay into the SLA feasibility check. Configurations initializing slower
 // than MaxInitFactor SLAs are excluded (falling back to the full catalog
-// only if nothing remains).
-func (o *Optimizer) nodeCandidates(prof *perfmodel.Profile, it, itMean, sla float64, batch int) (byCost []candidate, fastest candidate) {
+// only if nothing remains). factor is the function's expected co-location
+// interference slowdown (1 = none): it inflates both init and inference
+// time before the cold-start split and the cost model see them.
+func (o *Optimizer) nodeCandidates(prof *perfmodel.Profile, it, itMean, sla float64, batch int, factor float64) (byCost []candidate, fastest candidate) {
 	if itMean <= 0 {
 		itMean = it
 	}
 	all := make([]candidate, 0, o.Catalog.Len())
 	byCost = make([]candidate, 0, o.Catalog.Len())
 	for _, cfg := range o.Catalog.Configs {
-		t := prof.InitTime(cfg)
-		i := prof.InferenceTime(cfg, batch)
+		t, i := prof.TimesUnder(cfg, batch, factor)
 		d := coldstart.Decide(t, i, it)
 		c := coldstart.CostPerInvocation(d, t, i, itMean, o.Catalog.UnitCost(cfg))
 		cand := candidate{cfg: cfg, decision: d, cost: c, infer: QueueAwareLatency(i, itMean)}
@@ -231,12 +248,13 @@ func (o *Optimizer) resolveCandidates(req Request, stats *CacheStats) (map[dag.N
 		if !ok {
 			return nil, fmt.Errorf("core: no profile for %q", id)
 		}
+		factor := req.factor(id)
 		compute := func() nodeCands {
-			byCost, fastest := o.nodeCandidates(prof, req.IT, req.ITMean, req.SLA, req.Batch)
+			byCost, fastest := o.nodeCandidates(prof, req.IT, req.ITMean, req.SLA, req.Batch, factor)
 			return nodeCands{byCost: byCost, fastest: fastest}
 		}
 		if o.Cache != nil {
-			key := candKey{prof: prof, qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch}
+			key := candKey{prof: prof, qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch, ifactor: factor}
 			out[id] = o.Cache.candidates(key, stats, compute)
 		} else {
 			out[id] = compute()
@@ -514,13 +532,25 @@ func (o *Optimizer) Optimize(req Request) (Result, error) {
 	}
 	req.IT = QuantizeIT(req.IT)
 	req.ITMean = QuantizeIT(req.ITMean)
+	if len(req.Interference) > 0 {
+		// Snap interference factors onto the same log grid as the ITs, into
+		// a fresh map (never mutate the caller's), so the controller's
+		// drifting per-window estimates hit the cache. QuantizeIT(1) == 1,
+		// so factor-free entries stay byte-identical to the blind search.
+		q := make(map[dag.NodeID]float64, len(req.Interference))
+		for id, f := range req.Interference {
+			q[id] = QuantizeIT(f)
+		}
+		req.Interference = q
+	}
 
 	var stats CacheStats
 	var pkey planKey
 	var graphSig string
 	var guard []*perfmodel.Profile
 	if o.Cache != nil {
-		pkey = planKey{qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch, topK: o.TopK}
+		pkey = planKey{qit: req.IT, qim: req.ITMean, sla: req.SLA, batch: req.Batch, topK: o.TopK,
+			ifp: interferenceFingerprint(req.Graph, req.Interference)}
 		graphSig = graphSignature(req.Graph)
 		guard = profileGuard(req.Graph, req.Profiles)
 		if res, ok := o.Cache.lookupPlan(pkey, graphSig, guard, &stats); ok {

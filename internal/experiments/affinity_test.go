@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smiless/internal/simulator"
+)
+
+// The affinity sweep must cover both traffic shapes and every default
+// policy, and the affinity-aware frontier must weakly dominate the blind
+// baseline on the (SLA, cost) plane — the invariant the CI gate asserts.
+func TestAffinityDominatesBlind(t *testing.T) {
+	p := DefaultAffinityParams(7)
+	p.Horizon = 900
+	r := Affinity(p)
+	if len(r.Cells) != 6 {
+		t.Fatalf("expected 2 traces x 3 policies = 6 cells, got %d", len(r.Cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		seen[c.Trace+"/"+affinityPolicyName(c.Policy)] = true
+		if c.Stats.InterferedInits+c.Stats.InterferedBatches == 0 {
+			t.Errorf("%s/%s: interference model active but nothing interfered",
+				c.Trace, affinityPolicyName(c.Policy))
+		}
+	}
+	for _, want := range []string{"bursty/blind", "bursty/pack", "bursty/spread",
+		"diurnal/blind", "diurnal/pack", "diurnal/spread"} {
+		if !seen[want] {
+			t.Errorf("missing cell %s", want)
+		}
+	}
+	t.Log("\n" + r.Table().String())
+	if !r.Dominates() {
+		t.Fatalf("affinity-aware policies do not dominate the blind baseline:\n%s",
+			r.Table().String())
+	}
+}
+
+// The sweep is a pure function of its parameters: same seed, same cells.
+func TestAffinityDeterministic(t *testing.T) {
+	p := DefaultAffinityParams(11)
+	p.Horizon = 400
+	a, b := Affinity(p), Affinity(p)
+	for i := range a.Cells {
+		if a.Cells[i].Stats.Summary() != b.Cells[i].Stats.Summary() {
+			t.Fatalf("cell %d differs between identical runs:\n%s\nvs\n%s",
+				i, a.Cells[i].Stats.Summary(), b.Cells[i].Stats.Summary())
+		}
+	}
+}
+
+// Spot mode bills against the step price trace; the cost column must move
+// while request outcomes stay identical (the step trace has no preemptions).
+func TestAffinitySpotChangesCostOnly(t *testing.T) {
+	p := DefaultAffinityParams(3)
+	p.Horizon = 400
+	p.Policies = []simulator.PlacementPolicy{simulator.PlaceSpread}
+	flat := Affinity(p)
+	p.Spot = true
+	spot := Affinity(p)
+	for i := range flat.Cells {
+		f, s := flat.Cells[i].Stats, spot.Cells[i].Stats
+		if f.Completed != s.Completed || f.ViolationRate() != s.ViolationRate() { //lint:allow floateq identical runs
+			t.Fatalf("spot pricing changed request outcomes in cell %d", i)
+		}
+		if f.TotalCost == s.TotalCost { //lint:allow floateq vacuous-guard
+			t.Errorf("cell %d: spot trace did not change billed cost (%.6f)", i, f.TotalCost)
+		}
+	}
+	if !strings.Contains(flat.Table().String(), "spread") {
+		t.Errorf("table missing policy name")
+	}
+}

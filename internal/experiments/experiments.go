@@ -21,6 +21,7 @@ import (
 	"smiless/internal/forecast"
 	"smiless/internal/hardware"
 	"smiless/internal/perfmodel"
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/trace"
 	"smiless/internal/tracing"
@@ -103,8 +104,19 @@ type RunParams struct {
 	Faults *faults.Plan
 	// Placement selects the simulator's node-placement policy (default
 	// first-fit; PlaceP2C enables locality routing with power-of-two-choices
-	// overflow).
+	// overflow; PlacePack/PlaceSpread are the affinity-aware policies).
 	Placement simulator.PlacementPolicy
+	// Interference, when non-nil, turns on co-location interference in the
+	// simulator and makes SMIless variants plan against the model's expected
+	// slowdown. Nil keeps runs byte-identical to the interference-blind
+	// build.
+	Interference *placement.Model
+	// PriceTrace, when non-nil, bills container lifetimes at the trace's
+	// spot multiplier and realizes its preemption windows as node
+	// withdrawals. Nil bills static prices.
+	PriceTrace *hardware.PriceTrace
+	// Cluster, when non-empty, overrides the simulator's default cluster.
+	Cluster hardware.ClusterSpec
 	// Recorder optionally attaches a span recorder to the run so per-phase
 	// critical-path attribution and Chrome trace export are available; nil
 	// runs untraced (bit-identical to a traced run's statistics).
@@ -146,6 +158,7 @@ func buildDriver(name SystemName, p RunParams, tr *trace.Trace) (simulator.Drive
 		o := controller.DefaultOptions(p.Seed)
 		o.UseLSTM = p.UseLSTM
 		o.Parallelism = p.Parallelism
+		o.Interference = p.Interference
 		if p.Forecaster != "" {
 			o.Forecaster = p.Forecaster
 			o.UseLSTM = true
@@ -204,7 +217,8 @@ func Run(name SystemName, p RunParams, tr *trace.Trace) (*simulator.RunStats, er
 	}
 	sim, err := simulator.New(simulator.Config{
 		App: p.App, SLA: p.SLA, Seed: p.Seed, StatsAfter: WarmupFor(tr),
-		Faults: p.Faults, Placement: p.Placement,
+		Faults: p.Faults, Placement: p.Placement, Cluster: p.Cluster,
+		Interference: p.Interference, PriceTrace: p.PriceTrace,
 	}, drv)
 	if err != nil {
 		return nil, err

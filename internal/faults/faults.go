@@ -10,10 +10,22 @@
 // to the fault-free build, and two runs with the same plan seed replay the
 // same failure schedule.
 //
+// Spot preemptions (hardware.PriceTrace.Preemptions) are a third,
+// price-driven source of node loss: the substrates realize them natively
+// with Outage-like instant detection — the provider sends an eviction
+// notice, so containers drain without the gossip detector and no retry
+// attempts are billed. To model a harsher provider that evicts without
+// notice, PreemptionCrashes converts the same windows into NodeFaults so
+// the loss must be discovered through missing heartbeats.
+//
 //lint:deterministic
 package faults
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"smiless/internal/hardware"
+)
 
 // Rates are per-attempt failure probabilities for one function (or the
 // plan-wide default).
@@ -88,6 +100,20 @@ type NodeFault struct {
 	// End is the restart time for NodeCrash (<= Start means the node never
 	// returns) or the heal time for NodePartition (must be > Start).
 	End float64
+}
+
+// PreemptionCrashes converts spot-preemption windows into NodeCrash
+// faults: the node dies at the window start and restarts when it closes
+// (a window that never closes leaves it down). Unlike the substrates'
+// native PriceTrace handling — instant detection, billed like an Outage —
+// the resulting faults must be discovered by the gossip health detector,
+// modelling a provider that reclaims capacity without an eviction notice.
+func PreemptionCrashes(windows []hardware.PreemptionWindow) []NodeFault {
+	out := make([]NodeFault, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, NodeFault{Node: w.Node, Kind: NodeCrash, Start: w.Start, End: w.End})
+	}
+	return out
 }
 
 // Plan is a deterministic, seeded failure-injection schedule for one run.

@@ -3,6 +3,8 @@ package faults
 import (
 	"math"
 	"testing"
+
+	"smiless/internal/hardware"
 )
 
 func TestPlanEnabled(t *testing.T) {
@@ -260,5 +262,32 @@ func TestBreakerForgetting(t *testing.T) {
 	b.Observe(51, 40, 0)
 	if b.State(51) != BreakerOpen {
 		t.Fatal("an overwhelming failure window must still trip")
+	}
+}
+
+func TestPreemptionCrashes(t *testing.T) {
+	windows := []hardware.PreemptionWindow{
+		{Node: 2, Start: 100, End: 200},
+		{Node: 0, Start: 300, End: 0}, // never restarts
+	}
+	faults := PreemptionCrashes(windows)
+	if len(faults) != len(windows) {
+		t.Fatalf("got %d faults for %d windows", len(faults), len(windows))
+	}
+	for i, f := range faults {
+		w := windows[i]
+		if f.Kind != NodeCrash {
+			t.Errorf("fault %d kind = %v, want crash", i, f.Kind)
+		}
+		if f.Node != w.Node || f.Start != w.Start || f.End != w.End { //lint:allow floateq exact copy
+			t.Errorf("fault %d = %+v, want window %+v", i, f, w)
+		}
+	}
+	// The converted schedule enables a plan on its own.
+	if !(&Plan{NodeFaults: faults}).Enabled() {
+		t.Error("plan with converted preemption crashes must be enabled")
+	}
+	if len(PreemptionCrashes(nil)) != 0 {
+		t.Error("nil windows must convert to no faults")
 	}
 }

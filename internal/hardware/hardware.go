@@ -72,18 +72,62 @@ type Pricing struct {
 // $3.06/hour for one full GPU ($0.306 per 10% MPS slice of a p3.2xlarge).
 var DefaultPricing = Pricing{CPUPerCoreHour: 0.034, GPUPerHour: 3.06}
 
-// UnitCost returns U(⋆): dollars per second of wall-clock time the instance
-// exists (initializing, busy or kept alive — serverless providers charge for
-// allocated capacity).
-func (p Pricing) UnitCost(c Config) float64 {
+// InvalidConfigError reports a Config whose parameters cannot be priced:
+// a non-positive core count or a GPU share outside (0, 100].
+type InvalidConfigError struct {
+	Config Config
+	Reason string
+}
+
+func (e *InvalidConfigError) Error() string {
+	return fmt.Sprintf("hardware: invalid config %v: %s", e.Config, e.Reason)
+}
+
+// Validate checks that c is priceable: CPU configs need Cores >= 1, GPU
+// configs a share in (0, 100].
+func (c Config) Validate() error {
 	switch c.Kind {
 	case CPU:
-		return p.CPUPerCoreHour * float64(c.Cores) / 3600
+		if c.Cores <= 0 {
+			return &InvalidConfigError{Config: c, Reason: fmt.Sprintf("core count %d must be positive", c.Cores)}
+		}
 	case GPU:
-		return p.GPUPerHour * float64(c.GPUShare) / 100 / 3600
+		if c.GPUShare <= 0 || c.GPUShare > 100 {
+			return &InvalidConfigError{Config: c, Reason: fmt.Sprintf("GPU share %d%% must be in (0, 100]", c.GPUShare)}
+		}
+	default:
+		return &InvalidConfigError{Config: c, Reason: fmt.Sprintf("unknown kind %v", c.Kind)}
+	}
+	return nil
+}
+
+// UnitCostChecked returns U(⋆) or a *InvalidConfigError for unpriceable
+// configs (zero/negative cores, GPU share outside (0, 100]).
+func (p Pricing) UnitCostChecked(c Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	switch c.Kind {
+	case CPU:
+		return p.CPUPerCoreHour * float64(c.Cores) / 3600, nil
+	case GPU:
+		return p.GPUPerHour * float64(c.GPUShare) / 100 / 3600, nil
 	default:
 		panic(fmt.Sprintf("hardware: unknown kind %v", c.Kind))
 	}
+}
+
+// UnitCost returns U(⋆): dollars per second of wall-clock time the instance
+// exists (initializing, busy or kept alive — serverless providers charge for
+// allocated capacity). It panics on unpriceable configs — billing a
+// zero-core or out-of-range-share instance silently was a bug; callers
+// with unvalidated input use UnitCostChecked.
+func (p Pricing) UnitCost(c Config) float64 {
+	u, err := p.UnitCostChecked(c)
+	if err != nil {
+		panic(err)
+	}
+	return u
 }
 
 // Catalog is the ordered set of configurations available to the optimizer:

@@ -1,0 +1,127 @@
+package hardware
+
+import "math/rand"
+
+// PricePoint is one step of a piecewise-constant price multiplier: from At
+// (model seconds) onward the in-effect unit price is base × Multiplier,
+// until the next point. Before the first point the multiplier is 1.
+type PricePoint struct {
+	At         float64
+	Multiplier float64
+}
+
+// PreemptionWindow is one spot-capacity reclaim: node Node is withdrawn at
+// Start (its containers are evicted like a crash) and returns at End.
+type PreemptionWindow struct {
+	Node  int
+	Start float64
+	End   float64
+}
+
+// PriceTrace is a spot/preemptible price scenario: a multiplier step
+// function applied on top of the static Pricing, plus the preemption
+// windows that come with discounted capacity. A nil trace means static
+// on-demand pricing — the substrates bill exactly as before.
+type PriceTrace struct {
+	Points      []PricePoint // ascending At; Points[0].At is typically 0
+	Preemptions []PreemptionWindow
+}
+
+// FlatTrace returns a trace with one constant multiplier and no
+// preemptions. FlatTrace(1) is the byte-identity control: the machinery
+// runs but every bill matches static pricing exactly.
+func FlatTrace(mult float64) *PriceTrace {
+	return &PriceTrace{Points: []PricePoint{{At: 0, Multiplier: mult}}}
+}
+
+// MultiplierAt returns the in-effect multiplier at model time t.
+func (pt *PriceTrace) MultiplierAt(t float64) float64 {
+	if pt == nil {
+		return 1
+	}
+	m := 1.0
+	for _, p := range pt.Points {
+		if p.At > t {
+			break
+		}
+		m = p.Multiplier
+	}
+	return m
+}
+
+// Integrate returns ∫ multiplier dt over [from, to]: the billable
+// multiplier-weighted seconds of a container alive across that span. With
+// a single step covering the span it degrades to (to-from)×Multiplier, so
+// FlatTrace(1) billing is bit-identical to static billing.
+func (pt *PriceTrace) Integrate(from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	if pt == nil {
+		return to - from
+	}
+	total := 0.0
+	cur := from
+	mult := pt.MultiplierAt(from)
+	for _, p := range pt.Points {
+		if p.At <= cur {
+			continue
+		}
+		if p.At >= to {
+			break
+		}
+		total += (p.At - cur) * mult
+		cur, mult = p.At, p.Multiplier
+	}
+	total += (to - cur) * mult
+	return total
+}
+
+// StepPriceTrace generates a seeded random-walk step trace: every `every`
+// seconds the multiplier moves by a bounded step inside [0.5, 2.0]. No
+// preemptions — it models plain price volatility.
+func StepPriceTrace(seed int64, horizon, every float64) *PriceTrace {
+	if every <= 0 {
+		every = 120
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x57e9c3))
+	pt := &PriceTrace{}
+	m := 1.0
+	for at := 0.0; at < horizon; at += every {
+		pt.Points = append(pt.Points, PricePoint{At: at, Multiplier: m})
+		m += (r.Float64() - 0.5) * 0.4
+		if m < 0.5 {
+			m = 0.5
+		}
+		if m > 2.0 {
+			m = 2.0
+		}
+	}
+	return pt
+}
+
+// SpikePriceTrace generates a seeded spot scenario over a cluster of
+// `nodes` machines: a discounted baseline (0.7×) punctuated by demand
+// spikes to 2–3× lasting about a minute. Each spike preempts one node
+// (rotating through the cluster) for the spike's duration — the classic
+// spot bargain: cheaper capacity that can be reclaimed under load.
+func SpikePriceTrace(seed int64, horizon float64, nodes int) *PriceTrace {
+	if nodes < 1 {
+		nodes = 1
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x5717e5))
+	pt := &PriceTrace{Points: []PricePoint{{At: 0, Multiplier: 0.7}}}
+	spike := 0
+	for at := 60 + 240*r.Float64(); at < horizon-90; at += 180 + 240*r.Float64() {
+		dur := 45 + 45*r.Float64()
+		pt.Points = append(pt.Points,
+			PricePoint{At: at, Multiplier: 2 + r.Float64()},
+			PricePoint{At: at + dur, Multiplier: 0.7},
+		)
+		pt.Preemptions = append(pt.Preemptions, PreemptionWindow{
+			Node: spike % nodes, Start: at, End: at + dur,
+		})
+		spike++
+	}
+	return pt
+}

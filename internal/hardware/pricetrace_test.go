@@ -1,0 +1,166 @@
+package hardware
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitCostCheckedInvalid(t *testing.T) {
+	p := DefaultPricing
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero cores", Config{Kind: CPU, Cores: 0}},
+		{"negative cores", Config{Kind: CPU, Cores: -4}},
+		{"zero share", Config{Kind: GPU, GPUShare: 0}},
+		{"negative share", Config{Kind: GPU, GPUShare: -10}},
+		{"over-100 share", Config{Kind: GPU, GPUShare: 110}},
+		{"unknown kind", Config{Kind: Kind(7)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := p.UnitCostChecked(tc.cfg)
+			var ice *InvalidConfigError
+			if !errors.As(err, &ice) {
+				t.Fatalf("UnitCostChecked(%v) err = %v, want *InvalidConfigError", tc.cfg, err)
+			}
+			if ice.Config != tc.cfg {
+				t.Errorf("error carries config %v, want %v", ice.Config, tc.cfg)
+			}
+			if ice.Error() == "" {
+				t.Error("empty error string")
+			}
+		})
+	}
+}
+
+func TestUnitCostCheckedValid(t *testing.T) {
+	p := DefaultPricing
+	for _, cfg := range DefaultCatalog().Configs {
+		got, err := p.UnitCostChecked(cfg)
+		if err != nil {
+			t.Fatalf("UnitCostChecked(%v): %v", cfg, err)
+		}
+		if got != p.UnitCost(cfg) {
+			t.Errorf("UnitCostChecked(%v) = %v, UnitCost = %v", cfg, got, p.UnitCost(cfg))
+		}
+	}
+}
+
+func TestUnitCostPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnitCost on a zero-core config should panic")
+		}
+	}()
+	DefaultPricing.UnitCost(Config{Kind: CPU, Cores: 0})
+}
+
+// Property: UnitCostChecked errors exactly when Validate does, and every
+// accepted config prices positive.
+func TestUnitCostCheckedProperty(t *testing.T) {
+	p := DefaultPricing
+	f := func(kind uint8, cores, share int16) bool {
+		cfg := Config{Kind: Kind(kind % 2), Cores: int(cores), GPUShare: int(share)}
+		u, err := p.UnitCostChecked(cfg)
+		if (err != nil) != (cfg.Validate() != nil) {
+			return false
+		}
+		if err != nil {
+			return u == 0
+		}
+		return u > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatTraceIdentity(t *testing.T) {
+	pt := FlatTrace(1)
+	from, to := 13.37, 208.25
+	if got := pt.Integrate(from, to); got != (to-from)*1.0 {
+		t.Errorf("flat unit trace Integrate = %v, want exactly %v", got, to-from)
+	}
+	if pt.MultiplierAt(100) != 1 {
+		t.Error("flat unit trace multiplier != 1")
+	}
+}
+
+func TestNilTrace(t *testing.T) {
+	var pt *PriceTrace
+	if pt.MultiplierAt(5) != 1 {
+		t.Error("nil trace multiplier != 1")
+	}
+	if got := pt.Integrate(2, 7); got != 5 {
+		t.Errorf("nil trace Integrate = %v, want 5", got)
+	}
+}
+
+func TestIntegrateSteps(t *testing.T) {
+	pt := &PriceTrace{Points: []PricePoint{
+		{At: 0, Multiplier: 1},
+		{At: 10, Multiplier: 2},
+		{At: 20, Multiplier: 0.5},
+	}}
+	// [5,25]: 5s at 1× + 10s at 2× + 5s at 0.5× = 27.5
+	if got := pt.Integrate(5, 25); math.Abs(got-27.5) > 1e-12 {
+		t.Errorf("Integrate(5,25) = %v, want 27.5", got)
+	}
+	// Before the first point the multiplier is 1.
+	pt2 := &PriceTrace{Points: []PricePoint{{At: 10, Multiplier: 3}}}
+	if got := pt2.Integrate(0, 20); math.Abs(got-(10+30)) > 1e-12 {
+		t.Errorf("Integrate(0,20) = %v, want 40", got)
+	}
+	if got := pt.Integrate(7, 7); got != 0 {
+		t.Errorf("empty span Integrate = %v, want 0", got)
+	}
+}
+
+func TestStepPriceTraceDeterministic(t *testing.T) {
+	a := StepPriceTrace(7, 1200, 120)
+	b := StepPriceTrace(7, 1200, 120)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must reproduce the same step trace")
+	}
+	c := StepPriceTrace(8, 1200, 120)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+	for _, p := range a.Points {
+		if p.Multiplier < 0.5 || p.Multiplier > 2.0 {
+			t.Errorf("step multiplier %v out of [0.5,2]", p.Multiplier)
+		}
+	}
+	if len(a.Preemptions) != 0 {
+		t.Error("step trace should carry no preemptions")
+	}
+}
+
+func TestSpikePriceTrace(t *testing.T) {
+	pt := SpikePriceTrace(3, 3600, 4)
+	if len(pt.Preemptions) == 0 {
+		t.Fatal("spike trace over an hour should preempt at least once")
+	}
+	for _, w := range pt.Preemptions {
+		if w.Node < 0 || w.Node >= 4 {
+			t.Errorf("preemption node %d out of range", w.Node)
+		}
+		if w.End <= w.Start {
+			t.Errorf("preemption window [%v,%v] inverted", w.Start, w.End)
+		}
+	}
+	if !reflect.DeepEqual(pt, SpikePriceTrace(3, 3600, 4)) {
+		t.Error("same seed must reproduce the same spike trace")
+	}
+	// Ascending points.
+	for i := 1; i < len(pt.Points); i++ {
+		if pt.Points[i].At < pt.Points[i-1].At {
+			t.Errorf("points not ascending at %d", i)
+		}
+	}
+}

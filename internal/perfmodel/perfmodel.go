@@ -193,3 +193,20 @@ func (p *Profile) InitTime(cfg hardware.Config) float64 {
 	}
 	return p.GPUInit.Estimate().Seconds()
 }
+
+// TimesUnder returns the (T_k, I_k) pair inflated by an expected
+// co-location interference slowdown. The profile is fitted from isolated
+// measurements; when the optimizer plans against a populated cluster it
+// scales both times by the placement model's expected factor before the
+// cold-start split and cost model see them. factor <= 1 means isolated
+// execution and returns the profile's times unchanged, so callers that do
+// not model interference pay nothing.
+func (p *Profile) TimesUnder(cfg hardware.Config, batch int, factor float64) (init, infer float64) {
+	init = p.InitTime(cfg)
+	infer = p.InferenceTime(cfg, batch)
+	if factor > 1 {
+		init *= factor
+		infer *= factor
+	}
+	return init, infer
+}

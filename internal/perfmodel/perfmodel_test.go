@@ -160,6 +160,32 @@ func TestProfileDispatch(t *testing.T) {
 	}
 }
 
+func TestTimesUnderInterference(t *testing.T) {
+	p := &Profile{
+		Function: "f",
+		CPUInf:   InferenceModel{Kind: hardware.CPU, A: 4, B: 0, G: 0},
+		GPUInf:   InferenceModel{Kind: hardware.GPU, A: 10, B: 0, G: 0},
+		CPUInit:  InitModel{Kind: hardware.CPU, Mu: 2, N: 3},
+		GPUInit:  InitModel{Kind: hardware.GPU, Mu: 8, N: 3},
+	}
+	// factor <= 1 must return the isolated profile times untouched, so
+	// interference-off planning stays byte-identical.
+	for _, f := range []float64{0, 0.5, 1} {
+		init, infer := p.TimesUnder(cpuCfg(4), 1, f)
+		if init != p.InitTime(cpuCfg(4)) || infer != p.InferenceTime(cpuCfg(4), 1) { //lint:allow floateq identity path
+			t.Errorf("TimesUnder(factor=%v) = (%v, %v), want isolated times", f, init, infer)
+		}
+	}
+	// factor > 1 scales both components together.
+	init, infer := p.TimesUnder(gpuCfg(10), 1, 1.5)
+	if !almost(init, 1.5*p.InitTime(gpuCfg(10)), 1e-12) {
+		t.Errorf("interfered init = %v, want %v", init, 1.5*p.InitTime(gpuCfg(10)))
+	}
+	if !almost(infer, 1.5*p.InferenceTime(gpuCfg(10), 1), 1e-12) {
+		t.Errorf("interfered inference = %v, want %v", infer, 1.5*p.InferenceTime(gpuCfg(10), 1))
+	}
+}
+
 // Property: fitting recovers any non-negative model exactly from noiseless
 // samples over the profiling grid.
 func TestFitRoundTripProperty(t *testing.T) {

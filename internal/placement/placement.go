@@ -1,0 +1,250 @@
+// Package placement models node-level capacity, function affinity classes
+// and co-location interference for heterogeneous serverless clusters.
+//
+// The perf model (internal/perfmodel) prices each hardware config in
+// isolation; this package supplies the missing node dimension: every
+// function maps to an affinity Class derived from its application domain,
+// every config to a resource demand Vector (cores, GPU shares and a
+// memory-bandwidth proxy), and a deterministic pairwise interference
+// Matrix says how much two co-resident classes slow each other down. The
+// Model combines them into multiplicative init/inference slowdown factors
+// that both substrates apply at execution time, and into the expected
+// per-function factors the optimizer scores candidate configs through.
+//
+// Everything here is pure arithmetic over explicit inputs — no clocks, no
+// RNGs — so a nil Model (or a zero Matrix) leaves every run bit-identical
+// to the placement-blind build.
+//
+//lint:deterministic
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"smiless/internal/hardware"
+)
+
+// Class is a function-affinity class: functions of the same class contend
+// for the same microarchitectural resources and interfere the most when
+// co-resident on one node.
+type Class string
+
+// The classes the example applications map onto. ClassGeneral is the
+// fallback for unknown domains.
+const (
+	ClassVision     Class = "vision"     // image classification, object detection
+	ClassLanguage   Class = "language"   // language modeling, QA
+	ClassGeneration Class = "generation" // autoregressive text generation
+	ClassAudio      Class = "audio"      // speech recognition, TTS
+	ClassGeneral    Class = "general"
+)
+
+// ClassOf maps an apps.FunctionSpec.Field-style domain string to its
+// affinity class.
+func ClassOf(field string) Class {
+	switch field {
+	case "Image Classification", "Object Detection":
+		return ClassVision
+	case "Language Modeling", "Question Answering":
+		return ClassLanguage
+	case "Text Generation":
+		return ClassGeneration
+	case "Audio Processing":
+		return ClassAudio
+	default:
+		return ClassGeneral
+	}
+}
+
+// Classes returns every defined class in a fixed order (useful for
+// deterministic iteration over class-keyed maps).
+func Classes() []Class {
+	return []Class{ClassVision, ClassLanguage, ClassGeneration, ClassAudio, ClassGeneral}
+}
+
+// Vector is a node-level resource amount: cores, GPU shares (percent, as
+// everywhere in this codebase) and a unitless memory-bandwidth proxy.
+type Vector struct {
+	Cores    float64
+	GPUShare float64
+	MemBW    float64
+}
+
+// Add returns the element-wise sum.
+func (v Vector) Add(o Vector) Vector {
+	return Vector{v.Cores + o.Cores, v.GPUShare + o.GPUShare, v.MemBW + o.MemBW}
+}
+
+// Fits reports whether v fits inside capacity c element-wise.
+func (v Vector) Fits(c Vector) bool {
+	return v.Cores <= c.Cores && v.GPUShare <= c.GPUShare && v.MemBW <= c.MemBW
+}
+
+// Memory-bandwidth proxy coefficients. A full GPU stresses node memory
+// bandwidth far more than one CPU core: the proxy charges 0.1 unit per
+// core and 8 units per full GPU, so GPU-100 ≈ an 80-core CPU burst.
+const (
+	memBWPerCore     = 0.1
+	memBWPerGPUShare = 0.08 // per percent: 100% share = 8.0 units
+)
+
+// DemandOf derives the resource demand vector of one hardware config.
+func DemandOf(cfg hardware.Config) Vector {
+	switch cfg.Kind {
+	case hardware.CPU:
+		return Vector{Cores: float64(cfg.Cores), MemBW: memBWPerCore * float64(cfg.Cores)}
+	case hardware.GPU:
+		return Vector{GPUShare: float64(cfg.GPUShare), MemBW: memBWPerGPUShare * float64(cfg.GPUShare)}
+	default:
+		panic(fmt.Sprintf("placement: unknown hardware kind %v", cfg.Kind))
+	}
+}
+
+// NodeCapacity derives the capacity vector of one node spec.
+func NodeCapacity(n hardware.NodeSpec) Vector {
+	return Vector{
+		Cores:    float64(n.Cores),
+		GPUShare: float64(n.GPUs) * 100,
+		MemBW:    memBWPerCore*float64(n.Cores) + memBWPerGPUShare*100*float64(n.GPUs),
+	}
+}
+
+// Matrix is the symmetric pairwise interference table: Coef(a, b) scales
+// how much one unit of class b's memory-bandwidth demand slows class a
+// down. A nil or all-zero matrix means no interference.
+type Matrix map[Class]map[Class]float64
+
+// Coef returns the interference coefficient between two classes,
+// tolerating missing entries (0) and one-sided tables (falls back to the
+// transposed entry).
+func (m Matrix) Coef(a, b Class) float64 {
+	if m == nil {
+		return 0
+	}
+	if row, ok := m[a]; ok {
+		if c, ok := row[b]; ok {
+			return c
+		}
+	}
+	if row, ok := m[b]; ok {
+		return row[a]
+	}
+	return 0
+}
+
+// DefaultMatrix returns the deterministic default interference table:
+// same-class pairs contend hardest (they stress the same resources);
+// cross-class pairs share only the memory subsystem.
+func DefaultMatrix() Matrix {
+	same := map[Class]float64{
+		ClassVision:     0.25,
+		ClassLanguage:   0.20,
+		ClassGeneration: 0.30,
+		ClassAudio:      0.20,
+		ClassGeneral:    0.15,
+	}
+	const cross = 0.05
+	m := Matrix{}
+	for _, a := range Classes() {
+		m[a] = map[Class]float64{}
+		for _, b := range Classes() {
+			if a == b {
+				m[a][b] = same[a]
+			} else {
+				m[a][b] = cross
+			}
+		}
+	}
+	// GPU-heavy classes collide harder with each other than the baseline.
+	m[ClassVision][ClassGeneration] = 0.10
+	m[ClassGeneration][ClassVision] = 0.10
+	return m
+}
+
+// ZeroMatrix returns a matrix with every coefficient zero: interference
+// machinery on, effect exactly nil. Used by the byte-identity regression
+// tests.
+func ZeroMatrix() Matrix {
+	m := Matrix{}
+	for _, a := range Classes() {
+		m[a] = map[Class]float64{}
+		for _, b := range Classes() {
+			m[a][b] = 0
+		}
+	}
+	return m
+}
+
+// MaxSlowdown caps the multiplicative interference factor: past this the
+// model saturates rather than predicting unbounded collapse.
+const MaxSlowdown = 3.0
+
+// Resident is one co-located container as the interference model sees it:
+// its class and its memory-bandwidth demand.
+type Resident struct {
+	Class Class
+	MemBW float64
+}
+
+// Model turns a Matrix into slowdown factors. Scale multiplies every
+// coefficient (1 = as tabled); it is the single knob the CLIs expose.
+type Model struct {
+	Matrix Matrix
+	Scale  float64
+}
+
+// NewModel wraps a matrix with unit scale.
+func NewModel(m Matrix) *Model { return &Model{Matrix: m, Scale: 1} }
+
+// Default returns the default model scaled by s, or nil when s <= 0 — so
+// CLI flag plumbing can pass the flag value straight through and keep the
+// interference-off path byte-identical.
+func Default(s float64) *Model {
+	if s <= 0 {
+		return nil
+	}
+	return &Model{Matrix: DefaultMatrix(), Scale: s}
+}
+
+// Slowdown returns the multiplicative execution-time factor (>= 1) for a
+// function of class self co-resident with the given neighbours. Callers
+// must present residents in a deterministic order (the substrates use
+// container-id order) so float accumulation is reproducible.
+func (m *Model) Slowdown(self Class, residents []Resident) float64 {
+	if m == nil {
+		return 1
+	}
+	f := 1.0
+	for _, r := range residents {
+		f += m.Scale * m.Matrix.Coef(self, r.Class) * r.MemBW
+	}
+	if f > MaxSlowdown {
+		f = MaxSlowdown
+	}
+	return f
+}
+
+// PlanFactor returns the expected slowdown the optimizer should score a
+// function of class self under, given the class population pop (summed
+// memory-bandwidth demand per class, e.g. live instances × per-instance
+// demand) spread uniformly over nodes. It is the planning-time
+// counterpart of Slowdown: E[factor] = 1 + Σ_c coef(self,c)·pop[c]/nodes.
+func (m *Model) PlanFactor(self Class, pop map[Class]float64, nodes int) float64 {
+	if m == nil || nodes <= 0 {
+		return 1
+	}
+	keys := make([]string, 0, len(pop))
+	for c := range pop {
+		keys = append(keys, string(c))
+	}
+	sort.Strings(keys)
+	f := 1.0
+	for _, k := range keys {
+		f += m.Scale * m.Matrix.Coef(self, Class(k)) * pop[Class(k)] / float64(nodes)
+	}
+	if f > MaxSlowdown {
+		f = MaxSlowdown
+	}
+	return f
+}

@@ -1,0 +1,207 @@
+package placement
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smiless/internal/hardware"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := map[string]Class{
+		"Image Classification": ClassVision,
+		"Object Detection":     ClassVision,
+		"Language Modeling":    ClassLanguage,
+		"Question Answering":   ClassLanguage,
+		"Text Generation":      ClassGeneration,
+		"Audio Processing":     ClassAudio,
+		"Unheard Of":           ClassGeneral,
+		"":                     ClassGeneral,
+	}
+	for field, want := range cases {
+		if got := ClassOf(field); got != want {
+			t.Errorf("ClassOf(%q) = %q, want %q", field, got, want)
+		}
+	}
+}
+
+func TestDemandOf(t *testing.T) {
+	d := DemandOf(hardware.Config{Kind: hardware.CPU, Cores: 4})
+	if d.Cores != 4 || d.GPUShare != 0 || math.Abs(d.MemBW-0.4) > 1e-12 {
+		t.Errorf("CPU-4c demand = %+v", d)
+	}
+	d = DemandOf(hardware.Config{Kind: hardware.GPU, GPUShare: 50})
+	if d.Cores != 0 || d.GPUShare != 50 || math.Abs(d.MemBW-4.0) > 1e-12 {
+		t.Errorf("GPU-50%% demand = %+v", d)
+	}
+}
+
+func TestNodeCapacity(t *testing.T) {
+	c := NodeCapacity(hardware.NodeSpec{Cores: 104, GPUs: 1})
+	if c.Cores != 104 || c.GPUShare != 100 {
+		t.Errorf("capacity = %+v", c)
+	}
+	if math.Abs(c.MemBW-(10.4+8.0)) > 1e-12 {
+		t.Errorf("membw = %v, want 18.4", c.MemBW)
+	}
+}
+
+func TestDefaultMatrixSymmetricAndBounded(t *testing.T) {
+	m := DefaultMatrix()
+	for _, a := range Classes() {
+		for _, b := range Classes() {
+			if m.Coef(a, b) != m.Coef(b, a) {
+				t.Errorf("matrix asymmetric at (%s,%s)", a, b)
+			}
+			if c := m.Coef(a, b); c < 0 || c > 1 {
+				t.Errorf("coef(%s,%s) = %v out of [0,1]", a, b, c)
+			}
+		}
+		// Same-class contention must dominate cross-class for every class.
+		for _, b := range Classes() {
+			if a != b && m.Coef(a, a) <= m.Coef(a, b) {
+				t.Errorf("coef(%s,%s)=%v not above cross coef(%s,%s)=%v",
+					a, a, m.Coef(a, a), a, b, m.Coef(a, b))
+			}
+		}
+	}
+}
+
+func TestSlowdownNilAndZero(t *testing.T) {
+	res := []Resident{{ClassVision, 2.0}, {ClassAudio, 1.0}}
+	var nilModel *Model
+	if f := nilModel.Slowdown(ClassVision, res); f != 1 {
+		t.Errorf("nil model slowdown = %v, want exactly 1", f)
+	}
+	if f := NewModel(ZeroMatrix()).Slowdown(ClassVision, res); f != 1 {
+		t.Errorf("zero-matrix slowdown = %v, want exactly 1", f)
+	}
+}
+
+func TestSlowdownMonotoneInResidents(t *testing.T) {
+	m := NewModel(DefaultMatrix())
+	var res []Resident
+	prev := 1.0
+	for i := 0; i < 10; i++ {
+		res = append(res, Resident{ClassVision, 0.4})
+		f := m.Slowdown(ClassVision, res)
+		if f < prev {
+			t.Fatalf("slowdown decreased with more residents: %v after %v", f, prev)
+		}
+		prev = f
+	}
+	if prev <= 1 {
+		t.Errorf("10 same-class residents should slow down, factor = %v", prev)
+	}
+}
+
+func TestSlowdownCapped(t *testing.T) {
+	m := NewModel(DefaultMatrix())
+	res := make([]Resident, 1000)
+	for i := range res {
+		res[i] = Resident{ClassGeneration, 8.0}
+	}
+	if f := m.Slowdown(ClassGeneration, res); f != MaxSlowdown {
+		t.Errorf("saturated slowdown = %v, want cap %v", f, MaxSlowdown)
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	if Default(0) != nil || Default(-1) != nil {
+		t.Error("Default(<=0) must return nil (interference off)")
+	}
+	m1, m2 := Default(1), Default(2)
+	res := []Resident{{ClassVision, 1.0}}
+	f1, f2 := m1.Slowdown(ClassVision, res), m2.Slowdown(ClassVision, res)
+	if !(f2 > f1 && f1 > 1) {
+		t.Errorf("scale should amplify: scale1=%v scale2=%v", f1, f2)
+	}
+}
+
+func TestPlanFactor(t *testing.T) {
+	m := NewModel(DefaultMatrix())
+	pop := map[Class]float64{ClassVision: 4.0, ClassAudio: 2.0}
+	f8 := m.PlanFactor(ClassVision, pop, 8)
+	f2 := m.PlanFactor(ClassVision, pop, 2)
+	if !(f2 > f8 && f8 > 1) {
+		t.Errorf("fewer nodes must mean more expected interference: f8=%v f2=%v", f8, f2)
+	}
+	if got := m.PlanFactor(ClassVision, pop, 0); got != 1 {
+		t.Errorf("PlanFactor with 0 nodes = %v, want 1", got)
+	}
+	var nilModel *Model
+	if got := nilModel.PlanFactor(ClassVision, pop, 8); got != 1 {
+		t.Errorf("nil model PlanFactor = %v, want 1", got)
+	}
+}
+
+// Property: slowdown is >= 1, <= MaxSlowdown, and independent of how the
+// resident list is chunked (pure sum, no hidden state).
+func TestSlowdownProperty(t *testing.T) {
+	m := NewModel(DefaultMatrix())
+	classes := Classes()
+	f := func(picks []uint8) bool {
+		var res []Resident
+		for _, p := range picks {
+			res = append(res, Resident{classes[int(p)%len(classes)], float64(p%10) * 0.5})
+		}
+		got := m.Slowdown(ClassLanguage, res)
+		return got >= 1 && got <= MaxSlowdown
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckFit(t *testing.T) {
+	cluster := hardware.ClusterSpec{Nodes: []hardware.NodeSpec{
+		{Cores: 8, GPUs: 1}, {Cores: 8, GPUs: 0},
+	}}
+	nodes, err := CheckFit(cluster, []Demand{
+		{"a", hardware.Config{Kind: hardware.CPU, Cores: 8}},
+		{"b", hardware.Config{Kind: hardware.CPU, Cores: 8}},
+		{"c", hardware.Config{Kind: hardware.GPU, GPUShare: 100}},
+	})
+	if err != nil {
+		t.Fatalf("CheckFit: %v", err)
+	}
+	if want := []int{0, 1, 0}; len(nodes) != 3 || nodes[0] != want[0] || nodes[1] != want[1] || nodes[2] != want[2] {
+		t.Errorf("assignment = %v, want %v", nodes, want)
+	}
+}
+
+func TestCheckFitOverSubscribed(t *testing.T) {
+	cluster := hardware.ClusterSpec{Nodes: []hardware.NodeSpec{{Cores: 2, GPUs: 0}}}
+	_, err := CheckFit(cluster, []Demand{
+		{"a", hardware.Config{Kind: hardware.CPU, Cores: 2}},
+		{"b", hardware.Config{Kind: hardware.CPU, Cores: 1}},
+	})
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CapacityError, got %v", err)
+	}
+	if ce.Fn != "b" {
+		t.Errorf("error names %q, want b", ce.Fn)
+	}
+	if ce.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestCheckFitEmptyCluster(t *testing.T) {
+	_, err := CheckFit(hardware.ClusterSpec{}, []Demand{
+		{"a", hardware.Config{Kind: hardware.CPU, Cores: 1}},
+	})
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CapacityError, got %v", err)
+	}
+	if ce.Node != -1 {
+		t.Errorf("empty cluster error node = %d, want -1", ce.Node)
+	}
+	if ce.Error() == "" {
+		t.Error("empty error string")
+	}
+}

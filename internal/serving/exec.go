@@ -18,6 +18,7 @@ import (
 	"smiless/internal/coldstart"
 	"smiless/internal/dag"
 	"smiless/internal/hardware"
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -49,8 +50,11 @@ type container struct {
 const latWindow = 64
 
 type fnState struct {
-	id         dag.NodeID
-	spec       specSampler
+	id   dag.NodeID
+	spec specSampler
+	// class is the function's interference class (derived from the spec's
+	// Field at construction; test fakes default to the general class).
+	class      placement.Class
 	directive  simulator.Directive
 	containers map[int]*container
 	queue      []*nodeInv
@@ -293,6 +297,13 @@ func (rt *Runtime) beginInit(c *container) {
 		rt.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), c.node, rt.now(), c.prewarmed)
 	}
 	dur := c.fn.spec.SampleInit(rt.rng, c.cfg)
+	if rt.cfg.Interference != nil {
+		if f := rt.interferenceFactor(c); f > 1 {
+			rt.stats.InterferedInits++
+			rt.stats.InterferenceSeconds += dur * (f - 1)
+			dur *= f
+		}
+	}
 	if rt.inj != nil {
 		if fail, frac := rt.inj.InitOutcome(string(c.fn.id)); fail {
 			rt.schedule(&event{at: rt.now() + dur*frac, kind: evInitFail, cid: c.id})
@@ -383,6 +394,13 @@ func (rt *Runtime) startBatch(c *container, cause tracing.Phase) {
 		rt.rec.BeginExec(c.id, string(fs.id), c.cfg.String(), c.node, now, len(batch))
 	}
 	dur := fs.spec.SampleInference(rt.rng, c.cfg, len(batch))
+	if rt.cfg.Interference != nil {
+		if f := rt.interferenceFactor(c); f > 1 {
+			rt.stats.InterferedBatches++
+			rt.stats.InterferenceSeconds += dur * (f - 1)
+			dur *= f
+		}
+	}
 	if rt.inj != nil {
 		if f := rt.inj.StragglerFactor(string(fs.id)); f > 1 {
 			dur *= f
@@ -468,6 +486,23 @@ func (rt *Runtime) onExecDone(cid, epoch int) {
 	case coldstart.AlwaysOn:
 		// Stays resident; no timer.
 	}
+}
+
+// interferenceFactor returns the configured model's slowdown for container
+// c against the other live containers on its node, visited in id order for
+// reproducible accumulation.
+func (rt *Runtime) interferenceFactor(c *container) float64 {
+	var residents []placement.Resident
+	for _, o := range sortedConts(rt.conts) {
+		if o.id == c.id || o.node != c.node || o.state == cDead {
+			continue
+		}
+		residents = append(residents, placement.Resident{
+			Class: o.fn.class,
+			MemBW: placement.DemandOf(o.cfg).MemBW,
+		})
+	}
+	return rt.cfg.Interference.Slowdown(c.fn.class, residents)
 }
 
 // abortBatch terminates a container whose batch crashed or timed out, then
@@ -665,8 +700,7 @@ func (rt *Runtime) terminate(c *container) {
 		c.assigned = nil
 	}
 	c.state = cDead
-	life := rt.now() - c.initStart
-	cost := life * rt.cfg.Pricing.UnitCost(c.cfg)
+	life, cost := rt.billedLife(c, rt.now())
 	rt.stats.AddCost(string(c.fn.id), c.cfg, life, cost)
 	rt.nodes[c.node].conts--
 	delete(c.fn.containers, c.id)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -99,6 +100,12 @@ func (rt *Runtime) placeNode(fs *fnState) int {
 	if !rt.nodesActive() {
 		return 0
 	}
+	switch rt.cfg.Placement {
+	case simulator.PlacePack:
+		return rt.placeAffinity(fs, true)
+	case simulator.PlaceSpread:
+		return rt.placeAffinity(fs, false)
+	}
 	home := simulator.HomeNode(string(fs.id), len(rt.nodes))
 	up := make([]*nodeAgent, 0, len(rt.nodes))
 	minLoad := -1
@@ -127,6 +134,84 @@ func (rt *Runtime) placeNode(fs *fnState) int {
 	}
 	rt.stats.Forwards++
 	return best.id
+}
+
+// placeAffinity is the serving port of the simulator's affinity policies:
+// healthy nodes are scored by the class pressure the launch would meet
+// there, then the launch packs (highest pressure: same-class work
+// concentrates) or spreads (lowest pressure: least interference). Nodes are
+// visited in index order and strict comparisons break ties to the lower id,
+// so the choice is deterministic under a fake clock. Callers hold mu.
+func (rt *Runtime) placeAffinity(fs *fnState, pack bool) int {
+	best, bestScore := -1, 0.0
+	for i, n := range rt.nodes {
+		if n.health != nodeUp {
+			continue
+		}
+		score := rt.classPressure(i, fs.class)
+		if best < 0 || (pack && score > bestScore) || (!pack && score < bestScore) {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		// Every node is suspect or down: place on home anyway — the work
+		// is conserved by eviction/failover when a node recovers.
+		return simulator.HomeNode(string(fs.id), len(rt.nodes))
+	}
+	return best
+}
+
+// classPressure sums the interference-weighted memory-bandwidth demand that
+// node n's live containers exert on the given class. Without a configured
+// interference model it degrades to the same-class resident demand.
+// Containers are visited in id order for reproducible float accumulation.
+func (rt *Runtime) classPressure(n int, class placement.Class) float64 {
+	total := 0.0
+	for _, c := range sortedConts(rt.conts) {
+		if c.node != n || c.state == cDead {
+			continue
+		}
+		w := placement.DemandOf(c.cfg).MemBW
+		if m := rt.cfg.Interference; m != nil {
+			total += m.Matrix.Coef(class, c.fn.class) * w
+		} else if c.fn.class == class {
+			total += w
+		}
+	}
+	return total
+}
+
+// onPreempt withdraws a spot node: the provider reclaims the capacity, the
+// node's containers are evicted, and their in-flight work fails over
+// without charging retry attempts — the reclaim is the infrastructure's
+// failure, not the attempt's. The down verdict is not the detector's
+// (detectorDown stays false), so resumed heartbeats cannot lift it early;
+// only the window's end does.
+func (rt *Runtime) onPreempt(i int) {
+	n := rt.nodes[i]
+	if n.health == nodeDown {
+		return
+	}
+	n.health = nodeDown
+	rt.stats.Preemptions++
+	before := rt.stats.EvictedContainers
+	rt.evictNode(i)
+	rt.stats.PreemptedContainers += rt.stats.EvictedContainers - before
+	rt.nodeInstant("preempt", i)
+	rt.pumpAll()
+}
+
+// onPreemptEnd returns reclaimed spot capacity to the pool. A node the
+// detector independently declared down stays down until its heartbeats
+// actually resume.
+func (rt *Runtime) onPreemptEnd(i int) {
+	n := rt.nodes[i]
+	if n.health != nodeDown || n.detectorDown {
+		return
+	}
+	n.health = nodeUp
+	rt.nodeInstant("preempt_end", i)
+	rt.pumpAll()
 }
 
 // onGossip is one failure-detector tick: reachable nodes heartbeat,

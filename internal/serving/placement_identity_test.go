@@ -1,0 +1,100 @@
+package serving
+
+import (
+	"reflect"
+	"testing"
+
+	"smiless/internal/hardware"
+	"smiless/internal/placement"
+	"smiless/internal/simulator"
+)
+
+// servingPlacementRun drives one deterministic fake-clock scenario — a few
+// sequential requests across a 3-node pool, then full reap — under the
+// given config mutation and returns the final statistics.
+func servingPlacementRun(t *testing.T, mutate func(*Config)) *simulator.RunStats {
+	t.Helper()
+	cfg := Config{App: testChain([]float64{0.1, 0.2}, 0.5), SLA: 10, Nodes: 3}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, fake := newTestRuntime(t, cfg, keepAliveDriver(1))
+	for i := 0; i < 4; i++ {
+		_ = await(t, rt, fake, mustInvoke(t, rt))
+	}
+	stepUntil(t, rt, fake, func() bool {
+		total := 0
+		for _, n := range rt.LiveContainers() {
+			total += n
+		}
+		return total == 0
+	})
+	st := rt.Snapshot()
+	if st.Completed != 4 || st.TotalCost <= 0 {
+		t.Fatalf("identity run: Completed=%d TotalCost=%v; the regression test is vacuous",
+			st.Completed, st.TotalCost)
+	}
+	return st
+}
+
+// The serving counterpart of the simulator's placement byte-identity
+// contract: zero interference matrix plus flat unit price trace must leave
+// the live runtime's statistics exactly equal to a run without the
+// machinery.
+func TestServingPlacementOffByteIdentical(t *testing.T) {
+	plain := servingPlacementRun(t, nil)
+	gated := servingPlacementRun(t, func(cfg *Config) {
+		cfg.Interference = placement.NewModel(placement.ZeroMatrix())
+		cfg.PriceTrace = hardware.FlatTrace(1)
+	})
+	if !reflect.DeepEqual(plain, gated) {
+		t.Fatalf("placement-off run diverged from plain run:\nplain: %s\ngated: %s",
+			plain.Summary(), gated.Summary())
+	}
+}
+
+// A hot interference model must perturb live timings (vacuousness guard for
+// the byte-identity test), and the affinity policies must produce valid
+// runs that still complete everything.
+func TestServingInterferencePerturbs(t *testing.T) {
+	plain := servingPlacementRun(t, nil)
+	hot := servingPlacementRun(t, func(cfg *Config) {
+		cfg.Interference = &placement.Model{Matrix: placement.DefaultMatrix(), Scale: 5}
+		cfg.Placement = simulator.PlacePack
+	})
+	if hot.InterferedInits+hot.InterferedBatches == 0 {
+		t.Fatal("packing under a hot interference model interfered with nothing")
+	}
+	if reflect.DeepEqual(plain.E2E, hot.E2E) {
+		t.Fatal("interference model left every live latency untouched")
+	}
+	spread := servingPlacementRun(t, func(cfg *Config) {
+		cfg.Interference = &placement.Model{Matrix: placement.DefaultMatrix(), Scale: 5}
+		cfg.Placement = simulator.PlaceSpread
+	})
+	if spread.Completed != hot.Completed {
+		t.Fatalf("spread completed %d, pack completed %d", spread.Completed, hot.Completed)
+	}
+	// Spreading across 3 nodes keeps co-location pressure at or below
+	// packing's.
+	if spread.InterferenceSeconds > hot.InterferenceSeconds {
+		t.Errorf("spread accrued more interference (%.3fs) than pack (%.3fs)",
+			spread.InterferenceSeconds, hot.InterferenceSeconds)
+	}
+}
+
+// A preemption window on the live runtime withdraws the node mid-run and
+// restores it afterwards; requests keep completing via failover.
+func TestServingPreemptionWindow(t *testing.T) {
+	st := servingPlacementRun(t, func(cfg *Config) {
+		cfg.PriceTrace = &hardware.PriceTrace{
+			Preemptions: []hardware.PreemptionWindow{{Node: 0, Start: 0.2, End: 5}},
+		}
+	})
+	if st.Preemptions != 1 {
+		t.Fatalf("Preemptions = %d, want 1", st.Preemptions)
+	}
+	if st.Completed != 4 {
+		t.Fatalf("Completed = %d, want 4 despite the preempted node", st.Completed)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"smiless/internal/faults"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
+	"smiless/internal/placement"
 	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
@@ -44,6 +45,8 @@ const (
 	evNodeRestart    // scheduled NodeFault: crashed node rejoins (cid = node)
 	evPartitionStart // scheduled NodeFault: node unreachable (cid = node)
 	evPartitionEnd   // scheduled NodeFault: partition heals (cid = node)
+	evPreempt        // spot preemption window begins (cid = node)
+	evPreemptEnd     // preempted capacity returns (cid = node)
 )
 
 type event struct {
@@ -168,6 +171,7 @@ func New(cfg Config, driver simulator.Driver) (*Runtime, error) {
 		rt.fns[id] = &fnState{
 			id:         id,
 			spec:       cfg.App.Spec(id),
+			class:      placement.ClassOf(cfg.App.Spec(id).Field),
 			containers: make(map[int]*container),
 			directive: normalize(simulator.Directive{
 				Config: hardware.Config{Kind: hardware.CPU, Cores: 1},
@@ -225,6 +229,14 @@ func (rt *Runtime) Start() {
 				rt.schedule(&event{at: now + nf.Start, kind: evPartitionStart, cid: nf.Node})
 				rt.schedule(&event{at: now + nf.End, kind: evPartitionEnd, cid: nf.Node})
 			}
+		}
+	}
+	// Spot preemption windows: like scheduled node faults, times are model
+	// seconds from the epoch.
+	if rt.cfg.PriceTrace != nil {
+		for _, w := range rt.cfg.PriceTrace.Preemptions {
+			rt.schedule(&event{at: now + w.Start, kind: evPreempt, cid: w.Node})
+			rt.schedule(&event{at: now + w.End, kind: evPreemptEnd, cid: w.Node})
 		}
 	}
 	// The detector only ticks when something can miss heartbeats: a
@@ -355,6 +367,10 @@ func (rt *Runtime) handle(e *event) {
 		rt.onPartitionStart(e.cid)
 	case evPartitionEnd:
 		rt.onPartitionEnd(e.cid)
+	case evPreempt:
+		rt.onPreempt(e.cid)
+	case evPreemptEnd:
+		rt.onPreemptEnd(e.cid)
 	case evWindow:
 		rt.counts = append(rt.counts, rt.arrivalsThisWindow)
 		rt.arrivalsThisWindow = 0
@@ -797,7 +813,8 @@ func (rt *Runtime) FunctionCost(id dag.NodeID) float64 {
 	now := rt.now()
 	for _, c := range sortedConts(fs.containers) {
 		if c.state != cDead {
-			total += (now - c.initStart) * rt.cfg.Pricing.UnitCost(c.cfg)
+			_, cost := rt.billedLife(c, now)
+			total += cost
 		}
 	}
 	return total
@@ -809,10 +826,25 @@ func (rt *Runtime) AccruedCost() float64 {
 	now := rt.now()
 	for _, c := range sortedConts(rt.conts) {
 		if c.state != cDead {
-			total += (now - c.initStart) * rt.cfg.Pricing.UnitCost(c.cfg)
+			_, cost := rt.billedLife(c, now)
+			total += cost
 		}
 	}
 	return total
+}
+
+// billedLife returns a container's billed lifetime in model seconds and its
+// dollar cost from initialization start to now: static pricing by default,
+// or the spot trace's multiplier-weighted integral when one is configured.
+// FlatTrace(1) integrates to exactly the raw lifetime, so its bills are
+// bit-identical to static pricing.
+func (rt *Runtime) billedLife(c *container, now float64) (life, cost float64) {
+	life = now - c.initStart
+	unit := rt.cfg.Pricing.UnitCost(c.cfg)
+	if pt := rt.cfg.PriceTrace; pt != nil {
+		return life, unit * pt.Integrate(c.initStart, now)
+	}
+	return life, life * unit
 }
 
 // Stats exposes the live run statistics. Drivers may both read and bump

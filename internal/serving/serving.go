@@ -72,6 +72,8 @@ import (
 	"smiless/internal/clock"
 	"smiless/internal/faults"
 	"smiless/internal/hardware"
+	"smiless/internal/placement"
+	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
 
@@ -135,6 +137,22 @@ type Config struct {
 	// fail with Result.DeadlineExceeded. Per-request deadlines via
 	// InvokeWithDeadline override it.
 	DefaultDeadline float64
+	// Placement selects the node-placement policy, sharing the simulator's
+	// enum: first-fit home placement (default), P2C locality overflow,
+	// affinity packing, or interference spreading. Only consulted with
+	// Nodes > 1.
+	Placement simulator.PlacementPolicy
+	// Interference is the optional co-location interference model
+	// (internal/placement): sampled init and inference durations are
+	// inflated by the model's slowdown over a container's node
+	// co-residents. Nil — or a model whose slowdown is 1 everywhere —
+	// leaves every timing byte-identical to an interference-blind run.
+	Interference *placement.Model
+	// PriceTrace is the optional spot-price scenario: container lifetimes
+	// are billed at the in-effect multiplier and the trace's preemption
+	// windows withdraw nodes (containers evicted, work failed over). Nil
+	// bills static prices; FlatTrace(1) is bit-identical to nil.
+	PriceTrace *hardware.PriceTrace
 }
 
 // withDefaults validates cfg and fills defaults, mirroring simulator.New.
@@ -198,6 +216,18 @@ func (cfg Config) withDefaults() (Config, error) {
 			if nf.Node < 0 || nf.Node >= cfg.Nodes {
 				return cfg, &ConfigError{Field: "Faults",
 					Reason: fmt.Sprintf("NodeFault node %d out of range [0,%d)", nf.Node, cfg.Nodes)}
+			}
+		}
+	}
+	if cfg.PriceTrace != nil {
+		for _, w := range cfg.PriceTrace.Preemptions {
+			if w.Node < 0 || w.Node >= cfg.Nodes {
+				return cfg, &ConfigError{Field: "PriceTrace",
+					Reason: fmt.Sprintf("preemption node %d out of range [0,%d)", w.Node, cfg.Nodes)}
+			}
+			if w.End <= w.Start {
+				return cfg, &ConfigError{Field: "PriceTrace",
+					Reason: fmt.Sprintf("preemption window on node %d must have End > Start", w.Node)}
 			}
 		}
 	}

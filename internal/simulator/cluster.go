@@ -177,6 +177,13 @@ func (c *clusterState) allocateP2C(cfg hardware.Config, home int, prng *rand.Ran
 	return best, true, true
 }
 
+// takeOn reserves cfg's resources on a specific node. The caller has
+// already verified the node is placeable and fits cfg (the affinity
+// policies score candidates before committing).
+func (c *clusterState) takeOn(i int, cfg hardware.Config) {
+	c.nodes[i].take(cfg)
+}
+
 // release returns cfg's resources to node i.
 func (c *clusterState) release(i int, cfg hardware.Config) {
 	n := c.nodes[i]

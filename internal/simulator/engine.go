@@ -41,6 +41,8 @@ const (
 	evPartitionStart                  // node becomes unreachable (cid = node index)
 	evPartitionEnd                    // partition heals, held completions deliver (cid = node index)
 	evGossip                          // health-gossip tick: advance suspect/down/recovered
+	evPreempt                         // spot preemption window begins (cid = node index)
+	evPreemptEnd                      // preempted capacity returns (cid = node index)
 )
 
 // nodeSide reports whether the event is a completion or failure emitted by

@@ -1,0 +1,89 @@
+package simulator
+
+import (
+	"reflect"
+	"testing"
+
+	"smiless/internal/apps"
+	"smiless/internal/coldstart"
+	"smiless/internal/dag"
+	"smiless/internal/hardware"
+	"smiless/internal/mathx"
+	"smiless/internal/placement"
+	"smiless/internal/trace"
+)
+
+// placementIdentityRun runs one seeded simulation with the given (possibly
+// nil) interference model and price trace attached.
+func placementIdentityRun(t *testing.T, model *placement.Model, pt *hardware.PriceTrace) *RunStats {
+	t.Helper()
+	app := apps.Pipeline(3)
+	tr := trace.Bursty(mathx.NewRand(42), 20, 2, 3, 600)
+	d := &staticDriver{directive: func(dag.NodeID) Directive {
+		return Directive{
+			Config: cpu(4), Policy: coldstart.KeepAlive,
+			KeepAlive: 30, Batch: 2, Instances: 2,
+		}
+	}}
+	sim := MustNew(Config{
+		App: app, SLA: 60, Seed: 99,
+		Interference: model, PriceTrace: pt,
+	}, d)
+	st := sim.MustRun(tr)
+	if st.Completed == 0 || st.TotalCost <= 0 {
+		t.Fatal("identity run completed nothing; the regression test is vacuous")
+	}
+	return st
+}
+
+// TestPlacementOffByteIdentical is the placement subsystem's byte-identity
+// contract: a zero interference matrix plus a flat unit price trace must
+// leave every run statistic — latencies, counters, billed cost — exactly
+// equal to a run with the machinery absent. Any drift here means the
+// interference/pricing gates leak into default runs.
+func TestPlacementOffByteIdentical(t *testing.T) {
+	plain := placementIdentityRun(t, nil, nil)
+	gated := placementIdentityRun(t, placement.NewModel(placement.ZeroMatrix()), hardware.FlatTrace(1))
+	if gated.placementActive() {
+		t.Fatal("zero matrix + flat trace bumped placement counters")
+	}
+	if !reflect.DeepEqual(plain, gated) {
+		t.Fatalf("placement-off run diverged from plain run:\nplain: %s\ngated: %s",
+			plain.Summary(), gated.Summary())
+	}
+}
+
+// A real interference model must actually perturb the run — the guard that
+// keeps TestPlacementOffByteIdentical from passing vacuously.
+func TestInterferenceModelPerturbsRun(t *testing.T) {
+	plain := placementIdentityRun(t, nil, nil)
+	hot := placementIdentityRun(t, &placement.Model{Matrix: placement.DefaultMatrix(), Scale: 5}, nil)
+	if hot.InterferedInits+hot.InterferedBatches == 0 {
+		t.Fatal("default interference model at scale 5 interfered with nothing")
+	}
+	if hot.InterferenceSeconds <= 0 {
+		t.Fatal("interference slowdown accrued no extra seconds")
+	}
+	if reflect.DeepEqual(plain.E2E, hot.E2E) {
+		t.Fatal("interference model left every latency untouched")
+	}
+}
+
+// Preemption windows must withdraw the node, evict its containers and
+// restore capacity afterwards, all deterministically.
+func TestPreemptionWindowEvicts(t *testing.T) {
+	pt := &hardware.PriceTrace{
+		Preemptions: []hardware.PreemptionWindow{{Node: 0, Start: 100, End: 200}},
+	}
+	st := placementIdentityRun(t, nil, pt)
+	if st.Preemptions != 1 {
+		t.Fatalf("Preemptions = %d, want 1", st.Preemptions)
+	}
+	if st.PreemptedContainers == 0 {
+		t.Fatal("preemption window evicted no containers")
+	}
+	a := placementIdentityRun(t, nil, pt)
+	if !reflect.DeepEqual(st, a) {
+		t.Fatal("preemption runs diverged between identical configurations")
+	}
+}

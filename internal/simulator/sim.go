@@ -14,6 +14,7 @@ import (
 	"smiless/internal/faults"
 	"smiless/internal/hardware"
 	"smiless/internal/mathx"
+	"smiless/internal/placement"
 	"smiless/internal/trace"
 	"smiless/internal/tracing"
 	"smiless/internal/units"
@@ -192,6 +193,15 @@ const (
 	// (power-of-two-choices). Draws come from a dedicated placement RNG,
 	// so enabling it never perturbs the ground-truth timing stream.
 	PlaceP2C
+	// PlacePack is affinity packing: among nodes with capacity, the launch
+	// goes to the one already hosting the most same-class work (scored by
+	// interference-weighted memory-bandwidth pressure), concentrating each
+	// class on few nodes. Ties break to the lower index.
+	PlacePack
+	// PlaceSpread is interference spreading: the launch goes to the node
+	// where the function's class sees the least co-location pressure,
+	// trading locality for isolation. Ties break to the lower index.
+	PlaceSpread
 )
 
 // Config parameterizes a simulation run.
@@ -224,6 +234,19 @@ type Config struct {
 	// bandwidth sharing the paper mitigates with the 10% allocation floor
 	// (§IV-A2). Zero disables contention.
 	GPUContention float64
+	// Interference is the optional co-location interference model
+	// (internal/placement): when set, a container's sampled init and
+	// inference durations are inflated by the model's slowdown over the
+	// other live containers on its node. Nil — or a model whose slowdown
+	// is exactly 1 everywhere — leaves every timing byte-identical to an
+	// interference-blind run.
+	Interference *placement.Model
+	// PriceTrace is the optional spot-price scenario: container lifetimes
+	// are billed at the in-effect multiplier (∫ multiplier dt × unit cost)
+	// and the trace's preemption windows withdraw nodes, evicting their
+	// containers with control-plane failover. Nil bills static on-demand
+	// prices; FlatTrace(1) is bit-identical to nil.
+	PriceTrace *hardware.PriceTrace
 	// Seed drives all sampled timings.
 	Seed int64
 	// Faults is the optional failure-injection plan: crash probabilities,
@@ -347,6 +370,16 @@ func New(cfg Config, driver Driver) (*Simulator, error) {
 			}
 			if nf.Kind == faults.NodePartition && nf.End <= nf.Start {
 				return nil, &ConfigError{Field: "Faults.NodeFaults", Reason: fmt.Sprintf("partition of node %d must have End > Start", nf.Node)}
+			}
+		}
+	}
+	if cfg.PriceTrace != nil {
+		for _, w := range cfg.PriceTrace.Preemptions {
+			if w.Node < 0 || w.Node >= len(cfg.Cluster.Nodes) {
+				return nil, &ConfigError{Field: "PriceTrace.Preemptions", Reason: fmt.Sprintf("node %d out of range", w.Node)}
+			}
+			if w.End <= w.Start {
+				return nil, &ConfigError{Field: "PriceTrace.Preemptions", Reason: fmt.Sprintf("window on node %d must have End > Start", w.Node)}
 			}
 		}
 	}
@@ -529,7 +562,8 @@ func (s *Simulator) FunctionCost(id dag.NodeID) float64 {
 	total := s.stats.CostPerFn[string(id)]
 	for _, c := range sortedContainers(fs.containers) {
 		if c.state != cDead {
-			total += (s.now - c.initStart).Seconds() * s.cfg.Pricing.UnitCost(c.cfg)
+			_, cost := s.billedLife(c)
+			total += cost
 		}
 	}
 	return total
@@ -597,7 +631,8 @@ func (s *Simulator) AccruedCost() float64 {
 	total := 0.0
 	for _, c := range sortedContainers(s.conts) {
 		if c.state != cDead {
-			total += (s.now - c.initStart).Seconds() * s.cfg.Pricing.UnitCost(c.cfg)
+			_, cost := s.billedLife(c)
+			total += cost
 		}
 	}
 	return total
@@ -662,6 +697,12 @@ func (s *Simulator) Run(tr *trace.Trace) (*RunStats, error) {
 		// plans without node faults stay byte-identical to earlier builds.
 		if len(s.cfg.Faults.NodeFaults) > 0 {
 			s.schedule(&event{at: units.Seconds(s.cfg.GossipInterval), kind: evGossip})
+		}
+	}
+	if s.cfg.PriceTrace != nil {
+		for _, w := range s.cfg.PriceTrace.Preemptions {
+			s.schedule(&event{at: units.Seconds(w.Start), kind: evPreempt, cid: w.Node})
+			s.schedule(&event{at: units.Seconds(w.End), kind: evPreemptEnd, cid: w.Node})
 		}
 	}
 	s.driver.Setup(s)
@@ -737,6 +778,10 @@ func (s *Simulator) dispatch(e *event) {
 		s.onPartitionEnd(e.cid)
 	case evGossip:
 		s.onGossip()
+	case evPreempt:
+		s.onPreempt(e.cid)
+	case evPreemptEnd:
+		s.onPreemptEnd(e.cid)
 	case evWindow:
 		s.counts = append(s.counts, s.arrivalsThisWindow)
 		s.arrivalsThisWindow = 0
@@ -957,14 +1002,82 @@ func (s *Simulator) launch(fs *fnState, cfg hardware.Config, prewarmed bool) *co
 // placeLaunch reserves a node for one launch under the configured placement
 // policy, counting overflow forwards under PlaceP2C.
 func (s *Simulator) placeLaunch(id dag.NodeID, cfg hardware.Config) (int, bool) {
-	if s.cfg.Placement == PlaceP2C {
+	switch s.cfg.Placement {
+	case PlaceP2C:
 		node, forwarded, ok := s.cluster.allocateP2C(cfg, HomeNode(string(id), s.cluster.len()), s.prng)
 		if ok && forwarded {
 			s.stats.Forwards++
 		}
 		return node, ok
+	case PlacePack:
+		return s.placeAffinity(id, cfg, true)
+	case PlaceSpread:
+		return s.placeAffinity(id, cfg, false)
 	}
 	return s.cluster.allocate(cfg)
+}
+
+// placeAffinity scores every placeable node with capacity by the class
+// pressure the launch would meet there, then packs (highest pressure wins:
+// same-class work concentrates) or spreads (lowest pressure wins: the
+// launch lands where it is interfered with least). Nodes are visited in
+// index order and strict comparisons break ties to the lower index, so the
+// choice is deterministic.
+func (s *Simulator) placeAffinity(id dag.NodeID, cfg hardware.Config, pack bool) (int, bool) {
+	class := placement.ClassOf(s.fns[id].spec.Field)
+	best, bestScore := -1, 0.0
+	for i, n := range s.cluster.nodes {
+		if !n.placeable() || !n.fits(cfg) {
+			continue
+		}
+		score := s.classPressure(i, class)
+		if best < 0 || (pack && score > bestScore) || (!pack && score < bestScore) {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	s.cluster.takeOn(best, cfg)
+	return best, true
+}
+
+// classPressure sums the interference-weighted memory-bandwidth demand that
+// node n's live containers exert on the given class. Without a configured
+// interference model it degrades to the same-class resident demand, so the
+// affinity policies still have a signal. Containers are visited in id order
+// for reproducible float accumulation.
+func (s *Simulator) classPressure(n int, class placement.Class) float64 {
+	total := 0.0
+	for _, c := range sortedContainers(s.conts) {
+		if c.node != n || c.state == cDead {
+			continue
+		}
+		rc := placement.ClassOf(c.fn.spec.Field)
+		w := placement.DemandOf(c.cfg).MemBW
+		if m := s.cfg.Interference; m != nil {
+			total += m.Matrix.Coef(class, rc) * w
+		} else if rc == class {
+			total += w
+		}
+	}
+	return total
+}
+
+// interferenceFactor returns the configured model's slowdown for container
+// c against the other live containers on its node, visited in id order.
+func (s *Simulator) interferenceFactor(c *container) float64 {
+	var residents []placement.Resident
+	for _, o := range sortedContainers(s.conts) {
+		if o.id == c.id || o.node != c.node || o.state == cDead {
+			continue
+		}
+		residents = append(residents, placement.Resident{
+			Class: placement.ClassOf(o.fn.spec.Field),
+			MemBW: placement.DemandOf(o.cfg).MemBW,
+		})
+	}
+	return s.cfg.Interference.Slowdown(placement.ClassOf(c.fn.spec.Field), residents)
 }
 
 // beginInit samples the initialization duration for a placed container and
@@ -976,6 +1089,13 @@ func (s *Simulator) beginInit(c *container) {
 		s.rec.BeginInit(c.id, string(c.fn.id), c.cfg.String(), c.node, s.now.Seconds(), c.prewarmed)
 	}
 	dur := c.fn.spec.SampleInit(s.rng, c.cfg)
+	if s.cfg.Interference != nil && c.node >= 0 {
+		if f := s.interferenceFactor(c); f > 1 {
+			s.stats.InterferedInits++
+			s.stats.InterferenceSeconds += dur * (f - 1)
+			dur *= f
+		}
+	}
 	if s.inj != nil {
 		if fail, frac := s.inj.InitOutcome(string(c.fn.id)); fail {
 			s.schedule(&event{at: s.now + units.Seconds(dur*frac), kind: evInitFail, cid: c.id})
@@ -1075,6 +1195,13 @@ func (s *Simulator) startBatch(c *container, cause tracing.Phase) {
 		others := s.cluster.usedGPUOnNode(c.node) - c.cfg.GPUShare
 		if others > 0 {
 			dur *= 1 + s.cfg.GPUContention*float64(others)/100
+		}
+	}
+	if s.cfg.Interference != nil && c.node >= 0 {
+		if f := s.interferenceFactor(c); f > 1 {
+			s.stats.InterferedBatches++
+			s.stats.InterferenceSeconds += dur * (f - 1)
+			dur *= f
 		}
 	}
 	if s.inj != nil {
@@ -1324,6 +1451,35 @@ func (s *Simulator) onNodeUp(n int) {
 		return
 	}
 	s.cluster.setDown(n, false)
+	s.drainPendingLaunches()
+	s.pumpAll()
+}
+
+// onPreempt withdraws a spot node: the provider reclaims the capacity, the
+// node's containers are evicted, and their in-flight work fails over to
+// live peers without charging retry attempts — the reclaim notice is the
+// infrastructure's failure, not the attempt's.
+func (s *Simulator) onPreempt(n int) {
+	if n < 0 || n >= s.cluster.len() || s.cluster.isDown(n) {
+		return
+	}
+	s.cluster.setDown(n, true)
+	s.stats.Preemptions++
+	before := s.stats.EvictedContainers
+	s.evictNode(n, s.failoverMember)
+	s.stats.PreemptedContainers += s.stats.EvictedContainers - before
+	s.nodeInstant("preempt", n)
+	s.pumpAll()
+}
+
+// onPreemptEnd returns reclaimed spot capacity to the pool: the node accepts
+// allocations again and capacity-blocked launches place.
+func (s *Simulator) onPreemptEnd(n int) {
+	if n < 0 || n >= s.cluster.len() || !s.cluster.isDown(n) {
+		return
+	}
+	s.cluster.setDown(n, false)
+	s.nodeInstant("preempt_end", n)
 	s.drainPendingLaunches()
 	s.pumpAll()
 }
@@ -1591,11 +1747,24 @@ func (s *Simulator) terminate(c *container) {
 			}
 		}
 	}
-	life := (s.now - c.initStart).Seconds()
-	cost := life * s.cfg.Pricing.UnitCost(c.cfg)
+	life, cost := s.billedLife(c)
 	s.stats.addCost(string(c.fn.id), c.cfg, life, cost)
 	delete(c.fn.containers, c.id)
 	delete(s.conts, c.id)
+}
+
+// billedLife returns a container's billed lifetime in seconds and its
+// dollar cost from initialization start to now: static pricing by default,
+// or the spot trace's multiplier-weighted integral when one is configured.
+// FlatTrace(1) integrates to exactly the raw lifetime, so its bills are
+// bit-identical to static pricing.
+func (s *Simulator) billedLife(c *container) (life, cost float64) {
+	life = (s.now - c.initStart).Seconds()
+	unit := s.cfg.Pricing.UnitCost(c.cfg)
+	if pt := s.cfg.PriceTrace; pt != nil {
+		return life, unit * pt.Integrate(c.initStart.Seconds(), s.now.Seconds())
+	}
+	return life, life * unit
 }
 
 // drainPendingLaunches starts queued launches that now fit.

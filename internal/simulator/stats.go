@@ -85,6 +85,15 @@ type RunStats struct {
 	ForecastIT    forecast.QualityReport
 	ForecastCount forecast.QualityReport
 
+	// Heterogeneous placement and spot pricing (all zero unless an
+	// interference model or a price trace with preemption windows is
+	// configured).
+	InterferedInits     int     // initializations slowed by co-location interference
+	InterferedBatches   int     // executions slowed by co-location interference
+	InterferenceSeconds float64 // extra runtime attributable to interference
+	Preemptions         int     // spot preemption windows that withdrew a node
+	PreemptedContainers int     // containers evicted by spot preemptions
+
 	// Multi-node control plane (all zero on single-node / first-fit runs).
 	Forwards         int     // launches placed off the locality home node (p2c overflow)
 	Failovers        int     // in-flight members re-forwarded off a dead or partitioned node
@@ -187,6 +196,14 @@ func (r *RunStats) resilienceActive() bool {
 		r.DeadlineExceeded > 0 || r.Abandoned > 0
 }
 
+// placementActive reports whether the heterogeneous-placement subsystem
+// left any trace on the run; summaries of runs with it disabled omit the
+// placement segment so their output stays byte-identical.
+func (r *RunStats) placementActive() bool {
+	return r.InterferedInits > 0 || r.InterferedBatches > 0 ||
+		r.InterferenceSeconds > 0 || r.Preemptions > 0 || r.PreemptedContainers > 0
+}
+
 // Summary renders a human-readable digest for CLI output.
 func (r *RunStats) Summary() string {
 	var b strings.Builder
@@ -207,6 +224,11 @@ func (r *RunStats) Summary() string {
 			fmt.Fprintf(&b, "\nforwards=%d failovers=%d nodeDown=%.2fs deadlineExceeded=%d abandoned=%d",
 				r.Forwards, r.Failovers, r.NodeDownSeconds, r.DeadlineExceeded, r.Abandoned)
 		}
+	}
+	if r.placementActive() {
+		fmt.Fprintf(&b, "\ninterfered=%d/%d interferenceExtra=%.2fs preemptions=%d preempted=%d",
+			r.InterferedInits, r.InterferedBatches, r.InterferenceSeconds,
+			r.Preemptions, r.PreemptedContainers)
 	}
 	return b.String()
 }

@@ -4,6 +4,9 @@ import (
 	"smiless/internal/controller"
 	"smiless/internal/core"
 	"smiless/internal/faults"
+	"smiless/internal/hardware"
+	"smiless/internal/placement"
+	"smiless/internal/simulator"
 	"smiless/internal/tracing"
 )
 
@@ -76,6 +79,17 @@ type EvaluateOptions struct {
 	// margin). Set it via WithControllerOptions; later WithSeed / WithLSTM
 	// / WithParallelism options still override the corresponding fields.
 	Controller *ControllerOptions
+	// Placement selects the simulator's node-placement policy (default
+	// first-fit). Set via WithPlacement.
+	Placement PlacementPolicy
+	// Interference, when non-nil, turns on co-location interference and
+	// makes SMIless plan against the model's expected slowdown. Set via
+	// WithInterference.
+	Interference *PlacementModel
+	// PriceTrace, when non-nil, bills containers at the trace's spot
+	// multiplier and realizes its preemption windows. Set via
+	// WithPriceTrace.
+	PriceTrace *PriceTrace
 }
 
 // Option mutates EvaluateOptions; options are applied in order, so the last
@@ -144,6 +158,33 @@ func WithParallelism(workers int) Option {
 	}
 }
 
+// WithPlacement selects the node-placement policy: PlaceFirstFit (the
+// default), PlaceP2C locality overflow, PlacePack affinity packing or
+// PlaceSpread interference spreading.
+func WithPlacement(p PlacementPolicy) Option {
+	return func(o *EvaluateOptions) { o.Placement = p }
+}
+
+// WithInterference turns on co-location interference at the given scale of
+// the default matrix (0 or negative = off, byte-identical to the
+// interference-blind build; 1 = as tabled). The SMIless controller also
+// starts planning against the model's expected slowdown.
+func WithInterference(scale float64) Option {
+	return func(o *EvaluateOptions) {
+		o.Interference = placement.Default(scale)
+		if o.Controller != nil {
+			o.Controller.Interference = o.Interference
+		}
+	}
+}
+
+// WithPriceTrace bills the run against a spot-price scenario: container
+// lifetimes are charged at the in-effect multiplier and the trace's
+// preemption windows withdraw nodes mid-run. Nil restores static prices.
+func WithPriceTrace(pt *PriceTrace) Option {
+	return func(o *EvaluateOptions) { o.PriceTrace = pt }
+}
+
 // WithWindow sets the decision-window length in seconds for NewSimulator
 // (default 1, the paper's cadence). Negative values are rejected by the
 // simulator's configuration validation.
@@ -185,5 +226,39 @@ func (o *EvaluateOptions) controllerOptions() ControllerOptions {
 	co.UseLSTM = o.UseLSTM
 	co.Forecaster = o.Forecaster
 	co.Parallelism = o.Parallelism
+	co.Interference = o.Interference
 	return co
 }
+
+// Heterogeneous-placement surface, re-exported like the fault and tracing
+// types above.
+type (
+	// PlacementPolicy selects how new containers are placed on nodes.
+	PlacementPolicy = simulator.PlacementPolicy
+	// PlacementModel is the co-location interference model (DESIGN.md §17).
+	PlacementModel = placement.Model
+	// PriceTrace is a spot-price scenario: a piecewise-constant price
+	// multiplier plus preemption windows.
+	PriceTrace = hardware.PriceTrace
+	// PreemptionWindow withdraws one node for a spot reclaim interval.
+	PreemptionWindow = hardware.PreemptionWindow
+)
+
+// Placement policies for WithPlacement.
+const (
+	PlaceFirstFit = simulator.PlaceFirstFit
+	PlaceP2C      = simulator.PlaceP2C
+	PlacePack     = simulator.PlacePack
+	PlaceSpread   = simulator.PlaceSpread
+)
+
+// Spot-price scenario generators (internal/hardware).
+var (
+	// StepPriceTrace is a seeded random-walk multiplier, no preemptions.
+	StepPriceTrace = hardware.StepPriceTrace
+	// SpikePriceTrace adds price spikes whose peaks preempt nodes.
+	SpikePriceTrace = hardware.SpikePriceTrace
+	// FlatPriceTrace bills a constant multiplier; FlatPriceTrace(1) is
+	// bit-identical to no trace at all.
+	FlatPriceTrace = hardware.FlatTrace
+)

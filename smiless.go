@@ -201,6 +201,7 @@ func NewSimulator(app *Application, driver Driver, sla float64, opts ...Option) 
 	o := newEvaluateOptions(opts)
 	sim, err := simulator.New(simulator.Config{
 		App: app, SLA: sla, Seed: o.Seed, Faults: o.Faults, Window: o.Window,
+		Placement: o.Placement, Interference: o.Interference, PriceTrace: o.PriceTrace,
 	}, driver)
 	if err != nil {
 		return nil, err
@@ -245,6 +246,7 @@ func Evaluate(system SystemName, app *Application, tr *Trace, sla float64, opts 
 		Forecaster: o.Forecaster,
 		Faults:     o.Faults, Recorder: o.Recorder, Parallelism: o.Parallelism,
 		Controller: o.Controller,
+		Placement:  o.Placement, Interference: o.Interference, PriceTrace: o.PriceTrace,
 	}
 	return experiments.Run(system, p, tr)
 }
